@@ -1,0 +1,62 @@
+//! Per-arrival engine cost under each shedding policy — the
+//! microbenchmark behind Figure 3's wall-clock comparison.
+//!
+//! A steady-state engine (windows full, shedding on every arrival)
+//! processes one tuple per iteration; the measured time covers sketch /
+//! frequency maintenance, probing, scoring and eviction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mstream_bench::paper;
+use mstream_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn steady_engine(policy: &str) -> ShedJoinEngine {
+    let query = paper::paper_query(100);
+    let mut engine = ShedJoinBuilder::new(query)
+        .boxed_policy(parse_policy(policy).expect("builtin"))
+        .capacity_per_window(256)
+        .bank(BankConfig {
+            s1: 1000,
+            s2: 1,
+            seed: 5,
+        })
+        .seed(6)
+        .build()
+        .expect("valid engine");
+    // Warm up into steady state: full windows, sketches populated.
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..3000u64 {
+        let s = StreamId(rng.gen_range(0..3));
+        engine.process_arrival(
+            s,
+            vec![Value(rng.gen_range(0..40)), Value(rng.gen_range(0..40))],
+            VTime::from_micros(i * 100_000),
+        );
+    }
+    engine
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_per_arrival");
+    for policy in ["MSketch", "MSketch-RS", "Bjoin", "Age", "Random", "FIFO"] {
+        let mut engine = steady_engine(policy);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut i = 3000u64;
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, _| {
+            b.iter(|| {
+                let s = StreamId(rng.gen_range(0..3));
+                i += 1;
+                black_box(engine.process_arrival(
+                    s,
+                    vec![Value(rng.gen_range(0..40)), Value(rng.gen_range(0..40))],
+                    VTime::from_micros(i * 100_000),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

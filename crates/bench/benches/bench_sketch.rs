@@ -1,0 +1,93 @@
+//! Microbenchmarks of the estimation substrate: ±1 hashing, atomic-sketch
+//! updates and productivity estimation — the per-tuple costs behind the
+//! paper's "fast-and-light" claim.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mstream_core::mstream_sketch::{FourWiseHash, SketchBank, TumblingSketches};
+use mstream_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn chain3() -> JoinQuery {
+    let mut c = Catalog::new();
+    c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+    JoinQuery::from_names(
+        c,
+        &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+        WindowSpec::secs(500),
+    )
+    .unwrap()
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let h = FourWiseHash::random(&mut rng);
+    c.bench_function("four_wise_sign", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(h.sign(black_box(x)))
+        })
+    });
+}
+
+fn bench_bank_update(c: &mut Criterion) {
+    let query = chain3();
+    let mut group = c.benchmark_group("sketch_bank_update");
+    for s1 in [100usize, 1000] {
+        let mut bank = SketchBank::new(
+            &query,
+            BankConfig {
+                s1,
+                s2: 1,
+                seed: 2,
+            },
+        );
+        let mut v = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(s1), &s1, |b, _| {
+            b.iter(|| {
+                v = (v + 1) % 100;
+                bank.update(StreamId(1), &[Value(v), Value(v % 7)]);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_productivity(c: &mut Criterion) {
+    let query = chain3();
+    let mut group = c.benchmark_group("productivity_estimate");
+    for s1 in [100usize, 1000] {
+        let mut sk = TumblingSketches::new(
+            &query,
+            BankConfig {
+                s1,
+                s2: 1,
+                seed: 3,
+            },
+            EpochSpec::Time(VDur::from_secs(500)),
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..2000 {
+            let s = StreamId(rng.gen_range(0..3));
+            sk.observe(
+                s,
+                &[Value(rng.gen_range(0..100)), Value(rng.gen_range(0..100))],
+                VTime::ZERO,
+            );
+        }
+        let mut v = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(s1), &s1, |b, _| {
+            b.iter(|| {
+                v = (v + 1) % 100;
+                black_box(sk.productivity(StreamId(0), &[Value(v), Value(0)]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_bank_update, bench_productivity);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Microbenchmarks of the storage substrate: window-store insert/evict,
+//! index probes, and queue shedding.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mstream_core::mstream_window::{QueueVictim, ShedQueue, WindowStore};
+use mstream_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tup(seq: u64, ts: u64, a: u64, b: u64) -> Tuple {
+    Tuple::new(
+        StreamId(0),
+        VTime::from_secs(ts),
+        SeqNo(seq),
+        vec![Value(a), Value(b)],
+    )
+}
+
+/// Insert into a full window (every call pays one eviction).
+fn bench_insert_evict(c: &mut Criterion) {
+    let mut store = WindowStore::new(WindowSpec::Time(VDur::from_secs(1 << 30)), vec![0, 1], 1024);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut seq = 0u64;
+    for _ in 0..1024 {
+        store.insert(tup(seq, 0, rng.gen_range(0..100), rng.gen_range(0..100)), rng.gen());
+        seq += 1;
+    }
+    c.bench_function("window_insert_with_eviction", |b| {
+        b.iter(|| {
+            let t = tup(seq, 0, rng.gen_range(0..100), rng.gen_range(0..100));
+            seq += 1;
+            black_box(store.insert(t, rng.gen()));
+        })
+    });
+}
+
+/// Hash-index probe on a 1024-tuple window.
+fn bench_probe(c: &mut Criterion) {
+    let mut store = WindowStore::new(WindowSpec::Time(VDur::from_secs(1 << 30)), vec![0, 1], 2048);
+    let mut rng = StdRng::seed_from_u64(2);
+    for seq in 0..1024u64 {
+        store.insert(tup(seq, 0, rng.gen_range(0..100), rng.gen_range(0..100)), 1.0);
+    }
+    c.bench_function("window_probe", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 100;
+            black_box(store.probe(0, Value(v)).len())
+        })
+    });
+}
+
+/// Priority rebuild of a full 1024-tuple window (epoch rollover cost,
+/// excluding the scoring itself).
+fn bench_rebuild(c: &mut Criterion) {
+    let mut store = WindowStore::new(WindowSpec::Time(VDur::from_secs(1 << 30)), vec![0, 1], 1024);
+    let mut rng = StdRng::seed_from_u64(3);
+    for seq in 0..1024u64 {
+        store.insert(tup(seq, 0, rng.gen_range(0..100), rng.gen_range(0..100)), rng.gen());
+    }
+    c.bench_function("window_rebuild_priorities_1024", |b| {
+        b.iter(|| {
+            store.rebuild_priorities(|t, _| ((t.seq.0 % 97) as f64, 0.0));
+        })
+    });
+}
+
+/// Queue offers into a full queue under each victim mode.
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_offer_full");
+    for (label, mode) in [
+        ("min_priority", QueueVictim::MinPriority),
+        ("random", QueueVictim::Random),
+        ("oldest", QueueVictim::Oldest),
+    ] {
+        let mut queue = ShedQueue::new(100);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seq = 0u64;
+        for _ in 0..100 {
+            queue.offer(tup(seq, 0, 1, 1), rng.gen(), mode, &mut rng);
+            seq += 1;
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let t = tup(seq, 0, 1, 1);
+                seq += 1;
+                black_box(queue.offer(t, rng.gen(), mode, &mut rng));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_evict, bench_probe, bench_rebuild, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Figure 7: random-sampling quality — (a) average relative error of the
+//! windowed AVG over `R1.A2` and (b) average quartile difference, both vs
+//! memory, comparing MSketch-RS against Bjoin and Random.
+//!
+//! Paper shape: MSketch-RS produces the smallest errors on both metrics —
+//! a random sample of the inputs is *not* a random sample of the join
+//! (Random's poor showing), and pairwise information alone is not enough
+//! (Bjoin's poor showing).
+//!
+//! ```text
+//! cargo run --release -p mstream-bench --bin fig7_sampling             # default --scale 0.5
+//! cargo run --release -p mstream-bench --bin fig7_sampling -- --scale 1 # paper scale (slow)
+//! ```
+
+use mstream_bench::{paper, runner, table, Args};
+use mstream_core::prelude::*;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale_or(0.5);
+    let window = paper::scaled_window(scale);
+    let query = paper::paper_query(window);
+    let trace = paper::paper_regions(paper::Z_INTRA_RANGES[3], scale, args.seed).generate();
+    let opts = RunOptions {
+        // Windowed AVG over R1.A2 (the paper: "We choose A2 of R1 to be our
+        // aggregated attribute").
+        agg_attr: Some((StreamId(0), 1)),
+        agg_bucket: VDur::from_secs(window),
+        ..Default::default()
+    };
+    eprintln!("# computing exact reference join...");
+    let exact = run_exact_trace(&query, &trace, &opts);
+    let truth = exact.agg_values.as_ref().expect("agg requested");
+
+    let header: Vec<String> = std::iter::once("buffer".to_string())
+        .chain(
+            paper::SAMPLING_POLICIES
+                .iter()
+                .flat_map(|p| [format!("{p} err"), format!("{p} qdiff")]),
+        )
+        .collect();
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    // errs[pi][m], qdiffs[pi][m]
+    let mut errs: Vec<Vec<f64>> = vec![Vec::new(); paper::SAMPLING_POLICIES.len()];
+    let mut qdiffs: Vec<Vec<f64>> = vec![Vec::new(); paper::SAMPLING_POLICIES.len()];
+    for pct in paper::MEMORY_GRID {
+        let capacity = paper::memory_tuples(pct, scale);
+        let mut row = vec![format!("{capacity} ({pct}%)")];
+        for (pi, policy) in paper::SAMPLING_POLICIES.iter().enumerate() {
+            let report = runner::run_policy(&query, policy, capacity, &trace, &opts, args.seed);
+            let sample = report.agg_values.as_ref().expect("agg requested");
+            let cmp = SeriesComparison::from_hists(truth, sample);
+            errs[pi].push(cmp.avg_relative_error);
+            qdiffs[pi].push(cmp.avg_quantile_difference);
+            row.push(format!("{:.4}", cmp.avg_relative_error));
+            row.push(format!("{:.3}", cmp.avg_quantile_difference));
+            json_rows.push(serde_json::json!({
+                "figure": "7",
+                "memory_pct": pct,
+                "policy": policy,
+                "avg_relative_error": cmp.avg_relative_error,
+                "avg_quantile_difference": cmp.avg_quantile_difference,
+                "compared_buckets": cmp.compared_buckets,
+                "starved_buckets": cmp.starved_buckets,
+                "output": report.total_output(),
+            }));
+        }
+        rows.push(row);
+    }
+    table::print_table(
+        "Figure 7: (a) avg relative error of windowed AVG(R1.A2) and (b) avg quartile difference vs memory",
+        &header,
+        &rows,
+    );
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    table::print_shape(
+        &format!(
+            "MSketch-RS has the lowest mean aggregate error (RS {:.4} vs Bjoin {:.4}, Random {:.4})",
+            mean(&errs[0]),
+            mean(&errs[1]),
+            mean(&errs[2])
+        ),
+        mean(&errs[0]) <= mean(&errs[1]) && mean(&errs[0]) <= mean(&errs[2]),
+    );
+    table::print_shape(
+        &format!(
+            "MSketch-RS has the lowest mean quartile difference (RS {:.3} vs Bjoin {:.3}, Random {:.3})",
+            mean(&qdiffs[0]),
+            mean(&qdiffs[1]),
+            mean(&qdiffs[2])
+        ),
+        mean(&qdiffs[0]) <= mean(&qdiffs[1]) && mean(&qdiffs[0]) <= mean(&qdiffs[2]),
+    );
+    mstream_bench::args::maybe_dump_json(&args.json, &json_rows);
+}

@@ -1,0 +1,83 @@
+//! Figure 8: output size on the census-like workload for window sizes 500s
+//! (a) and 1000s (b), under varying memory allocations.
+//!
+//! The query joins three month-streams on `Oct03.Age = Apr04.Age` and
+//! `Apr04.Education = Oct04.Education` (see DESIGN.md §5 for the data
+//! substitution). Paper shape: MSketch outperforms every baseline at both
+//! window sizes, and the relative ordering is insensitive to the window
+//! size.
+//!
+//! ```text
+//! cargo run --release -p mstream-bench --bin fig8_census               # default --scale 0.5
+//! cargo run --release -p mstream-bench --bin fig8_census -- --scale 1  # paper scale (~10 min)
+//! ```
+
+use mstream_bench::{paper, runner, table, Args};
+use mstream_core::prelude::*;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale_or(0.5);
+    let data = paper::census_data(scale, args.seed);
+    if args.describe {
+        println!("{}", data.describe());
+        return;
+    }
+    let trace = data.generate();
+    let opts = RunOptions::default();
+    let mut json_rows = Vec::new();
+    // (part, window secs, memory grid in percent-of-full-window).
+    let parts: [(&str, u64, [f64; 5]); 2] = [
+        ("a", (500.0 * scale) as u64, [5.0, 25.0, 50.0, 75.0, 100.0]),
+        ("b", (1000.0 * scale) as u64, [2.5, 5.0, 25.0, 50.0, 100.0]),
+    ];
+    for (part, window, grid) in parts {
+        let window = window.max(1);
+        let query = paper::census_query(window);
+        let full = paper::census_full_window(window);
+        let header: Vec<String> = std::iter::once("buffer".to_string())
+            .chain(paper::MAX_SUBSET_POLICIES.iter().map(|p| p.to_string()))
+            .collect();
+        let mut rows = Vec::new();
+        let mut by_policy: Vec<Vec<u64>> = vec![Vec::new(); paper::MAX_SUBSET_POLICIES.len()];
+        for pct in grid {
+            let capacity = ((full as f64 * pct / 100.0).round() as usize).max(1);
+            let mut row = vec![format!("{capacity} ({pct}%)")];
+            for (pi, policy) in paper::MAX_SUBSET_POLICIES.iter().enumerate() {
+                let report =
+                    runner::run_policy(&query, policy, capacity, &trace, &opts, args.seed);
+                row.push(report.total_output().to_string());
+                by_policy[pi].push(report.total_output());
+                json_rows.push(serde_json::json!({
+                    "figure": format!("8{part}"),
+                    "window_secs": window,
+                    "memory_pct": pct,
+                    "capacity": capacity,
+                    "policy": policy,
+                    "output": report.total_output(),
+                }));
+            }
+            rows.push(row);
+        }
+        table::print_table(
+            &format!("Figure 8({part}): census-like join, window {window}s (full window {full})"),
+            &header,
+            &rows,
+        );
+        // Exclude grid points where nothing sheds (capacity >= full).
+        let shedding: Vec<usize> = grid
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p < 100.0)
+            .map(|(i, _)| i)
+            .collect();
+        let dominated = shedding.iter().all(|&m| {
+            (1..paper::MAX_SUBSET_POLICIES.len()).all(|pi| by_policy[0][m] >= by_policy[pi][m])
+        });
+        table::print_shape(
+            &format!("window {window}s: MSketch >= all baselines wherever shedding occurs"),
+            dominated,
+        );
+    }
+    mstream_bench::args::maybe_dump_json(&args.json, &json_rows);
+}

@@ -1,0 +1,23 @@
+//! Shared experiment harness for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure of the paper
+//! (see DESIGN.md §4 for the full index). This library holds what they
+//! share: the reconstructed paper parameters ([`paper`]), policy runners
+//! ([`runner`]) and plain-text table output ([`table`]).
+//!
+//! All binaries accept:
+//!
+//! * `--scale <f>` — multiply every dataset size by `f` (default 1.0;
+//!   use e.g. `--scale 0.2` for a quick smoke run),
+//! * `--seed <n>` — master seed (default 42),
+//! * `--json <path>` — additionally dump the result rows as JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod paper;
+pub mod runner;
+pub mod table;
+
+pub use args::Args;

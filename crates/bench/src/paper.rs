@@ -1,0 +1,127 @@
+//! The paper's reconstructed experimental parameters (DESIGN.md §3).
+
+use mstream_core::prelude::*;
+
+/// Global arrival rate `k` across the three interleaved streams
+/// (tuples/second). Per-stream rate ≈ `k / 3`.
+pub const ARRIVAL_RATE: f64 = 10.0;
+
+/// Sliding-window length `p` for the synthetic experiments (seconds).
+pub const WINDOW_SECS: u64 = 500;
+
+/// The "full window" per stream in tuples: `(k/3) · p ≈ 1672` — 100% of
+/// the memory grid.
+pub const FULL_WINDOW: usize = 1672;
+
+/// The paper's buffer-size grid, as percentages of the full window.
+pub const MEMORY_GRID: [u32; 5] = [5, 25, 50, 75, 100];
+
+/// The four data sets of Table 1: `z-intra` ranges.
+pub const Z_INTRA_RANGES: [(f64, f64); 4] = [(0.1, 0.5), (0.6, 1.0), (1.1, 1.5), (1.6, 2.0)];
+
+/// Figure 5's reporting bucket (seconds).
+pub const DRIFT_BUCKET_SECS: u64 = 50;
+
+/// Figure 6's queue capacity in tuples.
+pub const QUEUE_CAPACITY: usize = 100;
+
+/// The max-subset policy line-up of Figures 2/4/5/8.
+pub const MAX_SUBSET_POLICIES: [&str; 5] = ["MSketch", "Bjoin", "Age", "Random", "FIFO"];
+
+/// The random-sampling line-up of Figure 7.
+pub const SAMPLING_POLICIES: [&str; 3] = ["MSketch-RS", "Bjoin", "Random"];
+
+/// Window tuples corresponding to `pct`% of the full window (at least 1).
+pub fn memory_tuples(pct: u32, scale: f64) -> usize {
+    let full = (FULL_WINDOW as f64 * scale).round() as usize;
+    ((full * pct as usize) / 100).max(1)
+}
+
+/// The sliding-window length under `--scale`.
+///
+/// Scaling shrinks the dataset *and* the window length together so the
+/// full-window population (`rate × p`) shrinks in proportion — "100%
+/// memory" stays a genuinely unshedded run at every scale.
+pub fn scaled_window(scale: f64) -> u64 {
+    ((WINDOW_SECS as f64 * scale).round() as u64).max(1)
+}
+
+/// Figure 5's reporting bucket under `--scale`.
+pub fn scaled_drift_bucket(scale: f64) -> u64 {
+    ((DRIFT_BUCKET_SECS as f64 * scale).round() as u64).max(1)
+}
+
+/// The paper's evaluation query:
+/// `R1 ⋈ R2 ⋈ R3 ON R1.A1 = R2.A1 AND R2.A2 = R3.A1`, `p`-second windows.
+pub fn paper_query(window_secs: u64) -> JoinQuery {
+    let mut catalog = Catalog::new();
+    catalog.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+    catalog.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+    catalog.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+    JoinQuery::from_names(
+        catalog,
+        &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+        WindowSpec::secs(window_secs),
+    )
+    .expect("paper query is valid")
+}
+
+/// A Table-1 dataset for the given `z-intra` range, scaled by `scale`.
+pub fn paper_regions(z_intra: (f64, f64), scale: f64, seed: u64) -> RegionsGenerator {
+    let mut config = RegionsConfig::with_z_intra(z_intra.0, z_intra.1);
+    config.tuples_per_relation = ((config.tuples_per_relation as f64) * scale).round() as usize;
+    config.seed = seed;
+    RegionsGenerator::new(config).expect("table-1 config is valid")
+}
+
+/// The census query: `Oct03 ⋈ Apr04 ON Age`, `Apr04 ⋈ Oct04 ON Education`
+/// over month-streams with schema `(Age, Income, Education)`.
+pub fn census_query(window_secs: u64) -> JoinQuery {
+    let mut catalog = Catalog::new();
+    catalog.add_stream(StreamSchema::new("Oct03", &["Age", "Income", "Education"]));
+    catalog.add_stream(StreamSchema::new("Apr04", &["Age", "Income", "Education"]));
+    catalog.add_stream(StreamSchema::new("Oct04", &["Age", "Income", "Education"]));
+    JoinQuery::from_names(
+        catalog,
+        &[("Oct03.Age", "Apr04.Age"), ("Apr04.Education", "Oct04.Education")],
+        WindowSpec::secs(window_secs),
+    )
+    .expect("census query is valid")
+}
+
+/// The census workload scaled by `scale`.
+pub fn census_data(scale: f64, seed: u64) -> CensusGenerator {
+    let mut config = CensusConfig::default();
+    config.tuples_per_month = ((config.tuples_per_month as f64) * scale).round() as usize;
+    config.seed = seed;
+    CensusGenerator::new(config).expect("census config is valid")
+}
+
+/// Census full window per stream: per-stream arrival rate × window.
+pub fn census_full_window(window_secs: u64) -> usize {
+    ((ARRIVAL_RATE / 3.0) * window_secs as f64).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_grid_matches_full_window() {
+        assert_eq!(memory_tuples(100, 1.0), FULL_WINDOW);
+        assert_eq!(memory_tuples(50, 1.0), FULL_WINDOW / 2);
+        assert_eq!(memory_tuples(5, 0.001), 1, "floors at one tuple");
+    }
+
+    #[test]
+    fn queries_build() {
+        assert_eq!(paper_query(WINDOW_SECS).n_streams(), 3);
+        assert_eq!(census_query(500).n_streams(), 3);
+    }
+
+    #[test]
+    fn scaled_regions_shrink() {
+        let g = paper_regions((1.6, 2.0), 0.1, 1);
+        assert_eq!(g.config().tuples_per_relation, 1000);
+    }
+}

@@ -1,0 +1,86 @@
+//! Plain-text table output for the figure binaries.
+
+/// Prints a header + rows as an aligned, pipe-separated table, matching
+/// the paper's axes (first column = x, remaining columns = series).
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("## {title}");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    println!("{}", fmt_row(header));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-")
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+    println!();
+}
+
+/// Formats a float compactly: integers without decimals, small values with
+/// four significant digits.
+pub fn fmt_num(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 && x.fract().abs() < 1e-9 {
+        format!("{}", x as i64)
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Emits a `# paper-shape:` footer line asserting a qualitative ordering,
+/// e.g. "MSketch >= Bjoin at every memory point". `holds` reports whether
+/// the measured data satisfied it.
+pub fn print_shape(description: &str, holds: bool) {
+    println!(
+        "# paper-shape: {description} -> {}",
+        if holds { "HOLDS" } else { "VIOLATED" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_num_ranges() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(123456.0), "123456");
+        assert_eq!(fmt_num(123.4), "123");
+        assert_eq!(fmt_num(12.345), "12.35");
+        assert_eq!(fmt_num(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table(
+            "demo",
+            &["x".into(), "y".into()],
+            &[vec!["1".into(), "2".into()], vec!["10".into()]],
+        );
+        print_shape("demo ordering", true);
+    }
+}

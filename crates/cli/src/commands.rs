@@ -1,0 +1,380 @@
+//! The `run`, `generate`, `explain` and `policies` subcommands.
+
+use crate::opts::{CliError, Flags};
+use mstream_core::mstream_join::ProbePlan;
+use mstream_core::mstream_workload::{read_trace, write_trace};
+use mstream_core::prelude::*;
+use std::io::Write;
+
+/// `mstream run`: execute a query over a trace with shedding.
+pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let query = load_query(flags)?;
+    let trace = load_trace(flags.require("--trace")?)?;
+    validate_trace(&query, &trace)?;
+    let policy_name = flags.get("--policy").unwrap_or("MSketch");
+    let policy = parse_policy(policy_name)
+        .ok_or_else(|| CliError::input(format!("unknown policy `{policy_name}`")))?;
+    let capacity: usize = flags.num("--capacity", 1024)?;
+    let rate: f64 = flags.num("--rate", 10.0)?;
+    if rate <= 0.0 || rate.is_nan() {
+        return Err(CliError::usage("--rate must be positive"));
+    }
+    let service: Option<f64> = flags.num_opt("--service")?;
+    if let Some(l) = service {
+        if l <= 0.0 || l.is_nan() {
+            return Err(CliError::usage("--service must be positive"));
+        }
+    }
+    let opts = RunOptions {
+        sim: SimConfig {
+            arrival_rate: rate,
+            service_rate: service,
+            queue_capacity: flags.num("--queue", 100)?,
+        },
+        ..Default::default()
+    };
+    let mut engine = ShedJoinBuilder::new(query)
+        .boxed_policy(policy)
+        .capacity_per_window(capacity)
+        .seed(flags.num("--seed", 42)?)
+        .build()
+        .map_err(|e| CliError::input(e.to_string()))?;
+    let report = run_trace(&mut engine, &trace, &opts);
+    if flags.has("--json") {
+        let body = serde_json::json!({
+            "policy": policy_name,
+            "capacity_per_window": capacity,
+            "arrivals": trace.len(),
+            "output_tuples": report.total_output(),
+            "processed": report.metrics.processed,
+            "shed_window": report.metrics.shed_window,
+            "shed_queue": report.metrics.shed_queue,
+            "expired": report.metrics.expired,
+            "epoch_rollovers": report.metrics.epoch_rollovers,
+            "end_time_secs": report.end_time.as_secs_f64(),
+            "wall_seconds": report.wall_time.as_secs_f64(),
+        });
+        writeln!(out, "{}", serde_json::to_string_pretty(&body).expect("serializable"))?;
+    } else {
+        writeln!(out, "policy:          {policy_name}")?;
+        writeln!(out, "memory/window:   {capacity} tuples")?;
+        writeln!(out, "arrivals:        {}", trace.len())?;
+        writeln!(out, "processed:       {}", report.metrics.processed)?;
+        writeln!(out, "output tuples:   {}", report.total_output())?;
+        writeln!(
+            out,
+            "shed:            {} window, {} queue",
+            report.metrics.shed_window, report.metrics.shed_queue
+        )?;
+        writeln!(out, "expired:         {}", report.metrics.expired)?;
+        writeln!(
+            out,
+            "virtual span:    {:.1}s   wall: {:.3}s",
+            report.end_time.as_secs_f64(),
+            report.wall_time.as_secs_f64()
+        )?;
+    }
+    Ok(())
+}
+
+/// `mstream generate`: write a synthetic workload as CSV.
+pub fn generate(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let tuples: usize = flags.num("--tuples", 1000)?;
+    let seed: u64 = flags.num("--seed", 42)?;
+    let trace = match flags.require("--workload")? {
+        "regions" => {
+            let z = parse_z(flags.get("--z").unwrap_or("1.6,2.0"))?;
+            let mut config = RegionsConfig::with_z_intra(z.0, z.1);
+            config.tuples_per_relation = tuples;
+            config.seed = seed;
+            if flags.has("--drift") {
+                config.feed = FeedOrder::RegionPhases;
+            }
+            RegionsGenerator::new(config)
+                .map_err(|e| CliError::input(e.to_string()))?
+                .generate()
+        }
+        "census" => {
+            let config = CensusConfig {
+                tuples_per_month: tuples,
+                seed,
+                ..Default::default()
+            };
+            CensusGenerator::new(config)
+                .map_err(|e| CliError::input(e.to_string()))?
+                .generate()
+        }
+        other => {
+            return Err(CliError::input(format!(
+                "unknown workload `{other}` (expected `regions` or `census`)"
+            )))
+        }
+    };
+    let path = flags.require("--out")?;
+    if path == "-" {
+        write_trace(&trace, out)?;
+    } else {
+        let file = std::fs::File::create(path)?;
+        write_trace(&trace, std::io::BufWriter::new(file))?;
+        writeln!(out, "wrote {} arrivals to {path}", trace.len())?;
+    }
+    Ok(())
+}
+
+/// `mstream explain`: print the parsed query and its probe plans.
+pub fn explain(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let query = load_query(flags)?;
+    writeln!(out, "streams:")?;
+    for (id, schema) in query.catalog().iter() {
+        let window = match query.window(id) {
+            WindowSpec::Time(d) => format!("RANGE {:.0} SECONDS", d.as_secs_f64()),
+            WindowSpec::Tuples(n) => format!("ROWS {n}"),
+        };
+        writeln!(
+            out,
+            "  {} {}({}) [{}]",
+            id,
+            schema.name,
+            schema.attrs.join(", "),
+            window
+        )?;
+    }
+    writeln!(out, "predicates:")?;
+    for pred in query.predicates() {
+        let name = |r: AttrRef| {
+            let schema = query.catalog().schema(r.stream).expect("valid");
+            format!("{}.{}", schema.name, schema.attrs[r.attr])
+        };
+        writeln!(out, "  {} = {}", name(pred.left), name(pred.right))?;
+    }
+    writeln!(out, "probe plans:")?;
+    for plan in ProbePlan::all(&query) {
+        let origin = query.catalog().schema(plan.origin()).expect("valid");
+        let steps: Vec<String> = plan
+            .steps()
+            .iter()
+            .map(|s| {
+                let stream = query.catalog().schema(s.stream).expect("valid");
+                let extra = if s.residual.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (+{} residual checks)", s.residual.len())
+                };
+                format!(
+                    "probe {}.{}{extra}",
+                    stream.name, stream.attrs[s.probe_attr]
+                )
+            })
+            .collect();
+        writeln!(out, "  on {} arrival: {}", origin.name, steps.join(" -> "))?;
+    }
+    Ok(())
+}
+
+/// `mstream policies`: list the built-in shedding policies.
+pub fn policies(out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(out, "built-in shedding policies:")?;
+    let blurbs: &[(&str, &str)] = &[
+        ("MSketch", "max-subset: evict the least sketch-estimated multi-way productivity"),
+        ("MSketch-RS", "random sample: evict the largest produced fraction of expected output"),
+        ("Age", "remaining lifetime x productivity"),
+        ("Life", "remaining lifetime x pairwise partner frequency (Das et al.)"),
+        ("Bjoin", "pairwise partner frequency over a binary join tree (Prob)"),
+        ("Random", "uniform random eviction"),
+        ("FIFO", "drop-oldest"),
+    ];
+    for (name, blurb) in blurbs {
+        writeln!(out, "  {name:<11} {blurb}")?;
+    }
+    Ok(())
+}
+
+fn load_query(flags: &Flags) -> Result<JoinQuery, CliError> {
+    let text = match (flags.get("--query"), flags.get("--query-file")) {
+        (Some(q), None) => q.to_string(),
+        (None, Some(path)) => std::fs::read_to_string(path)?,
+        (Some(_), Some(_)) => {
+            return Err(CliError::usage("give --query or --query-file, not both"))
+        }
+        (None, None) => return Err(CliError::usage("--query (or --query-file) is required")),
+    };
+    mstream_query::parse_query(&text).map_err(|e| CliError::input(format!("query: {e}")))
+}
+
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    if path == "-" {
+        read_trace(std::io::stdin().lock()).map_err(|e| CliError::input(e.to_string()))
+    } else {
+        let file = std::fs::File::open(path)
+            .map_err(|e| CliError::input(format!("cannot open trace `{path}`: {e}")))?;
+        read_trace(file).map_err(|e| CliError::input(e.to_string()))
+    }
+}
+
+/// The trace must only reference the query's streams, with matching arity.
+fn validate_trace(query: &JoinQuery, trace: &Trace) -> Result<(), CliError> {
+    for (i, item) in trace.items.iter().enumerate() {
+        let schema = query.catalog().schema(item.stream).ok_or_else(|| {
+            CliError::input(format!(
+                "trace row {}: stream index {} but the query has {} streams",
+                i + 1,
+                item.stream.index(),
+                query.n_streams()
+            ))
+        })?;
+        if item.values.len() != schema.arity() {
+            return Err(CliError::input(format!(
+                "trace row {}: {} values for stream {} (schema {} has {})",
+                i + 1,
+                item.values.len(),
+                item.stream.index(),
+                schema.name,
+                schema.arity()
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn parse_z(text: &str) -> Result<(f64, f64), CliError> {
+    let (lo, hi) = text
+        .split_once(',')
+        .ok_or_else(|| CliError::usage("--z expects `lo,hi`"))?;
+    let lo: f64 = lo
+        .trim()
+        .parse()
+        .map_err(|_| CliError::usage(format!("--z: bad number `{lo}`")))?;
+    let hi: f64 = hi
+        .trim()
+        .parse()
+        .map_err(|_| CliError::usage(format!("--z: bad number `{hi}`")))?;
+    Ok((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch;
+
+    fn run_cli(args: &[&str]) -> Result<String, CliError> {
+        let mut out = Vec::new();
+        dispatch(
+            &args.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &mut out,
+        )?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn policies_lists_all_builtins() {
+        let text = run_cli(&["policies"]).unwrap();
+        for name in ALL_POLICY_NAMES {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn explain_prints_streams_predicates_and_plans() {
+        let text = run_cli(&[
+            "explain",
+            "--query",
+            "SELECT * FROM L(k, v) [ROWS 100], R(k, v) WHERE L.k = R.k",
+        ])
+        .unwrap();
+        assert!(text.contains("L(k, v) [ROWS 100]"), "{text}");
+        assert!(text.contains("L.k = R.k"), "{text}");
+        assert!(text.contains("on L arrival: probe R.k"), "{text}");
+    }
+
+    #[test]
+    fn generate_then_run_round_trip() {
+        let dir = std::env::temp_dir().join("mstream_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.csv");
+        let trace_path = trace_path.to_str().unwrap();
+        let gen_out = run_cli(&[
+            "generate",
+            "--workload",
+            "regions",
+            "--tuples",
+            "200",
+            "--out",
+            trace_path,
+        ])
+        .unwrap();
+        assert!(gen_out.contains("wrote 600 arrivals"), "{gen_out}");
+        let report = run_cli(&[
+            "run",
+            "--query",
+            "SELECT * FROM R1(A1, A2) [RANGE 30 SECONDS], R2(A1, A2), R3(A1, A2) \
+             WHERE R1.A1 = R2.A1 AND R2.A2 = R3.A1",
+            "--trace",
+            trace_path,
+            "--capacity",
+            "50",
+            "--policy",
+            "MSketch",
+        ])
+        .unwrap();
+        assert!(report.contains("arrivals:        600"), "{report}");
+        assert!(report.contains("output tuples:"), "{report}");
+        // JSON mode parses.
+        let json_report = run_cli(&[
+            "run",
+            "--query",
+            "SELECT * FROM R1(A1, A2) [RANGE 30 SECONDS], R2(A1, A2), R3(A1, A2) \
+             WHERE R1.A1 = R2.A1 AND R2.A2 = R3.A1",
+            "--trace",
+            trace_path,
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json_report).unwrap();
+        assert_eq!(v["arrivals"], 600);
+    }
+
+    #[test]
+    fn run_rejects_mismatched_trace() {
+        let dir = std::env::temp_dir().join("mstream_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "0,1,2\n5,1,2\n").unwrap();
+        let err = run_cli(&[
+            "run",
+            "--query",
+            "SELECT * FROM L(a, b) [ROWS 5], R(a, b) WHERE L.a = R.a",
+            "--trace",
+            path.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("stream index 5"), "{err}");
+    }
+
+    #[test]
+    fn run_reports_query_errors_with_context() {
+        let err = run_cli(&["run", "--query", "SELECT oops", "--trace", "/dev/null"])
+            .unwrap_err();
+        assert!(err.to_string().contains("query:"), "{err}");
+    }
+
+    #[test]
+    fn unknown_subcommand_and_workload() {
+        assert!(run_cli(&["frobnicate"]).is_err());
+        let err = run_cli(&["generate", "--workload", "nope", "--out", "-"]).unwrap_err();
+        assert!(err.to_string().contains("unknown workload"), "{err}");
+    }
+
+    #[test]
+    fn parse_z_accepts_ranges() {
+        assert_eq!(parse_z("0.1,0.5").unwrap(), (0.1, 0.5));
+        assert!(parse_z("0.1").is_err());
+        assert!(parse_z("a,b").is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_cli(&["help"]).unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("generate"));
+    }
+}

@@ -1,0 +1,18 @@
+//! `mstream` — thin dispatcher over [`mstream_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if args.is_empty() {
+        eprint!("{}", mstream_cli::USAGE);
+        std::process::exit(2);
+    }
+    if let Err(err) = mstream_cli::dispatch(&args, &mut stdout) {
+        eprintln!("mstream: {err}");
+        let code = match err {
+            mstream_cli::CliError::Usage(_) => 2,
+            _ => 1,
+        };
+        std::process::exit(code);
+    }
+}

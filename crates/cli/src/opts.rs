@@ -1,0 +1,176 @@
+//! Flag parsing and the CLI error type.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A CLI failure: bad usage, bad input, or I/O.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself was malformed.
+    Usage(String),
+    /// The inputs (query, trace, configuration) were invalid.
+    Input(String),
+    /// An I/O failure.
+    Io(std::io::Error),
+}
+
+impl CliError {
+    /// A usage error.
+    pub fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    /// An input error.
+    pub fn input(msg: impl Into<String>) -> Self {
+        CliError::Input(msg.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m} (try `mstream help`)"),
+            CliError::Input(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Parsed `--flag value` pairs and bare `--switches`.
+#[derive(Clone, Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// The flags that take a value; everything else `--x` is a switch.
+const VALUE_FLAGS: &[&str] = &[
+    "--query",
+    "--query-file",
+    "--trace",
+    "--policy",
+    "--capacity",
+    "--rate",
+    "--service",
+    "--queue",
+    "--seed",
+    "--workload",
+    "--out",
+    "--tuples",
+    "--z",
+];
+
+impl Flags {
+    /// Parses a flag list.
+    pub fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut flags = Flags::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if !arg.starts_with("--") {
+                return Err(CliError::usage(format!("unexpected argument `{arg}`")));
+            }
+            if VALUE_FLAGS.contains(&arg.as_str()) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::usage(format!("{arg} needs a value")))?;
+                if flags.values.insert(arg.clone(), value.clone()).is_some() {
+                    return Err(CliError::usage(format!("{arg} given twice")));
+                }
+            } else {
+                flags.switches.push(arg.clone());
+            }
+        }
+        Ok(flags)
+    }
+
+    /// The value of `--flag`, if given.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// The value of `--flag`, or an input error naming it.
+    pub fn require(&self, flag: &str) -> Result<&str, CliError> {
+        self.get(flag)
+            .ok_or_else(|| CliError::usage(format!("{flag} is required")))
+    }
+
+    /// A parsed numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("{flag}: cannot parse `{v}`"))),
+        }
+    }
+
+    /// A parsed numeric flag with no default.
+    pub fn num_opt<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, CliError> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::usage(format!("{flag}: cannot parse `{v}`"))),
+        }
+    }
+
+    /// Whether a bare switch (e.g. `--json`) was given.
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Flags, CliError> {
+        Flags::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let f = parse(&["--policy", "Bjoin", "--json", "--capacity", "64"]).unwrap();
+        assert_eq!(f.get("--policy"), Some("Bjoin"));
+        assert!(f.has("--json"));
+        assert!(!f.has("--quiet"));
+        assert_eq!(f.num::<usize>("--capacity", 0).unwrap(), 64);
+        assert_eq!(f.num::<f64>("--rate", 10.0).unwrap(), 10.0);
+        assert_eq!(f.num_opt::<f64>("--service").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = parse(&["--policy"]).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_positional() {
+        assert!(parse(&["--seed", "1", "--seed", "2"]).is_err());
+        assert!(parse(&["oops"]).is_err());
+    }
+
+    #[test]
+    fn require_names_the_flag() {
+        let f = parse(&[]).unwrap();
+        let err = f.require("--trace").unwrap_err();
+        assert!(err.to_string().contains("--trace"));
+    }
+
+    #[test]
+    fn bad_numbers_name_the_flag() {
+        let f = parse(&["--capacity", "many"]).unwrap();
+        let err = f.num::<usize>("--capacity", 1).unwrap_err();
+        assert!(err.to_string().contains("--capacity"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Ergonomic construction of shedding join engines.
+
+use crate::engine::{EngineConfig, MemoryMode, ShedJoinEngine};
+use mstream_shed_policies::{MSketch, ShedPolicy};
+use mstream_sketch::{BankConfig, EpochSpec};
+use mstream_types::{JoinQuery, Result};
+
+/// A fluent builder over [`ShedJoinEngine`].
+///
+/// ```
+/// use mstream_core::prelude::*;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.add_stream(StreamSchema::new("L", &["k"]));
+/// catalog.add_stream(StreamSchema::new("R", &["k"]));
+/// let query = JoinQuery::from_names(catalog, &[("L.k", "R.k")], WindowSpec::secs(60)).unwrap();
+///
+/// let engine = ShedJoinBuilder::new(query)
+///     .policy(MSketchRs)
+///     .capacity_per_window(256)
+///     .sketch_copies(64)
+///     .seed(7)
+///     .build()
+///     .unwrap();
+/// assert_eq!(engine.policy_name(), "MSketch-RS");
+/// ```
+pub struct ShedJoinBuilder {
+    query: JoinQuery,
+    policy: Box<dyn ShedPolicy>,
+    config: EngineConfig,
+}
+
+impl ShedJoinBuilder {
+    /// Starts a builder for `query` with the paper's flagship policy
+    /// (`MSketch`) and default sizing.
+    pub fn new(query: JoinQuery) -> Self {
+        ShedJoinBuilder {
+            query,
+            policy: Box::new(MSketch),
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Sets the shedding policy.
+    pub fn policy<P: ShedPolicy + 'static>(mut self, policy: P) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Sets a boxed shedding policy (e.g. from
+    /// [`mstream_shed_policies::parse_policy`]).
+    pub fn boxed_policy(mut self, policy: Box<dyn ShedPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Allocates `tuples` of memory to every window.
+    pub fn capacity_per_window(mut self, tuples: usize) -> Self {
+        self.config.memory = MemoryMode::PerWindow(tuples);
+        self
+    }
+
+    /// Allocates explicit per-stream capacities.
+    pub fn capacities(mut self, tuples: Vec<usize>) -> Self {
+        self.config.memory = MemoryMode::PerWindowEach(tuples);
+        self
+    }
+
+    /// Uses a single shared memory pool across all windows (the global
+    /// least-priority tuple is evicted when the pool overflows).
+    pub fn global_pool(mut self, total_tuples: usize) -> Self {
+        self.config.memory = MemoryMode::GlobalPool(total_tuples);
+        self
+    }
+
+    /// Number of AGMS sketch copies averaged per estimate (`s1`).
+    pub fn sketch_copies(mut self, s1: usize) -> Self {
+        self.config.bank.s1 = s1;
+        self
+    }
+
+    /// Full sketch sizing.
+    pub fn bank(mut self, bank: BankConfig) -> Self {
+        self.config.bank = bank;
+        self
+    }
+
+    /// Overrides the tumbling-epoch discipline (default: epoch = window).
+    pub fn epoch(mut self, epoch: EpochSpec) -> Self {
+        self.config.epoch = Some(epoch);
+        self
+    }
+
+    /// Seeds all engine randomness (sketch families share
+    /// `EngineConfig::bank.seed`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Result<ShedJoinEngine> {
+        ShedJoinEngine::new(self.query, self.policy, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstream_shed_policies::Fifo;
+    use mstream_types::{Catalog, StreamId, StreamSchema, VTime, Value, WindowSpec};
+
+    fn pair_query() -> JoinQuery {
+        let mut c = Catalog::new();
+        c.add_stream(StreamSchema::new("L", &["k"]));
+        c.add_stream(StreamSchema::new("R", &["k"]));
+        JoinQuery::from_names(c, &[("L.k", "R.k")], WindowSpec::secs(60)).unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_to_msketch() {
+        let e = ShedJoinBuilder::new(pair_query()).build().unwrap();
+        assert_eq!(e.policy_name(), "MSketch");
+    }
+
+    #[test]
+    fn builder_applies_policy_and_capacity() {
+        let mut e = ShedJoinBuilder::new(pair_query())
+            .policy(Fifo)
+            .capacity_per_window(2)
+            .build()
+            .unwrap();
+        assert_eq!(e.policy_name(), "FIFO");
+        for i in 0..5u64 {
+            e.process_arrival(StreamId(0), vec![Value(i)], VTime::ZERO);
+        }
+        assert_eq!(e.window_len(StreamId(0)), 2);
+        assert_eq!(e.metrics().shed_window, 3);
+    }
+
+    #[test]
+    fn builder_accepts_parsed_policies() {
+        let boxed = mstream_shed_policies::parse_policy("bjoin").unwrap();
+        let e = ShedJoinBuilder::new(pair_query())
+            .boxed_policy(boxed)
+            .build()
+            .unwrap();
+        assert_eq!(e.policy_name(), "Bjoin");
+    }
+
+    #[test]
+    fn builder_rejects_bad_capacities() {
+        assert!(ShedJoinBuilder::new(pair_query())
+            .capacities(vec![1])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_global_pool_mode() {
+        let mut e = ShedJoinBuilder::new(pair_query())
+            .policy(Fifo)
+            .global_pool(3)
+            .build()
+            .unwrap();
+        for i in 0..5u64 {
+            e.process_arrival(StreamId((i % 2) as usize), vec![Value(i)], VTime::ZERO);
+        }
+        let total = e.window_len(StreamId(0)) + e.window_len(StreamId(1));
+        assert_eq!(total, 3);
+    }
+}

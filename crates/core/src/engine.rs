@@ -1,0 +1,636 @@
+//! The shedding multi-way join engine (paper §4, Algorithm 1).
+
+use crate::report::EngineMetrics;
+use mstream_join::{probe_each, Bindings, ProbePlan};
+use mstream_shed_policies::{PriorityCtx, Requirements, ShedPolicy};
+use mstream_sketch::{BankConfig, EpochSpec, TumblingFreq, TumblingSketches};
+use mstream_types::{Error, JoinQuery, Result, SeqNo, StreamId, Tuple, VTime, Value, WindowSpec};
+use mstream_window::{QueueVictim, Slot, WindowStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// How window memory is allocated across streams.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemoryMode {
+    /// The same fixed number of tuples for every window (the allocation
+    /// used in all of the paper's reported experiments).
+    PerWindow(usize),
+    /// An explicit per-stream allocation.
+    PerWindowEach(Vec<usize>),
+    /// One shared pool: windows grow freely but when the total exceeds the
+    /// pool, the globally least-priority tuple (across all windows) is
+    /// evicted — the variable-allocation variant the paper tried and found
+    /// "not so significant" (§5.1.1); reproduced as an ablation.
+    GlobalPool(usize),
+}
+
+/// Engine construction parameters.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Window memory allocation.
+    pub memory: MemoryMode,
+    /// AGMS sketch sizing (only materialized if the policy needs sketches).
+    pub bank: BankConfig,
+    /// Tumbling-epoch discipline; `None` derives the paper's default
+    /// (epoch length = join-window length `p`, or per-stream tuple counts
+    /// for tuple-based windows).
+    pub epoch: Option<EpochSpec>,
+    /// Seed for all engine-internal randomness.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            memory: MemoryMode::PerWindow(1024),
+            bank: BankConfig::default(),
+            epoch: None,
+            seed: 0xEA51,
+        }
+    }
+}
+
+/// A multi-way sliding-window join that sheds load by priority.
+///
+/// Per arriving tuple (Algorithm 1): update the current tumbling sketch,
+/// expire stale tuples from every window, emit the join results the tuple
+/// produces against all other windows, score it with the active policy's
+/// priority measure, and store it — evicting the least-priority resident if
+/// its window (or the global pool) is full. Tumbling-epoch rollovers
+/// rebuild all priorities ("reset all the priority queues").
+pub struct ShedJoinEngine {
+    query: JoinQuery,
+    policy: Box<dyn ShedPolicy>,
+    reqs: Requirements,
+    memory: MemoryMode,
+    stores: Vec<WindowStore>,
+    plans: Vec<ProbePlan>,
+    sketches: Option<TumblingSketches>,
+    partner_freq: Option<TumblingFreq>,
+    rng: StdRng,
+    next_seq: SeqNo,
+    metrics: EngineMetrics,
+    /// Scratch map reused across arrivals for per-slot produced counting.
+    slot_counts: HashMap<(usize, Slot), u64>,
+}
+
+impl ShedJoinEngine {
+    /// Builds an engine for `query` shedding with `policy`.
+    pub fn new(
+        query: JoinQuery,
+        policy: Box<dyn ShedPolicy>,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        let n = query.n_streams();
+        let capacities: Vec<usize> = match &config.memory {
+            MemoryMode::PerWindow(c) => vec![*c; n],
+            MemoryMode::PerWindowEach(cs) => {
+                if cs.len() != n {
+                    return Err(Error::InvalidConfig(format!(
+                        "{} capacities for {} streams",
+                        cs.len(),
+                        n
+                    )));
+                }
+                cs.clone()
+            }
+            // In pool mode each store gets the whole pool; the engine
+            // enforces the global bound after every insert.
+            MemoryMode::GlobalPool(total) => vec![*total; n],
+        };
+        if capacities.contains(&0) {
+            return Err(Error::InvalidConfig(
+                "window capacity must be positive".into(),
+            ));
+        }
+        let stores = (0..n)
+            .map(|s| {
+                let sid = StreamId(s);
+                WindowStore::new(query.window(sid), query.join_attrs(sid), capacities[s])
+            })
+            .collect();
+        let reqs = policy.requirements();
+        let epoch = if reqs.sketches || reqs.partner_freq {
+            Some(match config.epoch {
+                Some(e) => e,
+                None => default_epoch(&query)?,
+            })
+        } else {
+            None
+        };
+        let sketches = reqs
+            .sketches
+            .then(|| TumblingSketches::new(&query, config.bank, epoch.expect("resolved above")));
+        let partner_freq = reqs
+            .partner_freq
+            .then(|| TumblingFreq::new(&query, epoch.expect("resolved above")));
+        Ok(ShedJoinEngine {
+            plans: ProbePlan::all(&query),
+            query,
+            policy,
+            reqs,
+            memory: config.memory,
+            stores,
+            sketches,
+            partner_freq,
+            rng: StdRng::seed_from_u64(config.seed),
+            next_seq: SeqNo(0),
+            metrics: EngineMetrics::default(),
+            slot_counts: HashMap::new(),
+        })
+    }
+
+    /// The query being executed.
+    pub fn query(&self) -> &JoinQuery {
+        &self.query
+    }
+
+    /// The active policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Accumulated counters.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Resident tuples in `stream`'s window.
+    pub fn window_len(&self, stream: StreamId) -> usize {
+        self.stores[stream.index()].len()
+    }
+
+    /// Mints the next tuple (assigns the arrival sequence number).
+    pub fn make_tuple(&mut self, stream: StreamId, values: Vec<Value>, ts: VTime) -> Tuple {
+        let seq = self.next_seq;
+        self.next_seq = seq.next();
+        Tuple::new(stream, ts, seq, values)
+    }
+
+    /// Convenience entry point: mints a tuple arriving (and being
+    /// processed) at `now` and runs it through the operator. Returns the
+    /// number of join results it produced.
+    pub fn process_arrival(&mut self, stream: StreamId, values: Vec<Value>, now: VTime) -> u64 {
+        let tuple = self.make_tuple(stream, values, now);
+        self.process_tuple_with(tuple, now, |_| {})
+    }
+
+    /// Runs one tuple through the join operator at time `now` (its arrival
+    /// timestamp may be earlier if it waited in the input queue), invoking
+    /// `on_match` for every result combination it produces.
+    pub fn process_tuple_with<F: FnMut(&Bindings<'_>)>(
+        &mut self,
+        tuple: Tuple,
+        now: VTime,
+        mut on_match: F,
+    ) -> u64 {
+        let stream = tuple.stream;
+        // 1. Fold into the current tumbling estimation state (AGMS sketches
+        //    and/or exact arrival-frequency tables); on epoch rollover,
+        //    rebuild every window's priorities against the fresh snapshot.
+        let mut rolled = false;
+        if let Some(sketches) = self.sketches.as_mut() {
+            rolled |= sketches.observe(stream, &tuple.values, now);
+        }
+        if let Some(freq) = self.partner_freq.as_mut() {
+            rolled |= freq.observe(stream, &tuple.values, now);
+        }
+        if rolled {
+            self.metrics.epoch_rollovers += 1;
+            if self.reqs.recompute_on_epoch {
+                self.rebuild_all_priorities(now);
+            }
+        }
+        // 2. Delete expired tuples from every window.
+        self.expire_all(now);
+        // 3. Emit the join results produced by this tuple.
+        let track = self.reqs.produced_counters;
+        let n = self.query.n_streams();
+        let origin = stream.index();
+        self.slot_counts.clear();
+        let slot_counts = &mut self.slot_counts;
+        let produced = probe_each(&self.plans[origin], &tuple, &self.stores, |b| {
+            if track {
+                for k in 0..n {
+                    if k != origin {
+                        let slot = b.slot(StreamId(k)).expect("bound in match");
+                        *slot_counts.entry((k, slot)).or_insert(0) += 1;
+                    }
+                }
+            }
+            on_match(b);
+        });
+        self.metrics.total_output += produced;
+        self.metrics.processed += 1;
+        // 4. Credit output to the participating window tuples and refresh
+        //    their priorities (the RS measure depends on produced counts).
+        //    Refreshes use the per-tuple state cached at the last full
+        //    scoring, keeping the paper's "productivity computed at most
+        //    twice per lifetime" discipline (and its cost profile).
+        if track && produced > 0 {
+            let updates: Vec<((usize, Slot), u64)> =
+                self.slot_counts.drain().collect();
+            for ((k, slot), cnt) in updates {
+                let Some(total) = self.stores[k].add_produced(slot, cnt) else {
+                    continue;
+                };
+                let state = self.stores[k].state(slot).expect("counted slot is live");
+                let score = self.policy.refresh_priority(state, total);
+                self.stores[k].update_priority(slot, score);
+            }
+        }
+        // 5. Score and store the arriving tuple, shedding if full.
+        let (score, state) = self.score_window_with_state(&tuple, 0, now);
+        self.insert_with_shedding(tuple, score, state);
+        produced
+    }
+
+    /// Priority a policy assigns `tuple` if it were queued right now.
+    pub fn queue_score(&mut self, tuple: &Tuple, now: VTime) -> f64 {
+        let Self {
+            query,
+            policy,
+            sketches,
+            partner_freq,
+            rng,
+            ..
+        } = self;
+        let mut ctx = PriorityCtx {
+            query,
+            sketches: sketches.as_mut(),
+            partner_freq: partner_freq.as_ref(),
+            now,
+            rng,
+        };
+        policy.queue_priority(&mut ctx, tuple)
+    }
+
+    /// The queue-victim mode of the active policy.
+    pub fn queue_victim(&self) -> QueueVictim {
+        self.policy.queue_victim()
+    }
+
+    /// The engine's seeded rng (shared with the queue for victim draws so a
+    /// whole run remains a single deterministic random sequence).
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Records that the input queue shed a tuple before it reached the
+    /// operator.
+    pub fn note_queue_shed(&mut self) {
+        self.metrics.shed_queue += 1;
+    }
+
+    /// Estimated size of the full multi-way join over the current epoch
+    /// (diagnostics; `None` when the policy runs sketch-free).
+    pub fn estimate_join_count(&self) -> Option<f64> {
+        self.sketches.as_ref().map(|s| s.estimate_join_count())
+    }
+
+    fn score_window_with_state(
+        &mut self,
+        tuple: &Tuple,
+        produced: u64,
+        now: VTime,
+    ) -> (f64, f64) {
+        let Self {
+            query,
+            policy,
+            sketches,
+            partner_freq,
+            rng,
+            ..
+        } = self;
+        let mut ctx = PriorityCtx {
+            query,
+            sketches: sketches.as_mut(),
+            partner_freq: partner_freq.as_ref(),
+            now,
+            rng,
+        };
+        policy.window_priority_with_state(&mut ctx, tuple, produced)
+    }
+
+    fn rebuild_all_priorities(&mut self, now: VTime) {
+        let Self {
+            query,
+            policy,
+            stores,
+            sketches,
+            partner_freq,
+            rng,
+            ..
+        } = self;
+        for store in stores.iter_mut() {
+            store.rebuild_priorities(|tuple, produced| {
+                let mut ctx = PriorityCtx {
+                    query,
+                    sketches: sketches.as_mut(),
+                    partner_freq: partner_freq.as_ref(),
+                    now,
+                    rng,
+                };
+                policy.window_priority_with_state(&mut ctx, tuple, produced)
+            });
+        }
+    }
+
+    fn expire_all(&mut self, now: VTime) {
+        for store in &mut self.stores {
+            self.metrics.expired += store.expire(now).len() as u64;
+        }
+    }
+
+    fn insert_with_shedding(&mut self, tuple: Tuple, score: f64, state: f64) {
+        let stream = tuple.stream.index();
+        match self.memory {
+            MemoryMode::PerWindow(_) | MemoryMode::PerWindowEach(_) => {
+                let outcome = self.stores[stream].insert_scored(tuple, score, state);
+                if let mstream_window::Eviction::Evicted(_) = outcome.eviction {
+                    self.metrics.shed_window += 1;
+                }
+            }
+            MemoryMode::GlobalPool(total) => {
+                self.stores[stream].insert_scored(tuple, score, state);
+                while self.stores.iter().map(WindowStore::len).sum::<usize>() > total {
+                    let victim_store = self
+                        .stores
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, st)| st.peek_min().map(|(_, p)| (i, p)))
+                        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite priorities"))
+                        .map(|(i, _)| i)
+                        .expect("pool over limit implies a resident tuple");
+                    self.stores[victim_store]
+                        .evict_min()
+                        .expect("store has a minimum");
+                    self.metrics.shed_window += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The paper's default epoch: `n = p` for time windows; per-stream tuple
+/// counts for tuple-based windows (§4.1). Mixed window kinds require an
+/// explicit epoch choice.
+fn default_epoch(query: &JoinQuery) -> Result<EpochSpec> {
+    if query.all_tuple_based() {
+        let count = query
+            .windows()
+            .iter()
+            .map(|w| match w {
+                WindowSpec::Tuples(c) => *c,
+                WindowSpec::Time(_) => unreachable!("all_tuple_based checked"),
+            })
+            .max()
+            .expect("queries have >= 2 streams");
+        return Ok(EpochSpec::PerStreamTuples(count));
+    }
+    match query.max_time_window() {
+        Some(p) if query.windows().iter().all(|w| matches!(w, WindowSpec::Time(_))) => {
+            Ok(EpochSpec::Time(p))
+        }
+        _ => Err(Error::InvalidConfig(
+            "mixed time/tuple windows need an explicit EngineConfig::epoch".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstream_shed_policies::{Bjoin, Fifo, MSketch, MSketchRs, RandomLoad};
+    use mstream_types::{Catalog, StreamSchema, VDur};
+
+    fn chain3(window_secs: u64) -> JoinQuery {
+        let mut c = Catalog::new();
+        c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+        JoinQuery::from_names(
+            c,
+            &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+            WindowSpec::secs(window_secs),
+        )
+        .unwrap()
+    }
+
+    fn cfg(capacity: usize) -> EngineConfig {
+        EngineConfig {
+            memory: MemoryMode::PerWindow(capacity),
+            bank: BankConfig {
+                s1: 50,
+                s2: 1,
+                seed: 7,
+            },
+            epoch: None,
+            seed: 3,
+        }
+    }
+
+    fn v(a: u64, b: u64) -> Vec<Value> {
+        vec![Value(a), Value(b)]
+    }
+
+    #[test]
+    fn unshedded_engine_matches_exact_join() {
+        // With capacity >= arrivals the engine must be exact regardless of
+        // policy.
+        use mstream_join::ExactJoin;
+        use rand::Rng;
+        let mut engine =
+            ShedJoinEngine::new(chain3(50), Box::new(MSketch), cfg(10_000)).unwrap();
+        let mut exact = ExactJoin::new(chain3(50));
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..500u64 {
+            let now = VTime::from_secs(i / 5);
+            let s = StreamId(rng.gen_range(0..3));
+            let vals = v(rng.gen_range(0..6), rng.gen_range(0..6));
+            let a = engine.process_arrival(s, vals.clone(), now);
+            let b = exact.process(s, vals, now);
+            assert_eq!(a, b, "arrival {i}");
+        }
+        assert_eq!(engine.metrics().total_output, exact.total_output());
+        assert!(engine.metrics().total_output > 0);
+        assert_eq!(engine.metrics().shed_window, 0);
+    }
+
+    #[test]
+    fn all_policies_run_and_respect_capacity() {
+        use rand::Rng;
+        let policies: Vec<Box<dyn ShedPolicy>> = vec![
+            Box::new(MSketch),
+            Box::new(MSketchRs),
+            Box::new(mstream_shed_policies::Age),
+            Box::new(mstream_shed_policies::Life),
+            Box::new(Bjoin),
+            Box::new(RandomLoad),
+            Box::new(Fifo),
+        ];
+        for policy in policies {
+            let name = policy.name();
+            let mut engine = ShedJoinEngine::new(chain3(100), policy, cfg(16)).unwrap();
+            let mut rng = StdRng::seed_from_u64(2);
+            for i in 0..600u64 {
+                let now = VTime::from_secs(i / 3);
+                let s = StreamId(rng.gen_range(0..3));
+                engine.process_arrival(s, v(rng.gen_range(0..5), rng.gen_range(0..5)), now);
+                for k in 0..3 {
+                    assert!(
+                        engine.window_len(StreamId(k)) <= 16,
+                        "{name}: window over capacity"
+                    );
+                }
+            }
+            assert!(
+                engine.metrics().shed_window > 0,
+                "{name}: tight memory must shed"
+            );
+        }
+    }
+
+    #[test]
+    fn msketch_keeps_productive_tuples_under_pressure() {
+        // Stream R1 sees two kinds of tuples: A1=1 (productive: R2/R3 are
+        // full of partners) and A1=0 (dead weight). With a tiny window,
+        // MSketch should retain the productive kind and out-produce FIFO.
+        let run = |policy: Box<dyn ShedPolicy>| {
+            let mut engine = ShedJoinEngine::new(chain3(1000), policy, cfg(8)).unwrap();
+            for i in 0..200u64 {
+                let now = VTime::from_secs(i);
+                engine.process_arrival(StreamId(1), v(1, 2), now);
+                engine.process_arrival(StreamId(2), v(2, 0), now);
+                // Alternate productive / dead R1 tuples: FIFO retains the
+                // last 8 (half dead), MSketch retains 8 productive ones, so
+                // the R2/R3 arrivals that probe W1 find twice the partners.
+                let a = if i % 2 == 0 { 1 } else { 0 };
+                engine.process_arrival(StreamId(0), v(a, 0), now);
+            }
+            engine.metrics().total_output
+        };
+        let msketch = run(Box::new(MSketch));
+        let fifo = run(Box::new(Fifo));
+        assert!(
+            msketch > fifo,
+            "MSketch ({msketch}) should beat FIFO ({fifo}) on skewed data"
+        );
+    }
+
+    #[test]
+    fn global_pool_respects_total_budget() {
+        use rand::Rng;
+        let mut config = cfg(0);
+        config.memory = MemoryMode::GlobalPool(30);
+        let mut engine = ShedJoinEngine::new(chain3(1000), Box::new(MSketch), config).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..300u64 {
+            let s = StreamId(rng.gen_range(0..3));
+            engine.process_arrival(s, v(rng.gen_range(0..4), 0), VTime::from_secs(i));
+            let total: usize = (0..3).map(|k| engine.window_len(StreamId(k))).sum();
+            assert!(total <= 30, "pool bound violated: {total}");
+        }
+        assert!(engine.metrics().shed_window > 0);
+    }
+
+    #[test]
+    fn bjoin_runs_through_shedding_and_epoch_rollovers() {
+        use rand::Rng;
+        // Exercise the tumbling frequency tables across inserts, evictions,
+        // expirations and epoch rollovers.
+        let mut engine = ShedJoinEngine::new(chain3(20), Box::new(Bjoin), cfg(8)).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for i in 0..1500u64 {
+            let s = StreamId(rng.gen_range(0..3));
+            engine.process_arrival(
+                s,
+                v(rng.gen_range(0..4), rng.gen_range(0..4)),
+                VTime::from_secs(i / 10),
+            );
+        }
+        assert!(engine.metrics().expired > 0, "expirations exercised");
+        assert!(engine.metrics().shed_window > 0, "evictions exercised");
+    }
+
+    #[test]
+    fn produced_counters_feed_rs_priorities() {
+        let mut engine = ShedJoinEngine::new(chain3(1000), Box::new(MSketchRs), cfg(64)).unwrap();
+        // A hot R2 tuple that produces on every R1/R3 arrival.
+        engine.process_arrival(StreamId(1), v(1, 1), VTime::ZERO);
+        engine.process_arrival(StreamId(2), v(1, 0), VTime::ZERO);
+        let mut produced = 0;
+        for i in 0..10u64 {
+            produced += engine.process_arrival(StreamId(0), v(1, 0), VTime::from_secs(i));
+        }
+        assert_eq!(produced, 10);
+        assert_eq!(engine.metrics().total_output, 10);
+    }
+
+    #[test]
+    fn epoch_rollover_rebuilds_priorities() {
+        let mut config = cfg(32);
+        config.epoch = Some(EpochSpec::Time(VDur::from_secs(10)));
+        let mut engine = ShedJoinEngine::new(chain3(100), Box::new(MSketch), config).unwrap();
+        for i in 0..50u64 {
+            engine.process_arrival(StreamId(i as usize % 3), v(1, 1), VTime::from_secs(i));
+        }
+        assert!(engine.metrics().epoch_rollovers >= 4);
+    }
+
+    #[test]
+    fn invalid_capacity_rejected() {
+        let err = ShedJoinEngine::new(chain3(10), Box::new(Fifo), {
+            let mut c = cfg(0);
+            c.memory = MemoryMode::PerWindow(0);
+            c
+        })
+        .err()
+        .expect("zero capacity must be rejected");
+        assert!(matches!(err, Error::InvalidConfig(_)));
+        let err = ShedJoinEngine::new(chain3(10), Box::new(Fifo), {
+            let mut c = cfg(1);
+            c.memory = MemoryMode::PerWindowEach(vec![1, 2]);
+            c
+        })
+        .err()
+        .expect("capacity count mismatch must be rejected");
+        assert!(matches!(err, Error::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn tuple_based_windows_get_tuple_epochs() {
+        let mut c = Catalog::new();
+        c.add_stream(StreamSchema::new("R1", &["A1"]));
+        c.add_stream(StreamSchema::new("R2", &["A1"]));
+        let q = JoinQuery::from_names(c, &[("R1.A1", "R2.A1")], WindowSpec::Tuples(20)).unwrap();
+        let engine = ShedJoinEngine::new(q, Box::new(MSketch), cfg(8)).unwrap();
+        // Constructed without error: the default epoch resolved to
+        // PerStreamTuples(20).
+        assert_eq!(engine.policy_name(), "MSketch");
+    }
+
+    #[test]
+    fn deterministic_runs_per_seed() {
+        use rand::Rng;
+        let run = |seed: u64| {
+            let mut config = cfg(16);
+            config.seed = seed;
+            let mut engine =
+                ShedJoinEngine::new(chain3(100), Box::new(RandomLoad), config).unwrap();
+            let mut rng = StdRng::seed_from_u64(9);
+            for i in 0..400u64 {
+                let s = StreamId(rng.gen_range(0..3));
+                engine.process_arrival(
+                    s,
+                    v(rng.gen_range(0..5), rng.gen_range(0..5)),
+                    VTime::from_secs(i / 4),
+                );
+            }
+            engine.metrics().total_output
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds shed differently");
+    }
+}

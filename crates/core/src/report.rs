@@ -1,0 +1,74 @@
+//! Run-level counters and reports.
+
+use mstream_agg::{BucketSeries, HistBuckets};
+use mstream_types::VTime;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters the engine accumulates while processing.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineMetrics {
+    /// Join result tuples emitted.
+    pub total_output: u64,
+    /// Tuples run through the join operator.
+    pub processed: u64,
+    /// Tuples dismissed from windows before expiry (shed).
+    pub shed_window: u64,
+    /// Tuples dropped from the input queue (shed).
+    pub shed_queue: u64,
+    /// Tuples that left windows by normal expiration.
+    pub expired: u64,
+    /// Tumbling-epoch rollovers observed.
+    pub epoch_rollovers: u64,
+}
+
+/// The outcome of running one trace through one engine.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Final engine counters.
+    pub metrics: EngineMetrics,
+    /// Output tuples per time bucket, when requested (Figure 5).
+    pub series: Option<BucketSeries>,
+    /// Collected aggregate-attribute histograms per bucket, when requested
+    /// (Figure 7's windowed AVG / quartiles input).
+    pub agg_values: Option<HistBuckets>,
+    /// Virtual time when the last tuple finished processing.
+    pub end_time: VTime,
+    /// Wall-clock time spent inside the engine (shedding decisions + join
+    /// processing — the quantity Figure 3 compares).
+    pub wall_time: Duration,
+}
+
+impl RunReport {
+    /// Output tuples emitted.
+    pub fn total_output(&self) -> u64 {
+        self.metrics.total_output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zeroed() {
+        let m = EngineMetrics::default();
+        assert_eq!(m.total_output, 0);
+        assert_eq!(m.shed_window + m.shed_queue + m.expired, 0);
+        let r = RunReport::default();
+        assert_eq!(r.total_output(), 0);
+        assert!(r.series.is_none());
+    }
+
+    #[test]
+    fn metrics_serialize_for_artifacts() {
+        let m = EngineMetrics {
+            total_output: 5,
+            processed: 10,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: EngineMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

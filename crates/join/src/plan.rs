@@ -1,0 +1,212 @@
+//! Probe plans: per-origin evaluation orders over the join graph.
+
+use mstream_types::{JoinQuery, StreamId};
+
+/// One step of a probe plan: bind stream `stream` by probing its hash index
+/// on `probe_attr` with the value of an already-bound stream's attribute,
+/// then verify any further predicates that connect `stream` to the bound
+/// set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanStep {
+    /// The stream bound by this step.
+    pub stream: StreamId,
+    /// Already-bound stream whose value drives the index probe.
+    pub drive_stream: StreamId,
+    /// Attribute of `drive_stream` supplying the probe value.
+    pub drive_attr: usize,
+    /// Attribute of `stream` that is hash-probed.
+    pub probe_attr: usize,
+    /// Residual equi-checks `(bound stream, bound attr, candidate attr)`
+    /// for predicates whose second endpoint also lands on `stream`
+    /// (cyclic join graphs).
+    pub residual: Vec<(StreamId, usize, usize)>,
+}
+
+/// The evaluation order used when a tuple of `origin` arrives: a BFS over
+/// the (connected) join graph starting at `origin`, so each step always has
+/// a bound neighbour to drive its index probe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProbePlan {
+    origin: StreamId,
+    steps: Vec<PlanStep>,
+}
+
+impl ProbePlan {
+    /// Builds the plan for tuples arriving on `origin`.
+    ///
+    /// # Panics
+    /// Panics if `origin` is out of range. (Query connectivity is validated
+    /// by [`JoinQuery`] construction, so a drive predicate always exists.)
+    pub fn new(query: &JoinQuery, origin: StreamId) -> Self {
+        let n = query.n_streams();
+        assert!(origin.index() < n, "origin stream out of range");
+        let mut bound = vec![false; n];
+        bound[origin.index()] = true;
+        let mut used_pred = vec![false; query.predicates().len()];
+        let mut steps = Vec::with_capacity(n - 1);
+        // BFS frontier over streams; deterministic order (lowest id first).
+        while steps.len() < n - 1 {
+            // Find the lowest-id unbound stream adjacent to a bound one.
+            let mut chosen: Option<(usize, usize)> = None; // (stream, pred)
+            for (pi, pred) in query.predicates().iter().enumerate() {
+                let (l, r) = (pred.left.stream.index(), pred.right.stream.index());
+                let candidate = match (bound[l], bound[r]) {
+                    (true, false) => Some(r),
+                    (false, true) => Some(l),
+                    _ => None,
+                };
+                if let Some(s) = candidate {
+                    if chosen.map_or(true, |(cs, _)| s < cs) {
+                        chosen = Some((s, pi));
+                    }
+                }
+            }
+            let (s, pi) = chosen.expect("join graph is connected");
+            let pred = query.predicates()[pi];
+            used_pred[pi] = true;
+            let stream = StreamId(s);
+            let (drive_side, probe_side) = if pred.left.stream == stream {
+                (pred.right, pred.left)
+            } else {
+                (pred.left, pred.right)
+            };
+            bound[s] = true;
+            // Any other predicate with both endpoints now bound and one
+            // endpoint on `stream` becomes a residual check of this step.
+            let mut residual = Vec::new();
+            for (qi, q) in query.predicates().iter().enumerate() {
+                if used_pred[qi] {
+                    continue;
+                }
+                let (l, r) = (q.left, q.right);
+                if bound[l.stream.index()] && bound[r.stream.index()] {
+                    let (on_new, on_old) = if l.stream == stream { (l, r) } else { (r, l) };
+                    debug_assert!(on_new.stream == stream || on_old.stream == stream);
+                    // Exactly one endpoint is on the newly bound stream:
+                    // a predicate inside the previously-bound set would have
+                    // been consumed when its second endpoint was bound.
+                    residual.push((on_old.stream, on_old.attr, on_new.attr));
+                    used_pred[qi] = true;
+                }
+            }
+            steps.push(PlanStep {
+                stream,
+                drive_stream: drive_side.stream,
+                drive_attr: drive_side.attr,
+                probe_attr: probe_side.attr,
+                residual,
+            });
+        }
+        debug_assert!(used_pred.iter().all(|&u| u), "all predicates consumed");
+        ProbePlan { origin, steps }
+    }
+
+    /// Plans for every origin stream, indexed by stream id.
+    pub fn all(query: &JoinQuery) -> Vec<ProbePlan> {
+        (0..query.n_streams())
+            .map(|s| ProbePlan::new(query, StreamId(s)))
+            .collect()
+    }
+
+    /// The arriving stream this plan serves.
+    pub fn origin(&self) -> StreamId {
+        self.origin
+    }
+
+    /// The evaluation steps, in order.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstream_types::{Catalog, StreamSchema, WindowSpec};
+
+    fn chain3() -> JoinQuery {
+        let mut c = Catalog::new();
+        c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+        JoinQuery::from_names(
+            c,
+            &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+            WindowSpec::secs(500),
+        )
+        .unwrap()
+    }
+
+    /// A triangle query: 3 streams, 3 predicates (one becomes residual).
+    fn triangle() -> JoinQuery {
+        let mut c = Catalog::new();
+        c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+        JoinQuery::from_names(
+            c,
+            &[
+                ("R1.A1", "R2.A1"),
+                ("R2.A2", "R3.A1"),
+                ("R3.A2", "R1.A2"),
+            ],
+            WindowSpec::secs(500),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_plan_from_each_origin() {
+        let q = chain3();
+        // From R1: bind R2 via pred 0, then R3 via pred 1.
+        let p = ProbePlan::new(&q, StreamId(0));
+        assert_eq!(p.steps().len(), 2);
+        assert_eq!(p.steps()[0].stream, StreamId(1));
+        assert_eq!(p.steps()[0].drive_stream, StreamId(0));
+        assert_eq!(p.steps()[0].probe_attr, 0);
+        assert_eq!(p.steps()[1].stream, StreamId(2));
+        assert_eq!(p.steps()[1].drive_stream, StreamId(1));
+        assert_eq!(p.steps()[1].drive_attr, 1);
+        assert!(p.steps().iter().all(|s| s.residual.is_empty()));
+
+        // From the middle stream R2 both neighbours are direct probes.
+        let p = ProbePlan::new(&q, StreamId(1));
+        let streams: Vec<_> = p.steps().iter().map(|s| s.stream).collect();
+        assert_eq!(streams, vec![StreamId(0), StreamId(2)]);
+        assert!(p.steps().iter().all(|s| s.drive_stream == StreamId(1)));
+
+        // From R3: bind R2 then R1.
+        let p = ProbePlan::new(&q, StreamId(2));
+        let streams: Vec<_> = p.steps().iter().map(|s| s.stream).collect();
+        assert_eq!(streams, vec![StreamId(1), StreamId(0)]);
+    }
+
+    #[test]
+    fn triangle_plan_has_residual_check() {
+        let q = triangle();
+        let p = ProbePlan::new(&q, StreamId(0));
+        assert_eq!(p.steps().len(), 2);
+        let residuals: usize = p.steps().iter().map(|s| s.residual.len()).sum();
+        assert_eq!(residuals, 1, "the cycle-closing predicate is residual");
+        // The residual lands on the last-bound stream's step.
+        assert!(!p.steps()[1].residual.is_empty());
+    }
+
+    #[test]
+    fn all_builds_one_plan_per_stream() {
+        let q = chain3();
+        let plans = ProbePlan::all(&q);
+        assert_eq!(plans.len(), 3);
+        for (i, p) in plans.iter().enumerate() {
+            assert_eq!(p.origin(), StreamId(i));
+            assert_eq!(p.steps().len(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_origin_panics() {
+        let q = chain3();
+        let _ = ProbePlan::new(&q, StreamId(9));
+    }
+}

@@ -1,0 +1,318 @@
+//! N-way probe execution against window stores.
+
+use crate::plan::ProbePlan;
+use mstream_types::{StreamId, Tuple, Value};
+use mstream_window::{Slot, WindowStore};
+
+/// A zero-copy view of one join match: the arriving tuple plus one bound
+/// window tuple per other stream.
+pub struct Bindings<'a> {
+    origin: StreamId,
+    origin_tuple: &'a Tuple,
+    /// `slots[k]` = the bound window slot of stream `k` (`None` for the
+    /// origin stream).
+    slots: &'a [Option<Slot>],
+    stores: &'a [WindowStore],
+}
+
+impl<'a> Bindings<'a> {
+    /// The value of `attr` on `stream` within this match.
+    pub fn value(&self, stream: StreamId, attr: usize) -> Value {
+        if stream == self.origin {
+            self.origin_tuple.values[attr]
+        } else {
+            let slot = self.slots[stream.index()].expect("stream bound in match");
+            self.stores[stream.index()]
+                .tuple(slot)
+                .expect("bound slot is live")
+                .values[attr]
+        }
+    }
+
+    /// The bound window slot of `stream` (`None` for the origin stream).
+    pub fn slot(&self, stream: StreamId) -> Option<Slot> {
+        self.slots[stream.index()]
+    }
+
+    /// The arriving tuple that triggered this probe.
+    pub fn origin_tuple(&self) -> &Tuple {
+        self.origin_tuple
+    }
+
+    /// The arriving tuple's stream.
+    pub fn origin(&self) -> StreamId {
+        self.origin
+    }
+}
+
+/// Enumerates every combination of window tuples joining with
+/// `origin_tuple`, invoking `on_match` per combination. Returns the count.
+///
+/// `stores[k]` must be the window of stream `k`; the origin's own store is
+/// never probed (the paper's operator probes *before* inserting the
+/// arriving tuple into its window).
+pub fn probe_each<F: FnMut(&Bindings<'_>)>(
+    plan: &ProbePlan,
+    origin_tuple: &Tuple,
+    stores: &[WindowStore],
+    mut on_match: F,
+) -> u64 {
+    debug_assert_eq!(plan.origin(), origin_tuple.stream);
+    let mut slots: Vec<Option<Slot>> = vec![None; stores.len()];
+    let mut count = 0u64;
+    recurse(
+        plan,
+        0,
+        origin_tuple,
+        stores,
+        &mut slots,
+        &mut count,
+        &mut on_match,
+    );
+    count
+}
+
+/// Counts join combinations without inspecting them.
+pub fn probe_count(plan: &ProbePlan, origin_tuple: &Tuple, stores: &[WindowStore]) -> u64 {
+    probe_each(plan, origin_tuple, stores, |_| {})
+}
+
+fn recurse<F: FnMut(&Bindings<'_>)>(
+    plan: &ProbePlan,
+    step_idx: usize,
+    origin_tuple: &Tuple,
+    stores: &[WindowStore],
+    slots: &mut Vec<Option<Slot>>,
+    count: &mut u64,
+    on_match: &mut F,
+) {
+    if step_idx == plan.steps().len() {
+        *count += 1;
+        let bindings = Bindings {
+            origin: plan.origin(),
+            origin_tuple,
+            slots,
+            stores,
+        };
+        on_match(&bindings);
+        return;
+    }
+    let step = &plan.steps()[step_idx];
+    let drive_value = bound_value(
+        plan.origin(),
+        origin_tuple,
+        stores,
+        slots,
+        step.drive_stream,
+        step.drive_attr,
+    );
+    let store = &stores[step.stream.index()];
+    // probe() borrows the store only immutably, and the recursion never
+    // mutates the stores, so the candidate slice can be iterated in place —
+    // no per-branch allocation in the enumeration hot loop.
+    let candidates = store.probe(step.probe_attr, drive_value);
+    for &slot in candidates {
+        let tuple = store.tuple(slot).expect("probed slot is live");
+        let residual_ok = step.residual.iter().all(|&(bs, ba, ca)| {
+            bound_value(plan.origin(), origin_tuple, stores, slots, bs, ba) == tuple.values[ca]
+        });
+        if !residual_ok {
+            continue;
+        }
+        slots[step.stream.index()] = Some(slot);
+        recurse(
+            plan,
+            step_idx + 1,
+            origin_tuple,
+            stores,
+            slots,
+            count,
+            on_match,
+        );
+        slots[step.stream.index()] = None;
+    }
+}
+
+/// Reads an attribute of a bound stream (origin or already-probed window).
+fn bound_value(
+    origin: StreamId,
+    origin_tuple: &Tuple,
+    stores: &[WindowStore],
+    slots: &[Option<Slot>],
+    stream: StreamId,
+    attr: usize,
+) -> Value {
+    if stream == origin {
+        origin_tuple.values[attr]
+    } else {
+        let slot = slots[stream.index()].expect("drive stream bound before use");
+        stores[stream.index()]
+            .tuple(slot)
+            .expect("bound slot is live")
+            .values[attr]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstream_types::{Catalog, JoinQuery, SeqNo, StreamSchema, VTime, WindowSpec};
+
+    fn chain3() -> JoinQuery {
+        let mut c = Catalog::new();
+        c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+        JoinQuery::from_names(
+            c,
+            &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+            WindowSpec::secs(500),
+        )
+        .unwrap()
+    }
+
+    fn stores_for(q: &JoinQuery) -> Vec<WindowStore> {
+        (0..q.n_streams())
+            .map(|s| {
+                WindowStore::new(
+                    q.window(StreamId(s)),
+                    q.join_attrs(StreamId(s)),
+                    1_000,
+                )
+            })
+            .collect()
+    }
+
+    fn tup(stream: usize, seq: u64, a: u64, b: u64) -> Tuple {
+        Tuple::new(
+            StreamId(stream),
+            VTime::ZERO,
+            SeqNo(seq),
+            vec![Value(a), Value(b)],
+        )
+    }
+
+    #[test]
+    fn chain_probe_counts_combinations() {
+        let q = chain3();
+        let mut stores = stores_for(&q);
+        // W2: two tuples (5, 8); W3: three tuples with A1=8.
+        stores[1].insert(tup(1, 0, 5, 8), 0.0);
+        stores[1].insert(tup(1, 1, 5, 8), 0.0);
+        stores[2].insert(tup(2, 2, 8, 1), 0.0);
+        stores[2].insert(tup(2, 3, 8, 2), 0.0);
+        stores[2].insert(tup(2, 4, 8, 3), 0.0);
+        let plan = ProbePlan::new(&q, StreamId(0));
+        // Arriving R1 tuple with A1=5 joins 2 R2-tuples × 3 R3-tuples.
+        let t = tup(0, 9, 5, 0);
+        assert_eq!(probe_count(&plan, &t, &stores), 6);
+        // Non-matching arrival produces nothing.
+        let t = tup(0, 10, 6, 0);
+        assert_eq!(probe_count(&plan, &t, &stores), 0);
+    }
+
+    #[test]
+    fn probe_from_middle_stream() {
+        let q = chain3();
+        let mut stores = stores_for(&q);
+        stores[0].insert(tup(0, 0, 7, 0), 0.0);
+        stores[0].insert(tup(0, 1, 7, 0), 0.0);
+        stores[2].insert(tup(2, 2, 4, 0), 0.0);
+        let plan = ProbePlan::new(&q, StreamId(1));
+        // R2 tuple (7, 4): matches both R1 tuples and the R3 tuple.
+        assert_eq!(probe_count(&plan, &tup(1, 9, 7, 4), &stores), 2);
+        // R2 tuple (7, 5): right side empty -> nothing.
+        assert_eq!(probe_count(&plan, &tup(1, 10, 7, 5), &stores), 0);
+    }
+
+    #[test]
+    fn bindings_expose_values_and_slots() {
+        let q = chain3();
+        let mut stores = stores_for(&q);
+        stores[1].insert(tup(1, 0, 5, 8), 0.0);
+        stores[2].insert(tup(2, 1, 8, 42), 0.0);
+        let plan = ProbePlan::new(&q, StreamId(0));
+        let t = tup(0, 9, 5, 77);
+        let mut seen = Vec::new();
+        let count = probe_each(&plan, &t, &stores, |b| {
+            assert_eq!(b.origin(), StreamId(0));
+            assert_eq!(b.origin_tuple().seq, SeqNo(9));
+            assert_eq!(b.value(StreamId(0), 1), Value(77));
+            assert_eq!(b.value(StreamId(1), 1), Value(8));
+            assert_eq!(b.value(StreamId(2), 1), Value(42));
+            assert!(b.slot(StreamId(0)).is_none());
+            assert!(b.slot(StreamId(1)).is_some());
+            seen.push(b.slot(StreamId(2)).unwrap());
+        });
+        assert_eq!(count, 1);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(stores[2].tuple(seen[0]).unwrap().values[1], Value(42));
+    }
+
+    #[test]
+    fn triangle_residual_filters_matches() {
+        let mut c = Catalog::new();
+        c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+        let q = JoinQuery::from_names(
+            c,
+            &[
+                ("R1.A1", "R2.A1"),
+                ("R2.A2", "R3.A1"),
+                ("R3.A2", "R1.A2"),
+            ],
+            WindowSpec::secs(500),
+        )
+        .unwrap();
+        let mut stores = stores_for(&q);
+        stores[1].insert(tup(1, 0, 1, 2), 0.0);
+        // Two R3 candidates match R2.A2 = R3.A1 = 2, but only one closes
+        // the cycle R3.A2 = R1.A2 = 9.
+        stores[2].insert(tup(2, 1, 2, 9), 0.0);
+        stores[2].insert(tup(2, 2, 2, 8), 0.0);
+        let plan = ProbePlan::new(&q, StreamId(0));
+        let t = tup(0, 9, 1, 9);
+        assert_eq!(probe_count(&plan, &t, &stores), 1);
+    }
+
+    #[test]
+    fn exhaustive_against_nested_loops() {
+        // Brute-force cross-check on small random-ish relations.
+        let q = chain3();
+        let mut stores = stores_for(&q);
+        let mut seq = 0;
+        let mut w: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 3];
+        for s in 0..3usize {
+            for i in 0..20u64 {
+                let (a, b) = ((i * 7 + s as u64) % 5, (i * 3 + s as u64) % 4);
+                stores[s].insert(tup(s, seq, a, b), 0.0);
+                w[s].push((a, b));
+                seq += 1;
+            }
+        }
+        let plans = ProbePlan::all(&q);
+        for (s, plan) in plans.iter().enumerate() {
+            let t = tup(s, 999, 2, 3);
+            let got = probe_count(plan, &t, &stores);
+            // Nested-loop reference with W_s replaced by {t}.
+            let (ta, tb) = (2u64, 3u64);
+            let mut expect = 0u64;
+            let r1: Vec<(u64, u64)> = if s == 0 { vec![(ta, tb)] } else { w[0].clone() };
+            let r2: Vec<(u64, u64)> = if s == 1 { vec![(ta, tb)] } else { w[1].clone() };
+            let r3: Vec<(u64, u64)> = if s == 2 { vec![(ta, tb)] } else { w[2].clone() };
+            for &(a1, _) in &r1 {
+                for &(b1, b2) in &r2 {
+                    if a1 == b1 {
+                        for &(c1, _) in &r3 {
+                            if b2 == c1 {
+                                expect += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(got, expect, "origin {s}");
+        }
+    }
+}

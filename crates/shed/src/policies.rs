@@ -1,0 +1,577 @@
+//! The concrete policies compared in the paper's evaluation (§5).
+
+use crate::context::{PriorityCtx, Requirements};
+use mstream_types::Tuple;
+use mstream_window::QueueVictim;
+use rand::Rng;
+
+/// A load-shedding policy: a priority score per tuple.
+///
+/// Higher scores survive; the engine evicts the minimum when a window or
+/// the queue is full. Scores must be finite.
+pub trait ShedPolicy: Send {
+    /// Short display name (matches the paper's legends).
+    fn name(&self) -> &'static str;
+
+    /// What engine-maintained state this policy consumes.
+    fn requirements(&self) -> Requirements;
+
+    /// Priority of `tuple` as a *window* resident. `produced` is the number
+    /// of join results attributed to the tuple so far (0 on arrival); only
+    /// policies that declared `produced_counters` see non-zero values.
+    fn window_priority(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple, produced: u64)
+        -> f64;
+
+    /// Window priority plus opaque per-tuple state the engine caches so the
+    /// priority can be refreshed cheaply as the tuple's produced-output
+    /// counter grows ([`ShedPolicy::refresh_priority`]) without touching
+    /// the estimation state again — the paper's "productivity computed at
+    /// most twice per lifetime" discipline. Policies without
+    /// produced-counters just return state 0.
+    fn window_priority_with_state(
+        &mut self,
+        ctx: &mut PriorityCtx<'_>,
+        tuple: &Tuple,
+        produced: u64,
+    ) -> (f64, f64) {
+        (self.window_priority(ctx, tuple, produced), 0.0)
+    }
+
+    /// Recomputes the priority from cached `state` after the tuple's
+    /// produced-output counter changed. Only called for policies that
+    /// declare `Requirements::produced_counters`.
+    fn refresh_priority(&self, state: f64, produced: u64) -> f64 {
+        let _ = (state, produced);
+        unreachable!("policy did not declare Requirements::produced_counters")
+    }
+
+    /// Priority of `tuple` as a *queue* resident. Defaults to the window
+    /// priority with `produced = 0` (a queued tuple has produced nothing).
+    fn queue_priority(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple) -> f64 {
+        self.window_priority(ctx, tuple, 0)
+    }
+
+    /// How a full queue chooses its victim.
+    fn queue_victim(&self) -> QueueVictim {
+        QueueVictim::MinPriority
+    }
+}
+
+/// `MSketch` (paper §3.2, Max-Subset): evict the tuple with least
+/// sketch-estimated productivity `|T_{W_i={t}}|`, maximizing the output
+/// size of the approximate join.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MSketch;
+
+impl ShedPolicy for MSketch {
+    fn name(&self) -> &'static str {
+        "MSketch"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            sketches: true,
+            recompute_on_epoch: true,
+            ..Default::default()
+        }
+    }
+
+    fn window_priority(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple, _produced: u64) -> f64 {
+        ctx.productivity(tuple)
+    }
+}
+
+/// `MSketch-RS` (paper §3.2, Random Sampling): evict the tuple that has
+/// already produced the largest *fraction* of its expected output
+/// `(n−1)·prod(t)`, equalizing per-tuple output fractions so the emitted
+/// result is a statistically accurate uniform sample of the true join.
+/// Queued tuples all carry priority 1 and the queue sheds uniformly at
+/// random.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MSketchRs;
+
+impl ShedPolicy for MSketchRs {
+    fn name(&self) -> &'static str {
+        "MSketch-RS"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            sketches: true,
+            produced_counters: true,
+            recompute_on_epoch: true,
+            ..Default::default()
+        }
+    }
+
+    fn window_priority(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple, produced: u64) -> f64 {
+        self.window_priority_with_state(ctx, tuple, produced).0
+    }
+
+    fn window_priority_with_state(
+        &mut self,
+        ctx: &mut PriorityCtx<'_>,
+        tuple: &Tuple,
+        produced: u64,
+    ) -> (f64, f64) {
+        let expected = (ctx.n_streams() as f64 - 1.0) * ctx.productivity(tuple);
+        (self.refresh_priority(expected, produced), expected)
+    }
+
+    /// Fraction of the cached expected output still to come. A tuple whose
+    /// expectation is (near-)zero has nothing left to contribute to the
+    /// sample — its remaining fraction is zero, so it is shed before any
+    /// tuple that still owes output (otherwise dead tuples would be
+    /// immortal at priority 1 and crowd every producer out of memory).
+    /// Over-producers go further negative. Clamps keep scores finite.
+    fn refresh_priority(&self, expected: f64, produced: u64) -> f64 {
+        if expected <= f64::EPSILON {
+            if produced == 0 {
+                0.0
+            } else {
+                -(produced as f64) * 1e6
+            }
+        } else {
+            (1.0 - produced as f64 / expected).max(-1e12)
+        }
+    }
+
+    fn queue_priority(&mut self, _ctx: &mut PriorityCtx<'_>, _tuple: &Tuple) -> f64 {
+        1.0
+    }
+
+    fn queue_victim(&self) -> QueueVictim {
+        QueueVictim::Random
+    }
+}
+
+/// `Age` (paper §5): priority = remaining lifetime × productivity. The
+/// paper includes it to show that remaining lifetime is *not* a useful
+/// factor (it raises a tuple's future gain and its storage cost at the
+/// same rate), and finds it performs like `Random`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Age;
+
+impl ShedPolicy for Age {
+    fn name(&self) -> &'static str {
+        "Age"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            sketches: true,
+            recompute_on_epoch: true,
+            ..Default::default()
+        }
+    }
+
+    fn window_priority(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple, _produced: u64) -> f64 {
+        let life = ctx.remaining_lifetime_secs(tuple);
+        life * ctx.productivity(tuple)
+    }
+}
+
+/// `Life` (Das et al., SIGMOD'03): partner frequency × remaining lifetime,
+/// the binary-join heuristic the paper cites as related work. Included as
+/// an additional baseline (see DESIGN.md §7).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Life;
+
+impl ShedPolicy for Life {
+    fn name(&self) -> &'static str {
+        "Life"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            partner_freq: true,
+            recompute_on_epoch: true,
+            ..Default::default()
+        }
+    }
+
+    fn window_priority(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple, _produced: u64) -> f64 {
+        ctx.remaining_lifetime_secs(tuple) * ctx.binary_tree_frequency(tuple)
+    }
+}
+
+/// `Bjoin` (paper §1/§5): the multi-binary-join baseline — Das et al.'s
+/// `Prob` applied to a left-deep binary decomposition such as
+/// `(R1 ⋈ R2) ⋈ R3`. Each window's priority is the partner frequency of
+/// its tuple's join value on its designated pair only; the content of
+/// every stream outside that pair is disregarded, which is exactly the
+/// deficiency the paper demonstrates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Bjoin;
+
+impl ShedPolicy for Bjoin {
+    fn name(&self) -> &'static str {
+        "Bjoin"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            partner_freq: true,
+            recompute_on_epoch: true,
+            ..Default::default()
+        }
+    }
+
+    fn window_priority(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple, _produced: u64) -> f64 {
+        ctx.binary_tree_frequency(tuple)
+    }
+}
+
+/// `Random` (paper §5): evict uniformly at random — every tuple draws a
+/// uniform score at arrival.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomLoad;
+
+impl ShedPolicy for RandomLoad {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements::default()
+    }
+
+    fn window_priority(&mut self, ctx: &mut PriorityCtx<'_>, _tuple: &Tuple, _produced: u64) -> f64 {
+        ctx.rng.gen::<f64>()
+    }
+
+    fn queue_victim(&self) -> QueueVictim {
+        QueueVictim::Random
+    }
+}
+
+/// `FIFO` (paper §5): drop the oldest tuple — the score is the arrival
+/// sequence number.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fifo;
+
+impl ShedPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements::default()
+    }
+
+    fn window_priority(&mut self, _ctx: &mut PriorityCtx<'_>, tuple: &Tuple, _produced: u64) -> f64 {
+        tuple.seq.0 as f64
+    }
+
+    fn queue_victim(&self) -> QueueVictim {
+        QueueVictim::Oldest
+    }
+}
+
+/// Ablation variant of [`MSketch`] that scores against the *current*
+/// (still-accumulating) epoch's sketches instead of the last completed
+/// tumbling window. More reactive to the newest distribution but
+/// systematically under-estimates early in each epoch (the sketch has seen
+/// few tuples); the paper's design choice of last-epoch scoring is
+/// validated by benchmarking this variant against it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MSketchCurrentEpoch;
+
+impl ShedPolicy for MSketchCurrentEpoch {
+    fn name(&self) -> &'static str {
+        "MSketch-Current"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            sketches: true,
+            recompute_on_epoch: true,
+            ..Default::default()
+        }
+    }
+
+    fn window_priority(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple, _produced: u64) -> f64 {
+        ctx.current_productivity(tuple)
+    }
+}
+
+/// All built-in policy names, in the paper's reporting order.
+pub const ALL_POLICY_NAMES: &[&str] = &[
+    "MSketch",
+    "MSketch-RS",
+    "Age",
+    "Life",
+    "Bjoin",
+    "Random",
+    "FIFO",
+];
+
+/// Instantiates a built-in policy by (case-insensitive) name.
+pub fn parse_policy(name: &str) -> Option<Box<dyn ShedPolicy>> {
+    match name.to_ascii_lowercase().as_str() {
+        "msketch" => Some(Box::new(MSketch)),
+        "msketch-current" | "msketchcurrent" => Some(Box::new(MSketchCurrentEpoch)),
+        "msketch-rs" | "msketchrs" | "rs" => Some(Box::new(MSketchRs)),
+        "age" => Some(Box::new(Age)),
+        "life" => Some(Box::new(Life)),
+        "bjoin" => Some(Box::new(Bjoin)),
+        "random" => Some(Box::new(RandomLoad)),
+        "fifo" => Some(Box::new(Fifo)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstream_sketch::{BankConfig, EpochSpec, TumblingFreq, TumblingSketches};
+    use mstream_types::{
+        Catalog, JoinQuery, SeqNo, StreamId, StreamSchema, VDur, VTime, Value, WindowSpec,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain3() -> JoinQuery {
+        let mut c = Catalog::new();
+        c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+        JoinQuery::from_names(
+            c,
+            &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+            WindowSpec::secs(100),
+        )
+        .unwrap()
+    }
+
+    fn tup(stream: usize, seq: u64, ts: u64, a: u64, b: u64) -> Tuple {
+        Tuple::new(
+            StreamId(stream),
+            VTime::from_secs(ts),
+            SeqNo(seq),
+            vec![Value(a), Value(b)],
+        )
+    }
+
+    /// Builds sketches where R2 holds 20 copies of (9, 3) and R3 holds 10
+    /// tuples with A1=3 — so an R1 tuple with A1=9 has productivity ~200.
+    fn hot_sketches(q: &JoinQuery) -> TumblingSketches {
+        let mut sk = TumblingSketches::new(
+            q,
+            BankConfig {
+                s1: 300,
+                s2: 1,
+                seed: 9,
+            },
+            EpochSpec::Time(VDur::from_secs(1000)),
+        );
+        for _ in 0..20 {
+            sk.observe(StreamId(1), &[Value(9), Value(3)], VTime::ZERO);
+        }
+        for i in 0..10 {
+            sk.observe(StreamId(2), &[Value(3), Value(i)], VTime::ZERO);
+        }
+        sk
+    }
+
+    fn ctx<'a>(
+        q: &'a JoinQuery,
+        sk: Option<&'a mut TumblingSketches>,
+        pf: Option<&'a TumblingFreq>,
+        now: u64,
+        rng: &'a mut StdRng,
+    ) -> PriorityCtx<'a> {
+        PriorityCtx {
+            query: q,
+            sketches: sk,
+            partner_freq: pf,
+            now: VTime::from_secs(now),
+            rng,
+        }
+    }
+
+    #[test]
+    fn msketch_prefers_productive_tuples() {
+        let q = chain3();
+        let mut sk = hot_sketches(&q);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = MSketch;
+        let mut c = ctx(&q, Some(&mut sk), None, 0, &mut rng);
+        let hot = p.window_priority(&mut c, &tup(0, 0, 0, 9, 0), 0);
+        let cold = p.window_priority(&mut c, &tup(0, 1, 0, 1, 0), 0);
+        assert!(hot > cold + 50.0, "hot={hot} cold={cold}");
+        assert!(cold >= 0.0, "clamped at zero");
+    }
+
+    #[test]
+    fn msketch_queue_score_equals_window_score() {
+        let q = chain3();
+        let mut sk = hot_sketches(&q);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = MSketch;
+        let t = tup(0, 0, 0, 9, 0);
+        let w = p.window_priority(&mut ctx(&q, Some(&mut sk), None, 0, &mut rng), &t, 0);
+        let qp = p.queue_priority(&mut ctx(&q, Some(&mut sk), None, 0, &mut rng), &t);
+        assert_eq!(w, qp);
+        assert_eq!(p.queue_victim(), QueueVictim::MinPriority);
+    }
+
+    #[test]
+    fn rs_priority_decreases_as_tuple_produces() {
+        let q = chain3();
+        let mut sk = hot_sketches(&q);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = MSketchRs;
+        let t = tup(0, 0, 0, 9, 0);
+        let fresh = p.window_priority(&mut ctx(&q, Some(&mut sk), None, 0, &mut rng), &t, 0);
+        let half = p.window_priority(&mut ctx(&q, Some(&mut sk), None, 0, &mut rng), &t, 200);
+        let over = p.window_priority(&mut ctx(&q, Some(&mut sk), None, 0, &mut rng), &t, 800);
+        assert!(fresh > half && half > over, "{fresh} > {half} > {over}");
+        assert!((fresh - 1.0).abs() < 0.2, "fresh tuple has ~full fraction left");
+    }
+
+    #[test]
+    fn rs_gives_zero_expectation_tuples_no_protection() {
+        let q = chain3();
+        let mut sk = TumblingSketches::new(
+            &q,
+            BankConfig {
+                s1: 4,
+                s2: 1,
+                seed: 0,
+            },
+            EpochSpec::Time(VDur::from_secs(1000)),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = MSketchRs;
+        let t = tup(0, 0, 0, 1, 0);
+        // Empty sketches: expectation 0.
+        let idle = p.window_priority(&mut ctx(&q, Some(&mut sk), None, 0, &mut rng), &t, 0);
+        let over = p.window_priority(&mut ctx(&q, Some(&mut sk), None, 0, &mut rng), &t, 5);
+        assert_eq!(idle, 0.0, "nothing left to contribute");
+        assert!(over < -1e5);
+    }
+
+    #[test]
+    fn rs_queue_is_uniform() {
+        let q = chain3();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = MSketchRs;
+        let mut c = ctx(&q, None, None, 0, &mut rng);
+        assert_eq!(p.queue_priority(&mut c, &tup(0, 0, 0, 9, 0)), 1.0);
+        assert_eq!(p.queue_victim(), QueueVictim::Random);
+    }
+
+    #[test]
+    fn age_scales_productivity_by_lifetime() {
+        let q = chain3();
+        let mut sk = hot_sketches(&q);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = Age;
+        // Same value, one tuple much older (arrived t=0, now t=80 -> 20s
+        // left) than the other (arrived t=80 -> 100s left).
+        let old = p.window_priority(
+            &mut ctx(&q, Some(&mut sk), None, 80, &mut rng),
+            &tup(0, 0, 0, 9, 0),
+            0,
+        );
+        let young = p.window_priority(
+            &mut ctx(&q, Some(&mut sk), None, 80, &mut rng),
+            &tup(0, 1, 80, 9, 0),
+            0,
+        );
+        assert!(young > 4.0 * old, "young={young} old={old}");
+    }
+
+    /// Arrival-frequency tables (first epoch, falls back to current): R2
+    /// has seen two (7, 4) arrivals and one (9, 4); R3 has seen one (4, 0).
+    fn demo_freq(q: &JoinQuery) -> TumblingFreq {
+        let mut pf = TumblingFreq::new(q, EpochSpec::Time(VDur::from_secs(1000)));
+        pf.observe(StreamId(1), &[Value(7), Value(4)], VTime::ZERO);
+        pf.observe(StreamId(1), &[Value(7), Value(4)], VTime::ZERO);
+        pf.observe(StreamId(1), &[Value(9), Value(4)], VTime::ZERO);
+        pf.observe(StreamId(2), &[Value(4), Value(0)], VTime::ZERO);
+        pf
+    }
+
+    #[test]
+    fn bjoin_uses_its_designated_pair_only() {
+        let q = chain3();
+        let pf = demo_freq(&q);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = Bjoin;
+        let mut c = ctx(&q, None, Some(&pf), 0, &mut rng);
+        // R1 consults the R2 pair: two A1=7 arrivals.
+        assert_eq!(p.window_priority(&mut c, &tup(0, 0, 0, 7, 0), 0), 2.0);
+        // R2 consults ONLY its first pair (R1, empty): score 0 even though
+        // its A2=4 has an R3 partner — the blindness the paper criticizes.
+        assert_eq!(p.window_priority(&mut c, &tup(1, 1, 0, 7, 4), 0), 0.0);
+        // R3 consults the R2 pair on A2: one arrival with A2=4... in fact
+        // all three R2 arrivals carry A2=4.
+        assert_eq!(p.window_priority(&mut c, &tup(2, 2, 0, 4, 0), 0), 3.0);
+    }
+
+    #[test]
+    fn life_multiplies_frequency_and_lifetime() {
+        let q = chain3();
+        let pf = demo_freq(&q);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = Life;
+        let score = p.window_priority(
+            &mut ctx(&q, None, Some(&pf), 50, &mut rng),
+            &tup(0, 0, 0, 7, 0),
+            0,
+        );
+        // 2 partner arrivals × 50s remaining lifetime.
+        assert_eq!(score, 100.0);
+    }
+
+    #[test]
+    fn random_draws_differ_and_need_nothing() {
+        let q = chain3();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = RandomLoad;
+        assert_eq!(p.requirements(), Requirements::default());
+        let mut c = ctx(&q, None, None, 0, &mut rng);
+        let t = tup(0, 0, 0, 1, 1);
+        let a = p.window_priority(&mut c, &t, 0);
+        let b = p.window_priority(&mut c, &t, 0);
+        assert_ne!(a, b, "fresh draw per call");
+        assert!((0.0..1.0).contains(&a));
+    }
+
+    #[test]
+    fn fifo_orders_by_sequence() {
+        let q = chain3();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = Fifo;
+        let mut c = ctx(&q, None, None, 0, &mut rng);
+        let older = p.window_priority(&mut c, &tup(0, 3, 0, 1, 1), 0);
+        let newer = p.window_priority(&mut c, &tup(0, 9, 0, 1, 1), 0);
+        assert!(older < newer, "oldest evicted first");
+        assert_eq!(p.queue_victim(), QueueVictim::Oldest);
+    }
+
+    #[test]
+    fn parse_policy_round_trips_all_names() {
+        for name in ALL_POLICY_NAMES {
+            let p = parse_policy(name).unwrap_or_else(|| panic!("{name} should parse"));
+            assert_eq!(&p.name(), name);
+        }
+        assert!(parse_policy("nope").is_none());
+        assert_eq!(parse_policy("rs").unwrap().name(), "MSketch-RS");
+    }
+
+    #[test]
+    fn requirements_match_paper_costs() {
+        // The sketch policies must NOT require exact frequency tables, and
+        // the binary-join baselines must not require sketches — this is the
+        // space-cost comparison of paper §4.
+        assert!(MSketch.requirements().sketches);
+        assert!(!MSketch.requirements().partner_freq);
+        assert!(Bjoin.requirements().partner_freq);
+        assert!(!Bjoin.requirements().sketches);
+        assert!(MSketchRs.requirements().produced_counters);
+        assert!(!MSketch.requirements().produced_counters);
+    }
+}

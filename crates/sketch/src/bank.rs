@@ -1,0 +1,463 @@
+//! Banks of `s1 × s2` independent sketch copies with median-of-means
+//! combination, for multi-way COUNT and per-tuple productivity estimation.
+
+use crate::atomic::AtomicSketch;
+use crate::hash::FourWiseHash;
+use mstream_types::{JoinQuery, StreamId, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Sizing of a [`SketchBank`].
+///
+/// The final estimate is the **median** over `s2` groups of the **mean**
+/// over `s1` independent atomic-sketch copies (Dobra et al. §3.1). Larger
+/// `s1` shrinks variance; larger `s2` boosts the confidence of the median.
+/// The paper's experiments construct 1000 copies and return their average,
+/// i.e. `s1 = 1000, s2 = 1` (see DESIGN.md, parameter reconstruction —
+/// per-tuple productivities in skewed windows are unusable below several
+/// hundred copies, which pins down the OCR-damaged count).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankConfig {
+    /// Copies averaged within a group.
+    pub s1: usize,
+    /// Groups whose means are median-combined.
+    pub s2: usize,
+    /// Seed for drawing the hash families (full-run determinism).
+    pub seed: u64,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig {
+            s1: 1000,
+            s2: 1,
+            seed: 0x5EED_5EED,
+        }
+    }
+}
+
+impl BankConfig {
+    /// Total number of independent copies.
+    pub fn copies(&self) -> usize {
+        self.s1 * self.s2
+    }
+}
+
+/// One independent copy: a ±1 family per predicate plus one atomic sketch
+/// per stream.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Copy_ {
+    /// `families[j]` is the ξ family of predicate `j ∈ θ`.
+    families: Vec<FourWiseHash>,
+    /// `sketches[k]` is `X_k` for stream `k`.
+    sketches: Vec<AtomicSketch>,
+}
+
+/// A bank of `s1 × s2` sketch copies over the streams of one [`JoinQuery`].
+///
+/// A `SketchBank` covers **one window's worth** of each stream (one
+/// tumbling epoch). The epoch discipline — current vs. last bank, rollover
+/// every `n` seconds — lives in [`crate::TumblingSketches`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SketchBank {
+    config: BankConfig,
+    n_streams: usize,
+    /// `incidence[k]` = `(predicate index, attr index)` pairs of stream `k`.
+    incidence: Vec<Vec<(usize, usize)>>,
+    copies: Vec<Copy_>,
+}
+
+impl SketchBank {
+    /// Builds a zeroed bank for `query`, drawing hash families from
+    /// `config.seed`.
+    pub fn new(query: &JoinQuery, config: BankConfig) -> Self {
+        assert!(config.s1 >= 1 && config.s2 >= 1, "s1 and s2 must be >= 1");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n_streams = query.n_streams();
+        let n_preds = query.predicates().len();
+        let copies = (0..config.copies())
+            .map(|_| Copy_ {
+                families: (0..n_preds).map(|_| FourWiseHash::random(&mut rng)).collect(),
+                sketches: vec![AtomicSketch::new(); n_streams],
+            })
+            .collect();
+        let incidence = (0..n_streams)
+            .map(|s| query.incident(StreamId(s)).to_vec())
+            .collect();
+        SketchBank {
+            config,
+            n_streams,
+            incidence,
+            copies,
+        }
+    }
+
+    /// The bank's sizing.
+    pub fn config(&self) -> BankConfig {
+        self.config
+    }
+
+    /// Number of streams covered.
+    pub fn n_streams(&self) -> usize {
+        self.n_streams
+    }
+
+    /// Folds a tuple of `stream` (given its full value row) into every copy.
+    ///
+    /// Cost: `s1·s2` products of `|incident(stream)|` signs — constant per
+    /// tuple, as the paper's complexity argument requires.
+    pub fn update(&mut self, stream: StreamId, values: &[Value]) {
+        let k = stream.index();
+        debug_assert!(k < self.n_streams);
+        let incidence = &self.incidence[k];
+        for copy in &mut self.copies {
+            let mut sign = 1i64;
+            for &(pred, attr) in incidence {
+                sign *= copy.families[pred].sign(values[attr].raw());
+            }
+            copy.sketches[k].add(sign);
+        }
+    }
+
+    /// The ξ-sign product of a tuple of `stream` in copy `c`
+    /// (`Π_{j ∈ attrs(R_i)} ξ_{j, t[j]}`). Exposed for the tumbling-epoch
+    /// layer, which combines current-epoch signs with last-epoch sketches.
+    #[inline]
+    pub fn sign_in_copy(&self, c: usize, stream: StreamId, values: &[Value]) -> i64 {
+        let mut sign = 1i64;
+        for &(pred, attr) in &self.incidence[stream.index()] {
+            sign *= self.copies[c].families[pred].sign(values[attr].raw());
+        }
+        sign
+    }
+
+    /// The raw atomic-sketch counter `X_k` of `stream` in copy `c`.
+    #[inline]
+    pub fn sketch_value(&self, c: usize, stream: StreamId) -> i64 {
+        self.copies[c].sketches[stream.index()].value()
+    }
+
+    /// Takes a snapshot of `stream`'s per-copy counters and resets them
+    /// (per-stream epoch rollover for tuple-based windows, paper §4.1).
+    pub fn take_stream_snapshot(&mut self, stream: StreamId) -> Vec<i64> {
+        let k = stream.index();
+        self.copies
+            .iter_mut()
+            .map(|copy| {
+                let v = copy.sketches[k].value();
+                copy.sketches[k].reset();
+                v
+            })
+            .collect()
+    }
+
+    /// Resets every atomic sketch (epoch rollover); hash families persist.
+    pub fn reset(&mut self) {
+        for copy in &mut self.copies {
+            for s in &mut copy.sketches {
+                s.reset();
+            }
+        }
+    }
+
+    /// Number of tuples folded into stream `k` this epoch.
+    pub fn tuples_seen(&self, stream: StreamId) -> u64 {
+        self.copies[0].sketches[stream.index()].tuples()
+    }
+
+    /// Median-of-means estimate of the full multi-way COUNT
+    /// `|W_1 ⋈ … ⋈ W_n|` from this bank's sketches.
+    pub fn estimate_join_count(&self) -> f64 {
+        self.median_of_means(|copy: &Copy_| {
+            copy.sketches.iter().map(|s| s.value() as f64).product()
+        })
+    }
+
+    /// Median-of-means estimate of `prod(t)` for a tuple of `stream` —
+    /// the COUNT of the join in which `W_stream = {t}`:
+    /// `prod(t) = Π_{j ∈ attrs(R_i)} ξ_{j, t[j]} · Π_{k ≠ i} X_k`.
+    ///
+    /// The estimate is unbiased but can come out negative for unproductive
+    /// tuples; callers that need a priority should clamp at zero (true
+    /// productivity is a count, hence non-negative).
+    pub fn productivity(&self, stream: StreamId, values: &[Value]) -> f64 {
+        let i = stream.index();
+        self.median_of_means(|copy: &Copy_| {
+            let mut est = 1.0f64;
+            for (k, s) in copy.sketches.iter().enumerate() {
+                if k != i {
+                    est *= s.value() as f64;
+                }
+            }
+            let mut sign = 1i64;
+            for &(pred, attr) in &self.incidence[i] {
+                sign *= copy.families[pred].sign(values[attr].raw());
+            }
+            est * sign as f64
+        })
+    }
+
+    /// Median over `s2` groups of means over `s1` per-copy statistics.
+    fn median_of_means<F: FnMut(&Copy_) -> f64>(&self, mut per_copy: F) -> f64 {
+        let s1 = self.config.s1;
+        let s2 = self.config.s2;
+        let mut group_means = Vec::with_capacity(s2);
+        for g in 0..s2 {
+            let sum: f64 = self.copies[g * s1..(g + 1) * s1].iter().map(&mut per_copy).sum();
+            group_means.push(sum / s1 as f64);
+        }
+        median_in_place(&mut group_means)
+    }
+}
+
+/// Median-of-means over per-copy statistics laid out as `s1 × s2` values
+/// (group-major). Shared by [`SketchBank`] and the tumbling-epoch layer.
+pub fn median_of_means_slice(s1: usize, s2: usize, per_copy: &[f64]) -> f64 {
+    assert_eq!(per_copy.len(), s1 * s2, "copy count must be s1*s2");
+    let mut group_means = Vec::with_capacity(s2);
+    for g in 0..s2 {
+        let sum: f64 = per_copy[g * s1..(g + 1) * s1].iter().sum();
+        group_means.push(sum / s1 as f64);
+    }
+    median_in_place(&mut group_means)
+}
+
+/// The median of a non-empty slice (averaging the two central elements for
+/// even lengths).
+fn median_in_place(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("sketch statistics are finite"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstream_types::{Catalog, StreamSchema, WindowSpec};
+
+    /// The paper's 3-way chain query: R1.A1 = R2.A1 ∧ R2.A2 = R3.A1.
+    fn chain_query() -> JoinQuery {
+        let mut c = Catalog::new();
+        c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+        JoinQuery::from_names(
+            c,
+            &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+            WindowSpec::secs(500),
+        )
+        .unwrap()
+    }
+
+    fn v(a: u64, b: u64) -> Vec<Value> {
+        vec![Value(a), Value(b)]
+    }
+
+    /// Exact chain-join count on explicit relations, used as ground truth.
+    fn exact_chain_count(r1: &[Vec<Value>], r2: &[Vec<Value>], r3: &[Vec<Value>]) -> u64 {
+        let mut count = 0;
+        for t1 in r1 {
+            for t2 in r2 {
+                if t1[0] == t2[0] {
+                    for t3 in r3 {
+                        if t2[1] == t3[0] {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median_in_place(&mut [3.0]), 3.0);
+        assert_eq!(median_in_place(&mut [3.0, 1.0]), 2.0);
+        assert_eq!(median_in_place(&mut [5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median_in_place(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let q = chain_query();
+        let cfg = BankConfig {
+            s1: 8,
+            s2: 1,
+            seed: 99,
+        };
+        let mut b1 = SketchBank::new(&q, cfg);
+        let mut b2 = SketchBank::new(&q, cfg);
+        for (s, vals) in [(0, v(1, 2)), (1, v(1, 5)), (2, v(5, 0))] {
+            b1.update(StreamId(s), &vals);
+            b2.update(StreamId(s), &vals);
+        }
+        assert_eq!(b1.estimate_join_count(), b2.estimate_join_count());
+        assert_eq!(
+            b1.productivity(StreamId(1), &v(1, 5)),
+            b2.productivity(StreamId(1), &v(1, 5))
+        );
+    }
+
+    #[test]
+    fn count_estimate_is_close_on_structured_data() {
+        // A join with a strong signal: value 7 chains through all streams.
+        let q = chain_query();
+        let mut bank = SketchBank::new(
+            &q,
+            BankConfig {
+                s1: 600,
+                s2: 5,
+                seed: 7,
+            },
+        );
+        let r1: Vec<_> = (0..30).map(|i| v(7, i)).collect();
+        let r2: Vec<_> = (0..20).map(|_| v(7, 3)).collect();
+        let r3: Vec<_> = (0..10).map(|i| v(3, i)).collect();
+        for t in &r1 {
+            bank.update(StreamId(0), t);
+        }
+        for t in &r2 {
+            bank.update(StreamId(1), t);
+        }
+        for t in &r3 {
+            bank.update(StreamId(2), t);
+        }
+        let exact = exact_chain_count(&r1, &r2, &r3) as f64; // 30*20*10 = 6000
+        assert_eq!(exact, 6000.0);
+        let est = bank.estimate_join_count();
+        let rel_err = (est - exact).abs() / exact;
+        assert!(rel_err < 0.35, "est={est} exact={exact} rel_err={rel_err}");
+    }
+
+    #[test]
+    fn count_estimate_unbiased_over_seeds() {
+        // Average the estimator over many independent banks: the mean must
+        // converge to the exact count (unbiasedness), much tighter than any
+        // single estimate.
+        let q = chain_query();
+        let r1: Vec<_> = (0..8).flat_map(|a| (0..2).map(move |b| v(a % 4, b))).collect();
+        let r2: Vec<_> = (0..10).map(|i| v(i % 4, i % 3)).collect();
+        let r3: Vec<_> = (0..9).map(|i| v(i % 3, i)).collect();
+        let exact = exact_chain_count(&r1, &r2, &r3) as f64;
+        assert!(exact > 0.0);
+        let seeds = 300;
+        let mut sum = 0.0;
+        for seed in 0..seeds {
+            let mut bank = SketchBank::new(
+                &q,
+                BankConfig {
+                    s1: 4,
+                    s2: 1,
+                    seed,
+                },
+            );
+            for t in &r1 {
+                bank.update(StreamId(0), t);
+            }
+            for t in &r2 {
+                bank.update(StreamId(1), t);
+            }
+            for t in &r3 {
+                bank.update(StreamId(2), t);
+            }
+            sum += bank.estimate_join_count();
+        }
+        let mean = sum / seeds as f64;
+        let rel_err = (mean - exact).abs() / exact;
+        assert!(rel_err < 0.25, "mean={mean} exact={exact}");
+    }
+
+    #[test]
+    fn productivity_separates_hot_from_cold_tuples() {
+        // R2/R3 heavily favour value 9; a fresh R1 tuple with A1=9 must get
+        // a much larger productivity estimate than one with A1=0 (absent).
+        let q = chain_query();
+        let mut bank = SketchBank::new(
+            &q,
+            BankConfig {
+                s1: 400,
+                s2: 3,
+                seed: 21,
+            },
+        );
+        for i in 0..50 {
+            bank.update(StreamId(1), &v(9, i % 4));
+        }
+        for i in 0..40 {
+            bank.update(StreamId(2), &v(i % 4, 0));
+        }
+        let hot = bank.productivity(StreamId(0), &v(9, 0));
+        let cold = bank.productivity(StreamId(0), &v(0, 0));
+        // Exact productivities: hot joins 50 R2-tuples × 10 matching R3 each
+        // = 500; cold joins nothing.
+        assert!(
+            hot > 10.0 * cold.max(1.0),
+            "hot={hot} cold={cold} should be separated"
+        );
+        let exact_hot = 500.0;
+        assert!((hot - exact_hot).abs() / exact_hot < 0.5, "hot={hot}");
+    }
+
+    #[test]
+    fn productivity_for_middle_stream_uses_both_neighbours() {
+        let q = chain_query();
+        let mut bank = SketchBank::new(
+            &q,
+            BankConfig {
+                s1: 400,
+                s2: 3,
+                seed: 5,
+            },
+        );
+        for _ in 0..20 {
+            bank.update(StreamId(0), &v(1, 0));
+        }
+        for _ in 0..30 {
+            bank.update(StreamId(2), &v(2, 0));
+        }
+        // t = (1, 2) matches 20 left-side and 30 right-side tuples -> 600.
+        let p = bank.productivity(StreamId(1), &v(1, 2));
+        assert!((p - 600.0).abs() / 600.0 < 0.4, "p={p}");
+        // t = (1, 5): no right-side partner -> ~0.
+        let dead = bank.productivity(StreamId(1), &v(1, 5));
+        assert!(dead.abs() < 150.0, "dead={dead}");
+    }
+
+    #[test]
+    fn reset_zeroes_counts_but_keeps_families() {
+        let q = chain_query();
+        let cfg = BankConfig {
+            s1: 4,
+            s2: 1,
+            seed: 3,
+        };
+        let mut bank = SketchBank::new(&q, cfg);
+        bank.update(StreamId(0), &v(1, 1));
+        assert_eq!(bank.tuples_seen(StreamId(0)), 1);
+        bank.reset();
+        assert_eq!(bank.tuples_seen(StreamId(0)), 0);
+        assert_eq!(bank.estimate_join_count(), 0.0);
+        // Families survive reset: updating again gives the same state as a
+        // fresh bank updated once.
+        bank.update(StreamId(0), &v(1, 1));
+        let mut fresh = SketchBank::new(&q, cfg);
+        fresh.update(StreamId(0), &v(1, 1));
+        assert_eq!(bank.estimate_join_count(), fresh.estimate_join_count());
+    }
+
+    #[test]
+    fn empty_bank_estimates_zero() {
+        let q = chain_query();
+        let bank = SketchBank::new(&q, BankConfig::default());
+        assert_eq!(bank.estimate_join_count(), 0.0);
+        assert_eq!(bank.productivity(StreamId(0), &v(1, 1)), 0.0);
+    }
+
+}

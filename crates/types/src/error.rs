@@ -1,0 +1,119 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors surfaced by query validation and engine construction.
+///
+/// Runtime data-path operations (probing, eviction, sketch updates) are
+/// infallible by construction: every index they use is validated when the
+/// [`crate::JoinQuery`] is built, so the hot path carries no `Result`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A dotted name referenced a stream not present in the catalog.
+    UnknownStream(String),
+    /// A dotted name referenced an attribute not present in its stream.
+    UnknownAttribute(String),
+    /// A predicate referenced a stream id outside the query's stream set.
+    StreamOutOfRange {
+        /// The offending stream index.
+        stream: usize,
+        /// Number of streams in the query.
+        n_streams: usize,
+    },
+    /// A predicate referenced an attribute index outside a stream's arity.
+    AttrOutOfRange {
+        /// The offending stream index.
+        stream: usize,
+        /// The offending attribute index.
+        attr: usize,
+        /// The stream's arity.
+        arity: usize,
+    },
+    /// A multi-way join needs at least two streams.
+    TooFewStreams(usize),
+    /// The predicate graph does not connect all streams (a cross product).
+    DisconnectedJoinGraph,
+    /// A predicate joins a stream with itself.
+    SelfJoinPredicate(usize),
+    /// A configuration value was out of its valid range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownStream(name) => write!(f, "unknown stream `{name}`"),
+            Error::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            Error::StreamOutOfRange { stream, n_streams } => write!(
+                f,
+                "predicate references stream {stream} but the query has {n_streams} streams"
+            ),
+            Error::AttrOutOfRange {
+                stream,
+                attr,
+                arity,
+            } => write!(
+                f,
+                "predicate references attribute {attr} of stream {stream} (arity {arity})"
+            ),
+            Error::TooFewStreams(n) => {
+                write!(f, "a multi-way join needs >= 2 streams, got {n}")
+            }
+            Error::DisconnectedJoinGraph => write!(
+                f,
+                "the equi-join predicates do not connect all streams (cross product)"
+            ),
+            Error::SelfJoinPredicate(s) => {
+                write!(f, "predicate joins stream {s} with itself")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::UnknownStream("R9".into()), "R9"),
+            (Error::UnknownAttribute("R1.A9".into()), "R1.A9"),
+            (
+                Error::StreamOutOfRange {
+                    stream: 5,
+                    n_streams: 3,
+                },
+                "stream 5",
+            ),
+            (
+                Error::AttrOutOfRange {
+                    stream: 1,
+                    attr: 4,
+                    arity: 2,
+                },
+                "attribute 4",
+            ),
+            (Error::TooFewStreams(1), "got 1"),
+            (Error::DisconnectedJoinGraph, "cross product"),
+            (Error::SelfJoinPredicate(2), "stream 2"),
+            (Error::InvalidConfig("bad".into()), "bad"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} should contain {needle}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::TooFewStreams(0));
+    }
+}

@@ -1,0 +1,34 @@
+//! Core types shared by every crate in the `mstream-shed` workspace.
+//!
+//! This crate deliberately has no knowledge of joins, sketches or shedding
+//! policies; it only defines the vocabulary the rest of the system speaks:
+//!
+//! * [`Value`] — a discrete attribute value (join keys live in small
+//!   discretized domains, as in the paper's evaluation).
+//! * [`VTime`] / [`VDur`] — virtual time, microsecond-granular, used by the
+//!   deterministic discrete-event simulation.
+//! * [`Tuple`] — a timestamped row of values tagged with its source stream.
+//! * [`StreamId`], [`AttrRef`], [`StreamSchema`], [`Catalog`] — naming.
+//! * [`JoinQuery`] — a conjunctive multi-way equi-join over sliding windows,
+//!   i.e. the query class the paper's load shedder targets.
+//!
+//! All types are plain data: `Clone`, `Debug`, and (where it makes sense)
+//! `serde`-serializable so experiment configurations and results can be
+//! persisted as JSON artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod query;
+pub mod schema;
+pub mod time;
+pub mod tuple;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use query::{EquiPredicate, JoinQuery, WindowSpec};
+pub use schema::{AttrRef, Catalog, StreamId, StreamSchema};
+pub use time::{VDur, VTime};
+pub use tuple::{SeqNo, Tuple};
+pub use value::Value;

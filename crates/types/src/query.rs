@@ -1,0 +1,439 @@
+//! Multi-way sliding-window equi-join queries.
+//!
+//! The query class the paper targets (§2) is
+//!
+//! ```sql
+//! SELECT * FROM S1 [WINDOW p1], ..., Sn [WINDOW pn] WHERE theta
+//! ```
+//!
+//! where `theta` is a conjunction of equi-join predicates whose graph
+//! connects all `n` streams. [`JoinQuery`] captures exactly that, validates
+//! it once at construction, and pre-computes the per-stream predicate
+//! incidence lists the join executor and the sketch estimator both need.
+
+use crate::error::{Error, Result};
+use crate::schema::{AttrRef, Catalog, StreamId};
+use crate::time::VDur;
+use crate::tuple::SeqNo;
+use serde::{Deserialize, Serialize};
+
+/// How each stream's sliding window is bounded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowSpec {
+    /// Keep tuples whose age is below the given span (`p`-seconds window).
+    Time(VDur),
+    /// Keep the most recent `count` tuples (paper §4.1).
+    Tuples(u64),
+}
+
+impl WindowSpec {
+    /// A `p`-seconds time-based window.
+    pub fn secs(p: u64) -> Self {
+        WindowSpec::Time(VDur::from_secs(p))
+    }
+
+    /// The nominal capacity of the window in tuples, given an arrival rate.
+    ///
+    /// For a time-based window this is `rate * p` (the paper's "full
+    /// window"); for a tuple-based window it is the count itself.
+    pub fn nominal_tuples(&self, rate_per_sec: f64) -> u64 {
+        match *self {
+            WindowSpec::Time(p) => (rate_per_sec * p.as_secs_f64()).round() as u64,
+            WindowSpec::Tuples(n) => n,
+        }
+    }
+}
+
+/// One equi-join predicate `left = right` between two distinct streams.
+///
+/// Each predicate identifies a *join-attribute pair* `j ∈ theta`; the sketch
+/// layer assigns one four-wise-independent ±1 family per predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EquiPredicate {
+    /// Left-hand attribute.
+    pub left: AttrRef,
+    /// Right-hand attribute.
+    pub right: AttrRef,
+}
+
+impl EquiPredicate {
+    /// Convenience constructor.
+    pub fn new(left: AttrRef, right: AttrRef) -> Self {
+        EquiPredicate { left, right }
+    }
+
+    /// The attribute this predicate constrains on `stream`, if incident.
+    pub fn attr_on(&self, stream: StreamId) -> Option<usize> {
+        if self.left.stream == stream {
+            Some(self.left.attr)
+        } else if self.right.stream == stream {
+            Some(self.right.attr)
+        } else {
+            None
+        }
+    }
+
+    /// The stream on the other side of the predicate, if `stream` is incident.
+    pub fn other_side(&self, stream: StreamId) -> Option<AttrRef> {
+        if self.left.stream == stream {
+            Some(self.right)
+        } else if self.right.stream == stream {
+            Some(self.left)
+        } else {
+            None
+        }
+    }
+}
+
+/// A validated multi-way sliding-window equi-join query.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JoinQuery {
+    catalog: Catalog,
+    predicates: Vec<EquiPredicate>,
+    windows: Vec<WindowSpec>,
+    /// `incidence[s]` = list of `(predicate index, attr on s)` for stream `s`.
+    incidence: Vec<Vec<(usize, usize)>>,
+}
+
+impl JoinQuery {
+    /// Builds and validates a query with the same window on every stream
+    /// (the simplification the paper adopts: `p = p_i` for all `i`).
+    pub fn uniform(
+        catalog: Catalog,
+        predicates: Vec<EquiPredicate>,
+        window: WindowSpec,
+    ) -> Result<Self> {
+        let n = catalog.len();
+        Self::new(catalog, predicates, vec![window; n])
+    }
+
+    /// Builds and validates a query with per-stream windows.
+    pub fn new(
+        catalog: Catalog,
+        predicates: Vec<EquiPredicate>,
+        windows: Vec<WindowSpec>,
+    ) -> Result<Self> {
+        let n = catalog.len();
+        if n < 2 {
+            return Err(Error::TooFewStreams(n));
+        }
+        if windows.len() != n {
+            return Err(Error::InvalidConfig(format!(
+                "{} window specs for {} streams",
+                windows.len(),
+                n
+            )));
+        }
+        for pred in &predicates {
+            for side in [pred.left, pred.right] {
+                let s = side.stream.index();
+                if s >= n {
+                    return Err(Error::StreamOutOfRange {
+                        stream: s,
+                        n_streams: n,
+                    });
+                }
+                let arity = self_arity(&catalog, side.stream);
+                if side.attr >= arity {
+                    return Err(Error::AttrOutOfRange {
+                        stream: s,
+                        attr: side.attr,
+                        arity,
+                    });
+                }
+            }
+            if pred.left.stream == pred.right.stream {
+                return Err(Error::SelfJoinPredicate(pred.left.stream.index()));
+            }
+        }
+        if !connected(n, &predicates) {
+            return Err(Error::DisconnectedJoinGraph);
+        }
+        let mut incidence = vec![Vec::new(); n];
+        for (pi, pred) in predicates.iter().enumerate() {
+            incidence[pred.left.stream.index()].push((pi, pred.left.attr));
+            incidence[pred.right.stream.index()].push((pi, pred.right.attr));
+        }
+        Ok(JoinQuery {
+            catalog,
+            predicates,
+            windows,
+            incidence,
+        })
+    }
+
+    /// Parses predicates given as dotted-name pairs, e.g.
+    /// `[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")]`.
+    pub fn from_names(
+        catalog: Catalog,
+        preds: &[(&str, &str)],
+        window: WindowSpec,
+    ) -> Result<Self> {
+        let predicates = preds
+            .iter()
+            .map(|(l, r)| {
+                Ok(EquiPredicate::new(
+                    catalog.resolve(l)?,
+                    catalog.resolve(r)?,
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Self::uniform(catalog, predicates, window)
+    }
+
+    /// The stream catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Number of streams `n`.
+    pub fn n_streams(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// All equi-join predicates (conjunction `theta`).
+    pub fn predicates(&self) -> &[EquiPredicate] {
+        &self.predicates
+    }
+
+    /// The window spec of `stream`.
+    pub fn window(&self, stream: StreamId) -> WindowSpec {
+        self.windows[stream.index()]
+    }
+
+    /// All per-stream window specs.
+    pub fn windows(&self) -> &[WindowSpec] {
+        &self.windows
+    }
+
+    /// `(predicate index, attribute on stream)` pairs incident to `stream`.
+    ///
+    /// This is the set `j ∈ attrs(R_k) ∩ theta` over which the sketch layer
+    /// multiplies ±1 variables, and the set of hash indexes the window store
+    /// maintains for probing.
+    pub fn incident(&self, stream: StreamId) -> &[(usize, usize)] {
+        &self.incidence[stream.index()]
+    }
+
+    /// Distinct attribute indexes of `stream` that participate in theta.
+    pub fn join_attrs(&self, stream: StreamId) -> Vec<usize> {
+        let mut attrs: Vec<usize> = self.incidence[stream.index()]
+            .iter()
+            .map(|&(_, a)| a)
+            .collect();
+        attrs.sort_unstable();
+        attrs.dedup();
+        attrs
+    }
+
+    /// Whether all per-stream windows are tuple-based.
+    pub fn all_tuple_based(&self) -> bool {
+        self.windows
+            .iter()
+            .all(|w| matches!(w, WindowSpec::Tuples(_)))
+    }
+
+    /// The largest time-based window span, if any window is time-based.
+    pub fn max_time_window(&self) -> Option<VDur> {
+        self.windows
+            .iter()
+            .filter_map(|w| match w {
+                WindowSpec::Time(d) => Some(*d),
+                WindowSpec::Tuples(_) => None,
+            })
+            .max()
+    }
+
+    /// The "lifetime horizon" of a tuple entering at sequence number `seq`:
+    /// for tuple-based windows, the last global sequence number at which the
+    /// tuple can still be alive, assuming round-robin arrivals.
+    pub fn tuple_window_horizon(&self, stream: StreamId, seq: SeqNo) -> Option<SeqNo> {
+        match self.windows[stream.index()] {
+            WindowSpec::Tuples(c) => Some(SeqNo(seq.0 + c * self.n_streams() as u64)),
+            WindowSpec::Time(_) => None,
+        }
+    }
+}
+
+fn self_arity(catalog: &Catalog, stream: StreamId) -> usize {
+    catalog.schema(stream).map(|s| s.arity()).unwrap_or(0)
+}
+
+/// Union-find connectivity check over the predicate graph.
+fn connected(n: usize, predicates: &[EquiPredicate]) -> bool {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for pred in predicates {
+        let (a, b) = (pred.left.stream.index(), pred.right.stream.index());
+        if a < n && b < n {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra] = rb;
+        }
+    }
+    let root0 = find(&mut parent, 0);
+    (1..n).all(|i| find(&mut parent, i) == root0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::StreamSchema;
+
+    fn catalog3() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+        c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+        c
+    }
+
+    /// The paper's evaluation query: R1 ⋈ R2 ⋈ R3 on R1.A1=R2.A1, R2.A2=R3.A1.
+    fn paper_query() -> JoinQuery {
+        JoinQuery::from_names(
+            catalog3(),
+            &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+            WindowSpec::secs(500),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_query_validates() {
+        let q = paper_query();
+        assert_eq!(q.n_streams(), 3);
+        assert_eq!(q.predicates().len(), 2);
+        assert_eq!(q.window(StreamId(0)), WindowSpec::secs(500));
+    }
+
+    #[test]
+    fn incidence_lists() {
+        let q = paper_query();
+        // R1 touches predicate 0 via A1.
+        assert_eq!(q.incident(StreamId(0)), &[(0, 0)]);
+        // R2 touches predicate 0 via A1 and predicate 1 via A2.
+        assert_eq!(q.incident(StreamId(1)), &[(0, 0), (1, 1)]);
+        // R3 touches predicate 1 via A1.
+        assert_eq!(q.incident(StreamId(2)), &[(1, 0)]);
+        assert_eq!(q.join_attrs(StreamId(1)), vec![0, 1]);
+    }
+
+    #[test]
+    fn rejects_single_stream() {
+        let mut c = Catalog::new();
+        c.add_stream(StreamSchema::new("R1", &["A1"]));
+        let err = JoinQuery::uniform(c, vec![], WindowSpec::secs(1)).unwrap_err();
+        assert_eq!(err, Error::TooFewStreams(1));
+    }
+
+    #[test]
+    fn rejects_disconnected_graph() {
+        // Only R1-R2 joined; R3 dangles -> cross product.
+        let err = JoinQuery::from_names(
+            catalog3(),
+            &[("R1.A1", "R2.A1")],
+            WindowSpec::secs(1),
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::DisconnectedJoinGraph);
+    }
+
+    #[test]
+    fn rejects_self_join_predicate() {
+        let err = JoinQuery::from_names(
+            catalog3(),
+            &[("R1.A1", "R1.A2"), ("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+            WindowSpec::secs(1),
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::SelfJoinPredicate(0));
+    }
+
+    #[test]
+    fn rejects_bad_attr() {
+        let c = catalog3();
+        let bad = EquiPredicate::new(
+            AttrRef::new(StreamId(0), 5),
+            AttrRef::new(StreamId(1), 0),
+        );
+        let ok = EquiPredicate::new(
+            AttrRef::new(StreamId(1), 1),
+            AttrRef::new(StreamId(2), 0),
+        );
+        let err = JoinQuery::uniform(c, vec![bad, ok], WindowSpec::secs(1)).unwrap_err();
+        assert!(matches!(err, Error::AttrOutOfRange { attr: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_stream_index() {
+        let c = catalog3();
+        let bad = EquiPredicate::new(
+            AttrRef::new(StreamId(7), 0),
+            AttrRef::new(StreamId(1), 0),
+        );
+        let err = JoinQuery::uniform(c, vec![bad], WindowSpec::secs(1)).unwrap_err();
+        assert!(matches!(err, Error::StreamOutOfRange { stream: 7, .. }));
+    }
+
+    #[test]
+    fn window_spec_nominal_tuples() {
+        assert_eq!(WindowSpec::secs(500).nominal_tuples(3.344), 1672);
+        assert_eq!(WindowSpec::Tuples(99).nominal_tuples(123.0), 99);
+    }
+
+    #[test]
+    fn predicate_sides() {
+        let q = paper_query();
+        let p0 = q.predicates()[0];
+        assert_eq!(p0.attr_on(StreamId(0)), Some(0));
+        assert_eq!(p0.attr_on(StreamId(2)), None);
+        assert_eq!(
+            p0.other_side(StreamId(0)),
+            Some(AttrRef::new(StreamId(1), 0))
+        );
+        assert_eq!(p0.other_side(StreamId(2)), None);
+    }
+
+    #[test]
+    fn per_stream_windows_and_helpers() {
+        let q = JoinQuery::new(
+            catalog3(),
+            vec![
+                EquiPredicate::new(AttrRef::new(StreamId(0), 0), AttrRef::new(StreamId(1), 0)),
+                EquiPredicate::new(AttrRef::new(StreamId(1), 1), AttrRef::new(StreamId(2), 0)),
+            ],
+            vec![
+                WindowSpec::secs(100),
+                WindowSpec::secs(200),
+                WindowSpec::Tuples(50),
+            ],
+        )
+        .unwrap();
+        assert_eq!(q.max_time_window(), Some(VDur::from_secs(200)));
+        assert!(!q.all_tuple_based());
+        assert_eq!(
+            q.tuple_window_horizon(StreamId(2), SeqNo(10)),
+            Some(SeqNo(10 + 50 * 3))
+        );
+        assert_eq!(q.tuple_window_horizon(StreamId(0), SeqNo(10)), None);
+    }
+
+    #[test]
+    fn mismatched_window_count_rejected() {
+        let err = JoinQuery::new(
+            catalog3(),
+            vec![
+                EquiPredicate::new(AttrRef::new(StreamId(0), 0), AttrRef::new(StreamId(1), 0)),
+                EquiPredicate::new(AttrRef::new(StreamId(1), 1), AttrRef::new(StreamId(2), 0)),
+            ],
+            vec![WindowSpec::secs(1)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+    }
+}

@@ -1,0 +1,96 @@
+//! Discrete attribute values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A discrete attribute value.
+///
+/// The paper's workloads (synthetic Zipfian regions, discretized census
+/// attributes) all draw join keys from small integer domains, so a `u64`
+/// payload is sufficient and keeps tuples `Copy`-cheap. A newtype (rather
+/// than a bare `u64`) prevents accidental mixing of values with counts,
+/// slots or sequence numbers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Value(pub u64);
+
+impl Value {
+    /// The raw integer payload.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Value {
+    #[inline]
+    fn from(v: u64) -> Self {
+        Value(v)
+    }
+}
+
+impl From<u32> for Value {
+    #[inline]
+    fn from(v: u32) -> Self {
+        Value(u64::from(v))
+    }
+}
+
+impl From<Value> for u64 {
+    #[inline]
+    fn from(v: Value) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn conversions_round_trip() {
+        let v = Value::from(42u64);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(u64::from(v), 42);
+        assert_eq!(Value::from(7u32), Value(7));
+    }
+
+    #[test]
+    fn ordering_matches_payload() {
+        assert!(Value(1) < Value(2));
+        assert_eq!(Value(5), Value(5));
+    }
+
+    #[test]
+    fn hashable_in_sets() {
+        let set: HashSet<Value> = [Value(1), Value(2), Value(1)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Value(9).to_string(), "9");
+        assert_eq!(format!("{:?}", Value(9)), "v9");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = Value(123);
+        let s = serde_json::to_string(&v).unwrap();
+        assert_eq!(s, "123");
+        let back: Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+}

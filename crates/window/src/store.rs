@@ -1,0 +1,559 @@
+//! The per-stream window store.
+
+use crate::arena::{Arena, Slot};
+use crate::heap::IndexedHeap;
+use mstream_types::{SeqNo, Tuple, VTime, Value, WindowSpec};
+use std::collections::{HashMap, VecDeque};
+
+/// One resident window tuple plus its index bookkeeping.
+struct Entry {
+    tuple: Tuple,
+    /// This stream's arrival counter value when the tuple entered
+    /// (drives tuple-based expiration).
+    arrival_idx: u64,
+    /// `index_pos[a]` = position of this slot inside the bucket of indexed
+    /// attribute `a` (parallel to `WindowStore::join_attrs`), for O(1)
+    /// swap-removal.
+    index_pos: Vec<u32>,
+    /// Join-output tuples attributed to this tuple so far (used by the
+    /// random-sampling priority measure).
+    produced: u64,
+    /// Opaque per-tuple policy state (e.g. the cached expected-output
+    /// denominator of the random-sampling measure), refreshed whenever the
+    /// priority is recomputed from scratch.
+    state: f64,
+}
+
+/// What happened when a tuple was offered to a full window.
+#[derive(Debug, PartialEq)]
+pub enum Eviction {
+    /// The window had room; nothing was evicted.
+    None,
+    /// A resident tuple (possibly the newly offered one) was dismissed.
+    Evicted(Tuple),
+}
+
+/// The result of [`WindowStore::insert`].
+#[derive(Debug, PartialEq)]
+pub struct InsertOutcome {
+    /// Where the offered tuple now lives, or `None` if it was itself the
+    /// lowest-priority tuple and was dismissed immediately.
+    pub slot: Option<Slot>,
+    /// The eviction performed to make room, if any.
+    pub eviction: Eviction,
+}
+
+/// A sliding-window buffer with priority-driven shedding.
+///
+/// Combines (paper §2/§4): a fixed `capacity` (the allocated memory), FIFO
+/// expiration per the window spec, hash indexes on every join attribute for
+/// n-way probing, and an indexed min-heap over tuple priorities so that
+/// "when the window is full, remove the tuple with lowest priority".
+///
+/// All policies in the paper reduce to a priority score: productivity for
+/// `MSketch`, remaining-output-fraction for `MSketch-RS`, partner frequency
+/// for `Bjoin`, remaining-lifetime × productivity for `Age`, a uniform
+/// random draw for `Random`, and the arrival sequence number for `FIFO`
+/// (drop-oldest). The store itself is policy-agnostic: callers hand it a
+/// score per tuple and may rebuild all scores at tumbling-epoch rollovers.
+pub struct WindowStore {
+    spec: WindowSpec,
+    capacity: usize,
+    /// Schema attribute indexes that carry a hash index.
+    join_attrs: Vec<usize>,
+    arena: Arena<Entry>,
+    /// Arrival-ordered queue of slots for expiration (lazily cleaned).
+    expiry: VecDeque<Slot>,
+    /// `indexes[a]` maps a value of `join_attrs[a]` to the slots holding it.
+    indexes: Vec<HashMap<Value, Vec<Slot>>>,
+    heap: IndexedHeap,
+    /// Arrivals observed on this stream (count includes shed tuples).
+    arrivals_seen: u64,
+}
+
+impl WindowStore {
+    /// Creates an empty store.
+    ///
+    /// `join_attrs` are the schema attribute indexes to hash-index (from
+    /// [`mstream_types::JoinQuery::join_attrs`]); `capacity` is the memory
+    /// allocated to this window, in tuples.
+    pub fn new(spec: WindowSpec, join_attrs: Vec<usize>, capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        let n_idx = join_attrs.len();
+        // Cap the eager reservation: "unbounded" reference joins pass huge
+        // capacities and grow on demand instead.
+        let reserve = capacity.min(4096) + 1;
+        WindowStore {
+            spec,
+            capacity,
+            join_attrs,
+            arena: Arena::with_capacity(reserve),
+            expiry: VecDeque::with_capacity(reserve),
+            indexes: vec![HashMap::new(); n_idx],
+            heap: IndexedHeap::new(),
+            arrivals_seen: 0,
+        }
+    }
+
+    /// Number of resident tuples.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Whether the window holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// The allocated capacity in tuples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The window specification.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Arrivals observed so far (including tuples that were shed).
+    pub fn arrivals_seen(&self) -> u64 {
+        self.arrivals_seen
+    }
+
+    /// Notes an arrival on this stream *without* storing it (the arrival
+    /// still advances tuple-based expiration). Used when the queue sheds a
+    /// tuple before it ever reaches the window.
+    pub fn note_arrival(&mut self) {
+        self.arrivals_seen += 1;
+    }
+
+    /// Removes all expired tuples as of `now`, returning them oldest-first.
+    ///
+    /// Time-based windows expire tuples with `ts + p <= now`; tuple-based
+    /// windows expire tuples once `count` newer arrivals have been seen on
+    /// this stream (paper §4.1 semantics — arrivals, not residents, so
+    /// shedding does not extend lifetimes).
+    pub fn expire(&mut self, now: VTime) -> Vec<Tuple> {
+        let mut expired = Vec::new();
+        while let Some(&slot) = self.expiry.front() {
+            // Lazily drop queue entries for tuples already evicted.
+            let Some(entry) = self.arena.get(slot) else {
+                self.expiry.pop_front();
+                continue;
+            };
+            let is_expired = match self.spec {
+                WindowSpec::Time(p) => entry.tuple.ts + p <= now,
+                WindowSpec::Tuples(count) => {
+                    self.arrivals_seen.saturating_sub(entry.arrival_idx) >= count
+                }
+            };
+            if !is_expired {
+                break;
+            }
+            self.expiry.pop_front();
+            expired.push(self.remove_slot(slot).expect("slot checked live"));
+        }
+        expired
+    }
+
+    /// Inserts `tuple` with the given priority `score`, evicting the
+    /// lowest-priority resident (possibly `tuple` itself) if the window is
+    /// at capacity. Counts the arrival.
+    pub fn insert(&mut self, tuple: Tuple, score: f64) -> InsertOutcome {
+        self.insert_scored(tuple, score, 0.0)
+    }
+
+    /// [`Self::insert`] with explicit per-tuple policy state.
+    pub fn insert_scored(&mut self, tuple: Tuple, score: f64, state: f64) -> InsertOutcome {
+        self.arrivals_seen += 1;
+        let seq = tuple.seq;
+        let slot = self.store(tuple, score, state);
+        if self.arena.len() <= self.capacity {
+            return InsertOutcome {
+                slot: Some(slot),
+                eviction: Eviction::None,
+            };
+        }
+        let (victim_slot, _) = self.heap.peek_min().expect("non-empty over capacity");
+        let victim = self
+            .remove_slot(victim_slot)
+            .expect("heap entries are live");
+        let stored = victim.seq != seq;
+        InsertOutcome {
+            slot: stored.then_some(slot),
+            eviction: Eviction::Evicted(victim),
+        }
+    }
+
+    /// Stores a tuple unconditionally (no capacity check, no arrival count).
+    fn store(&mut self, tuple: Tuple, score: f64, state: f64) -> Slot {
+        let tie = tuple.seq.0;
+        let arrival_idx = self.arrivals_seen;
+        let n_idx = self.join_attrs.len();
+        let slot = self.arena.insert(Entry {
+            tuple,
+            arrival_idx,
+            index_pos: vec![0; n_idx],
+            produced: 0,
+            state,
+        });
+        for a in 0..n_idx {
+            let value = self.arena.get(slot).expect("just inserted").tuple.values
+                [self.join_attrs[a]];
+            let bucket = self.indexes[a].entry(value).or_default();
+            let pos = bucket.len() as u32;
+            bucket.push(slot);
+            self.arena.get_mut(slot).expect("just inserted").index_pos[a] = pos;
+        }
+        self.expiry.push_back(slot);
+        self.heap.insert(slot, score, tie);
+        slot
+    }
+
+    /// Fully removes `slot` from arena, indexes and heap.
+    fn remove_slot(&mut self, slot: Slot) -> Option<Tuple> {
+        let entry = self.arena.remove(slot)?;
+        for (a, &attr) in self.join_attrs.iter().enumerate() {
+            let value = entry.tuple.values[attr];
+            let pos = entry.index_pos[a] as usize;
+            let bucket = self.indexes[a].get_mut(&value).expect("indexed value");
+            debug_assert_eq!(bucket[pos], slot);
+            bucket.swap_remove(pos);
+            if let Some(&moved) = bucket.get(pos) {
+                self.arena
+                    .get_mut(moved)
+                    .expect("bucket entries are live")
+                    .index_pos[a] = pos as u32;
+            }
+            if bucket.is_empty() {
+                self.indexes[a].remove(&value);
+            }
+        }
+        self.heap.remove(slot);
+        // The expiry deque entry is cleaned lazily.
+        Some(entry.tuple)
+    }
+
+    /// Evicts and returns the lowest-priority tuple, if any.
+    pub fn evict_min(&mut self) -> Option<(Tuple, f64)> {
+        let (slot, score) = self.heap.peek_min()?;
+        let tuple = self.remove_slot(slot).expect("heap entries are live");
+        Some((tuple, score))
+    }
+
+    /// The lowest priority currently resident, if any (global-pool variant).
+    pub fn peek_min(&self) -> Option<(Slot, f64)> {
+        self.heap.peek_min()
+    }
+
+    /// Slots holding `value` on schema attribute `attr`.
+    ///
+    /// # Panics
+    /// Panics if `attr` is not one of the indexed join attributes.
+    pub fn probe(&self, attr: usize, value: Value) -> &[Slot] {
+        let a = self
+            .join_attrs
+            .iter()
+            .position(|&ja| ja == attr)
+            .unwrap_or_else(|| panic!("attribute {attr} is not indexed"));
+        self.indexes[a]
+            .get(&value)
+            .map(|b| b.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The tuple at `slot`, if live.
+    pub fn tuple(&self, slot: Slot) -> Option<&Tuple> {
+        self.arena.get(slot).map(|e| &e.tuple)
+    }
+
+    /// Adds `n` to the produced-output counter of `slot` (for the
+    /// random-sampling priority). Returns the new total, or `None` if the
+    /// slot is stale.
+    pub fn add_produced(&mut self, slot: Slot, n: u64) -> Option<u64> {
+        let entry = self.arena.get_mut(slot)?;
+        entry.produced += n;
+        Some(entry.produced)
+    }
+
+    /// The produced-output counter of `slot`.
+    pub fn produced(&self, slot: Slot) -> Option<u64> {
+        self.arena.get(slot).map(|e| e.produced)
+    }
+
+    /// The cached policy state of `slot`.
+    pub fn state(&self, slot: Slot) -> Option<f64> {
+        self.arena.get(slot).map(|e| e.state)
+    }
+
+    /// Updates the priority of a resident tuple; `false` if the slot is
+    /// stale.
+    pub fn update_priority(&mut self, slot: Slot, score: f64) -> bool {
+        self.heap.update(slot, score)
+    }
+
+    /// The priority of a resident tuple.
+    pub fn priority(&self, slot: Slot) -> Option<f64> {
+        self.heap.score(slot)
+    }
+
+    /// Recomputes every resident tuple's priority (tumbling-epoch rollover:
+    /// "reset all the priority queues"). The callback sees the tuple and
+    /// its produced-so-far counter and returns `(score, policy state)`.
+    pub fn rebuild_priorities(&mut self, mut score: impl FnMut(&Tuple, u64) -> (f64, f64)) {
+        let updates: Vec<(Slot, f64, f64)> = self
+            .arena
+            .iter()
+            .map(|(slot, entry)| {
+                let (sc, st) = score(&entry.tuple, entry.produced);
+                (slot, sc, st)
+            })
+            .collect();
+        self.heap.clear();
+        for (slot, sc, st) in updates {
+            let entry = self.arena.get_mut(slot).expect("live");
+            entry.state = st;
+            let tie = entry.tuple.seq.0;
+            self.heap.insert(slot, sc, tie);
+        }
+    }
+
+    /// Iterates over `(Slot, &Tuple)` for all resident tuples in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Slot, &Tuple)> {
+        self.arena.iter().map(|(slot, e)| (slot, &e.tuple))
+    }
+
+    /// The oldest resident tuple's sequence number, if any.
+    pub fn oldest_seq(&self) -> Option<SeqNo> {
+        self.iter().map(|(_, t)| t.seq).min()
+    }
+
+    /// Internal consistency check used by tests: every resident tuple is in
+    /// the heap and in every index bucket its values demand, and vice versa.
+    #[doc(hidden)]
+    pub fn check_consistency(&self) {
+        assert_eq!(self.arena.len(), self.heap.len(), "arena vs heap size");
+        for (slot, entry) in self.arena.iter() {
+            assert!(self.heap.contains(slot), "live slot missing from heap");
+            for (a, &attr) in self.join_attrs.iter().enumerate() {
+                let value = entry.tuple.values[attr];
+                let bucket = self.indexes[a].get(&value).expect("bucket exists");
+                let pos = entry.index_pos[a] as usize;
+                assert_eq!(bucket[pos], slot, "index_pos desynchronized");
+            }
+        }
+        let indexed: usize = self.indexes.first().map_or(0, |idx| {
+            idx.values().map(|b| b.len()).sum()
+        });
+        if !self.join_attrs.is_empty() {
+            assert_eq!(indexed, self.arena.len(), "index vs arena size");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstream_types::{StreamId, VDur};
+    use proptest::prelude::*;
+
+    fn tup(seq: u64, ts_secs: u64, a: u64, b: u64) -> Tuple {
+        Tuple::new(
+            StreamId(0),
+            VTime::from_secs(ts_secs),
+            SeqNo(seq),
+            vec![Value(a), Value(b)],
+        )
+    }
+
+    fn time_store(cap: usize) -> WindowStore {
+        WindowStore::new(WindowSpec::Time(VDur::from_secs(10)), vec![0, 1], cap)
+    }
+
+    #[test]
+    fn insert_within_capacity_keeps_all() {
+        let mut w = time_store(3);
+        for i in 0..3 {
+            let out = w.insert(tup(i, 0, i, 0), 1.0);
+            assert_eq!(out.eviction, Eviction::None);
+            assert!(out.slot.is_some());
+        }
+        assert_eq!(w.len(), 3);
+        w.check_consistency();
+    }
+
+    #[test]
+    fn overflow_evicts_lowest_priority() {
+        let mut w = time_store(2);
+        w.insert(tup(0, 0, 10, 0), 5.0);
+        w.insert(tup(1, 0, 11, 0), 1.0);
+        let out = w.insert(tup(2, 0, 12, 0), 3.0);
+        match out.eviction {
+            Eviction::Evicted(t) => assert_eq!(t.seq, SeqNo(1), "lowest priority evicted"),
+            Eviction::None => panic!("expected eviction"),
+        }
+        assert!(out.slot.is_some());
+        assert_eq!(w.len(), 2);
+        w.check_consistency();
+    }
+
+    #[test]
+    fn new_tuple_can_be_its_own_victim() {
+        let mut w = time_store(2);
+        w.insert(tup(0, 0, 10, 0), 5.0);
+        w.insert(tup(1, 0, 11, 0), 4.0);
+        let out = w.insert(tup(2, 0, 12, 0), 0.1);
+        assert_eq!(out.slot, None, "new tuple was immediately dismissed");
+        match out.eviction {
+            Eviction::Evicted(t) => assert_eq!(t.seq, SeqNo(2)),
+            Eviction::None => panic!("expected eviction"),
+        }
+        assert_eq!(w.len(), 2);
+        w.check_consistency();
+    }
+
+    #[test]
+    fn time_expiration_is_strict_boundary() {
+        let mut w = time_store(10);
+        w.insert(tup(0, 0, 1, 1), 1.0);
+        w.insert(tup(1, 5, 2, 2), 1.0);
+        // p = 10s: the t=0 tuple dies exactly at now=10.
+        assert!(w.expire(VTime::from_secs(9)).is_empty());
+        let dead = w.expire(VTime::from_secs(10));
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].seq, SeqNo(0));
+        assert_eq!(w.len(), 1);
+        w.check_consistency();
+    }
+
+    #[test]
+    fn tuple_window_counts_arrivals_not_residents() {
+        let mut w = WindowStore::new(WindowSpec::Tuples(3), vec![0], 10);
+        w.insert(tup(0, 0, 1, 0), 1.0);
+        // Two arrivals that were shed upstream still age the window.
+        w.note_arrival();
+        w.note_arrival();
+        assert!(w.expire(VTime::ZERO).is_empty(), "2 newer arrivals < 3");
+        w.note_arrival();
+        let dead = w.expire(VTime::ZERO);
+        assert_eq!(dead.len(), 1, "3 newer arrivals expire the tuple");
+    }
+
+    #[test]
+    fn probe_finds_matching_tuples() {
+        let mut w = time_store(10);
+        w.insert(tup(0, 0, 7, 1), 1.0);
+        w.insert(tup(1, 0, 7, 2), 1.0);
+        w.insert(tup(2, 0, 8, 7), 1.0);
+        assert_eq!(w.probe(0, Value(7)).len(), 2);
+        assert_eq!(w.probe(0, Value(8)).len(), 1);
+        assert_eq!(w.probe(0, Value(9)).len(), 0);
+        // Attribute 1 is indexed separately.
+        assert_eq!(w.probe(1, Value(7)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not indexed")]
+    fn probe_unindexed_attr_panics() {
+        let w = WindowStore::new(WindowSpec::Tuples(3), vec![0], 10);
+        let _ = w.probe(1, Value(0));
+    }
+
+    #[test]
+    fn eviction_removes_from_indexes() {
+        let mut w = time_store(1);
+        w.insert(tup(0, 0, 7, 1), 1.0);
+        w.insert(tup(1, 0, 7, 2), 2.0); // evicts seq 0
+        assert_eq!(w.probe(0, Value(7)).len(), 1);
+        let slot = w.probe(0, Value(7))[0];
+        assert_eq!(w.tuple(slot).unwrap().seq, SeqNo(1));
+        w.check_consistency();
+    }
+
+    #[test]
+    fn produced_counters() {
+        let mut w = time_store(4);
+        let slot = w.insert(tup(0, 0, 1, 1), 1.0).slot.unwrap();
+        assert_eq!(w.produced(slot), Some(0));
+        assert_eq!(w.add_produced(slot, 3), Some(3));
+        assert_eq!(w.add_produced(slot, 2), Some(5));
+        let (victim, _) = w.evict_min().unwrap();
+        assert_eq!(victim.seq, SeqNo(0));
+        assert_eq!(w.produced(slot), None, "stale after eviction");
+    }
+
+    #[test]
+    fn rebuild_priorities_changes_eviction_order() {
+        let mut w = time_store(3);
+        w.insert(tup(0, 0, 1, 0), 1.0);
+        w.insert(tup(1, 0, 2, 0), 2.0);
+        w.insert(tup(2, 0, 3, 0), 3.0);
+        // Invert: oldest gets the highest score.
+        w.rebuild_priorities(|t, _| (100.0 - t.seq.0 as f64, 0.0));
+        let (victim, score) = w.evict_min().unwrap();
+        assert_eq!(victim.seq, SeqNo(2));
+        assert_eq!(score, 98.0);
+        w.check_consistency();
+    }
+
+    #[test]
+    fn update_priority_single() {
+        let mut w = time_store(3);
+        let s0 = w.insert(tup(0, 0, 1, 0), 5.0).slot.unwrap();
+        w.insert(tup(1, 0, 2, 0), 4.0);
+        assert!(w.update_priority(s0, 0.5));
+        assert_eq!(w.peek_min().unwrap().0, s0);
+        assert_eq!(w.priority(s0), Some(0.5));
+    }
+
+    #[test]
+    fn expire_after_evictions_skips_stale_entries() {
+        let mut w = time_store(2);
+        w.insert(tup(0, 0, 1, 0), 0.0);
+        w.insert(tup(1, 0, 2, 0), 5.0);
+        w.insert(tup(2, 1, 3, 0), 5.0); // evicts seq 0 (front of expiry queue)
+        let dead = w.expire(VTime::from_secs(10));
+        assert_eq!(dead.len(), 1, "only seq 1 expires; seq 0 already gone");
+        assert_eq!(dead[0].seq, SeqNo(1));
+        assert_eq!(w.len(), 1);
+        w.check_consistency();
+    }
+
+    #[test]
+    fn oldest_seq_reports_minimum() {
+        let mut w = time_store(5);
+        assert_eq!(w.oldest_seq(), None);
+        w.insert(tup(5, 0, 1, 0), 1.0);
+        w.insert(tup(3, 0, 1, 0), 1.0);
+        assert_eq!(w.oldest_seq(), Some(SeqNo(3)));
+    }
+
+    proptest! {
+        /// Random mixes of inserts, evictions and expirations never break
+        /// internal consistency, and capacity is never exceeded.
+        #[test]
+        fn store_stays_consistent(ops in proptest::collection::vec((0u8..3, 0u64..20, 0u64..5), 1..200)) {
+            let mut w = WindowStore::new(WindowSpec::Time(VDur::from_secs(5)), vec![0, 1], 8);
+            let mut seq = 0u64;
+            let mut clock = 0u64;
+            for (op, val, score) in ops {
+                match op {
+                    0 => {
+                        let t = tup(seq, clock, val, val % 3);
+                        seq += 1;
+                        w.insert(t, score as f64);
+                    }
+                    1 => {
+                        clock += 1;
+                        let _ = w.expire(VTime::from_secs(clock));
+                    }
+                    _ => {
+                        let _ = w.evict_min();
+                    }
+                }
+                prop_assert!(w.len() <= 8);
+                w.check_consistency();
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: a 3-way sliding-window join that keeps producing results
+//! under a tight memory budget by shedding semantically.
+//!
+//! ```text
+//! cargo run --release -p mstream-core --example quickstart
+//! ```
+
+use mstream_core::prelude::*;
+
+fn main() {
+    // 1. Declare the streams and the query:
+    //    R1 ⋈ R2 ⋈ R3  ON  R1.A1 = R2.A1  AND  R2.A2 = R3.A1,
+    //    over 200-second sliding windows.
+    let mut catalog = Catalog::new();
+    catalog.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+    catalog.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+    catalog.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+    let query = JoinQuery::from_names(
+        catalog,
+        &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+        WindowSpec::secs(200),
+    )
+    .expect("valid query");
+
+    // 2. A skewed synthetic workload (the paper's Table-1 generator, small).
+    let trace = RegionsGenerator::new(RegionsConfig {
+        tuples_per_relation: 3_000,
+        z_intra: (1.6, 2.0),
+        seed: 7,
+        ..Default::default()
+    })
+    .expect("valid workload")
+    .generate();
+
+    // Full windows would hold ~rate x 200s ≈ 667 tuples; allow only 120.
+    let capacity = 120;
+
+    // 3. Run the same trace under different shedding policies.
+    println!("3-way window join, {} arrivals, {capacity} tuples/window:\n", trace.len());
+    println!(
+        "{:<12} {:>14} {:>10} {:>10} {:>9}",
+        "policy", "output tuples", "shed", "expired", "time"
+    );
+    let exact = run_exact_trace(&query, &trace, &RunOptions::default());
+    for name in ["MSketch", "Bjoin", "Random", "FIFO"] {
+        let mut engine = ShedJoinBuilder::new(query.clone())
+            .boxed_policy(parse_policy(name).expect("builtin policy"))
+            .capacity_per_window(capacity)
+            .seed(42)
+            .build()
+            .expect("valid engine");
+        let report = run_trace(&mut engine, &trace, &RunOptions::default());
+        println!(
+            "{:<12} {:>14} {:>10} {:>10} {:>8.2}s",
+            name,
+            report.total_output(),
+            report.metrics.shed_window,
+            report.metrics.expired,
+            report.wall_time.as_secs_f64(),
+        );
+    }
+    println!(
+        "{:<12} {:>14}   (unbounded memory reference)",
+        "exact",
+        exact.total_output()
+    );
+    println!(
+        "\nThe semantic policies (MSketch, Bjoin) retain the tuples predicted \
+         to join and\nrecover several times more of the exact result than \
+         Random/FIFO from the same\nmemory; at larger scales and under overload \
+         MSketch's multi-way estimates pull\nahead of the pairwise Bjoin (see \
+         the fig2/fig6 benchmark binaries)."
+    );
+}

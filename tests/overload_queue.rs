@@ -1,0 +1,106 @@
+//! Integration: the queueing model under overload (paper §2 and Figure 6).
+
+use mstream_core::prelude::*;
+
+fn chain3(window_secs: u64) -> JoinQuery {
+    let mut c = Catalog::new();
+    c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+    JoinQuery::from_names(
+        c,
+        &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+        WindowSpec::secs(window_secs),
+    )
+    .unwrap()
+}
+
+fn trace() -> Trace {
+    let mut config = RegionsConfig::with_z_intra(1.6, 2.0);
+    config.tuples_per_relation = 1_500;
+    config.seed = 21;
+    RegionsGenerator::new(config).unwrap().generate()
+}
+
+fn overload_opts(factor: f64, queue: usize) -> RunOptions {
+    RunOptions {
+        sim: SimConfig {
+            arrival_rate: 10.0,
+            service_rate: Some(10.0 / factor),
+            queue_capacity: queue,
+        },
+        ..Default::default()
+    }
+}
+
+fn run_policy(name: &str, opts: &RunOptions) -> RunReport {
+    let mut engine = ShedJoinBuilder::new(chain3(100))
+        .boxed_policy(parse_policy(name).unwrap())
+        .capacity_per_window(200)
+        .seed(4)
+        .build()
+        .unwrap();
+    run_trace(&mut engine, &trace(), opts)
+}
+
+/// Under k = 5l the queue saturates and sheds roughly 4/5 of arrivals;
+/// every arrival is either processed or queue-shed.
+#[test]
+fn overload_sheds_the_expected_fraction() {
+    let opts = overload_opts(5.0, 100);
+    for name in ["MSketch", "Random", "FIFO"] {
+        let report = run_policy(name, &opts);
+        let total = trace().len() as u64;
+        assert_eq!(
+            report.metrics.processed + report.metrics.shed_queue,
+            total,
+            "{name}: conservation"
+        );
+        let processed_frac = report.metrics.processed as f64 / total as f64;
+        assert!(
+            (0.18..=0.30).contains(&processed_frac),
+            "{name}: ~1/5 of arrivals can be serviced, got {processed_frac:.2}"
+        );
+    }
+}
+
+/// Semantic queue shedding retains join-relevant tuples: MSketch's output
+/// under overload beats FIFO's drop-oldest by a wide margin (Figure 6).
+#[test]
+fn semantic_queue_shedding_beats_drop_oldest() {
+    let opts = overload_opts(5.0, 100);
+    let msketch = run_policy("MSketch", &opts).total_output();
+    let fifo = run_policy("FIFO", &opts).total_output();
+    assert!(
+        msketch > 2 * fifo,
+        "MSketch ({msketch}) must clearly beat FIFO ({fifo}) under overload"
+    );
+}
+
+/// A faster server (no overload) never sheds from the queue, regardless of
+/// queue size.
+#[test]
+fn no_queue_shedding_without_overload() {
+    let opts = overload_opts(0.5, 4); // service twice the arrival rate
+    let report = run_policy("MSketch", &opts);
+    assert_eq!(report.metrics.shed_queue, 0);
+    assert_eq!(report.metrics.processed, trace().len() as u64);
+}
+
+/// Queue capacity matters under overload: a larger queue lets the server
+/// keep working through bursts, processing at least as many tuples.
+#[test]
+fn larger_queue_never_processes_fewer() {
+    let small = run_policy("MSketch", &overload_opts(5.0, 10));
+    let large = run_policy("MSketch", &overload_opts(5.0, 500));
+    assert!(large.metrics.processed >= small.metrics.processed);
+}
+
+/// The run's virtual clock keeps advancing while the backlog drains: the
+/// last processed tuple finishes after the last arrival.
+#[test]
+fn backlog_drains_after_arrivals_end() {
+    let report = run_policy("Random", &overload_opts(5.0, 100));
+    let last_arrival_secs = trace().len() as f64 / 10.0;
+    assert!(report.end_time.as_secs_f64() >= last_arrival_secs);
+}

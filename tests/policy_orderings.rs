@@ -1,0 +1,129 @@
+//! Integration: the qualitative orderings the paper reports must hold on a
+//! seeded, laptop-sized instance of its synthetic workload.
+
+use mstream_core::prelude::*;
+
+fn chain3(window_secs: u64) -> JoinQuery {
+    let mut c = Catalog::new();
+    c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+    JoinQuery::from_names(
+        c,
+        &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+        WindowSpec::secs(window_secs),
+    )
+    .unwrap()
+}
+
+/// A scaled-down (20%) instance of the paper's high-skew data set.
+fn high_skew_trace() -> Trace {
+    let mut config = RegionsConfig::with_z_intra(1.6, 2.0);
+    config.tuples_per_relation = 2_000;
+    config.seed = 42;
+    RegionsGenerator::new(config).unwrap().generate()
+}
+
+fn run_policy(query: &JoinQuery, name: &str, capacity: usize, trace: &Trace) -> u64 {
+    let mut engine = ShedJoinBuilder::new(query.clone())
+        .boxed_policy(parse_policy(name).unwrap())
+        .capacity_per_window(capacity)
+        .bank(BankConfig {
+            s1: 600,
+            s2: 1,
+            seed: 7,
+        })
+        .seed(42)
+        .build()
+        .unwrap();
+    run_trace(&mut engine, trace, &RunOptions::default()).total_output()
+}
+
+/// Figure 2(b)'s core ordering: the semantic policies beat the naive ones
+/// by a wide margin under memory pressure on skewed data.
+#[test]
+fn semantic_policies_dominate_naive_ones_on_skewed_data() {
+    let query = chain3(100); // scaled window (20% of 500s)
+    let trace = high_skew_trace();
+    let capacity = 83; // 25% of the scaled full window
+    let msketch = run_policy(&query, "MSketch", capacity, &trace);
+    let bjoin = run_policy(&query, "Bjoin", capacity, &trace);
+    let random = run_policy(&query, "Random", capacity, &trace);
+    let fifo = run_policy(&query, "FIFO", capacity, &trace);
+    assert!(
+        msketch > 2 * random && msketch > 2 * fifo,
+        "MSketch ({msketch}) must clearly beat Random ({random}) and FIFO ({fifo})"
+    );
+    assert!(
+        bjoin > 2 * random,
+        "Bjoin ({bjoin}) must clearly beat Random ({random})"
+    );
+}
+
+/// Figure 2's other structural fact: all policies coincide at 100% memory.
+#[test]
+fn all_policies_coincide_at_full_memory() {
+    let query = chain3(100);
+    let trace = high_skew_trace();
+    let full = 334; // scaled full window
+    let outputs: Vec<u64> = ["MSketch", "Bjoin", "Age", "Random", "FIFO"]
+        .iter()
+        .map(|name| run_policy(&query, name, full, &trace))
+        .collect();
+    assert!(
+        outputs.windows(2).all(|w| w[0] == w[1]),
+        "no shedding at full memory: {outputs:?}"
+    );
+}
+
+/// More memory can only help (weakly) for a fixed semantic policy.
+#[test]
+fn output_grows_with_memory_for_msketch() {
+    let query = chain3(100);
+    let trace = high_skew_trace();
+    let outs: Vec<u64> = [16usize, 83, 167, 334]
+        .iter()
+        .map(|&cap| run_policy(&query, "MSketch", cap, &trace))
+        .collect();
+    for w in outs.windows(2) {
+        assert!(w[0] <= w[1], "monotone in memory: {outs:?}");
+    }
+}
+
+/// The paper's Age observation: remaining lifetime adds nothing over raw
+/// productivity — Age tracks MSketch closely (within 25%) rather than
+/// improving on it.
+#[test]
+fn age_tracks_msketch() {
+    let query = chain3(100);
+    let trace = high_skew_trace();
+    let capacity = 83;
+    let msketch = run_policy(&query, "MSketch", capacity, &trace) as f64;
+    let age = run_policy(&query, "Age", capacity, &trace) as f64;
+    let ratio = age / msketch;
+    assert!(
+        (0.75..=1.25).contains(&ratio),
+        "Age/MSketch ratio {ratio:.2} should be near 1"
+    );
+}
+
+/// Figure 5's drift claim, scaled down: MSketch keeps up with Random under
+/// region-phase concept drift (no lasting penalty from its tumbling
+/// estimates).
+#[test]
+fn msketch_survives_concept_drift() {
+    let mut config = RegionsConfig::with_z_intra(1.6, 2.0);
+    config.tuples_per_relation = 2_000;
+    config.seed = 42;
+    config.feed = FeedOrder::RegionPhases;
+    let trace = RegionsGenerator::new(config).unwrap().generate();
+    assert!(!trace.drift_points.is_empty());
+    let query = chain3(100);
+    let capacity = 250; // 75% of the scaled window
+    let msketch = run_policy(&query, "MSketch", capacity, &trace) as f64;
+    let random = run_policy(&query, "Random", capacity, &trace) as f64;
+    assert!(
+        msketch >= 0.85 * random,
+        "MSketch ({msketch}) must not collapse under drift vs Random ({random})"
+    );
+}

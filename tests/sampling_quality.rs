@@ -1,0 +1,119 @@
+//! Integration: random-sampling shedding quality (paper §3.2 / Figure 7) —
+//! the shed join's output must support accurate windowed aggregates.
+
+use mstream_core::prelude::*;
+
+fn census_query(window: u64) -> JoinQuery {
+    let mut c = Catalog::new();
+    c.add_stream(StreamSchema::new("Oct03", &["Age", "Income", "Education"]));
+    c.add_stream(StreamSchema::new("Apr04", &["Age", "Income", "Education"]));
+    c.add_stream(StreamSchema::new("Oct04", &["Age", "Income", "Education"]));
+    JoinQuery::from_names(
+        c,
+        &[
+            ("Oct03.Age", "Apr04.Age"),
+            ("Apr04.Education", "Oct04.Education"),
+        ],
+        WindowSpec::secs(window),
+    )
+    .unwrap()
+}
+
+fn census_trace() -> Trace {
+    CensusGenerator::new(CensusConfig {
+        tuples_per_month: 1_000,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate()
+}
+
+fn agg_opts(window: u64) -> RunOptions {
+    RunOptions {
+        agg_attr: Some((StreamId(1), 1)), // Apr04.Income
+        agg_bucket: VDur::from_secs(window),
+        ..Default::default()
+    }
+}
+
+/// The exact reference is expensive; compute it once for all tests.
+fn exact_reference() -> &'static mstream_core::RunReport {
+    use std::sync::OnceLock;
+    static EXACT: OnceLock<mstream_core::RunReport> = OnceLock::new();
+    EXACT.get_or_init(|| {
+        let window = 150;
+        run_exact_trace(&census_query(window), &census_trace(), &agg_opts(window))
+    })
+}
+
+fn compare(name: &str, capacity: usize) -> (SeriesComparison, u64) {
+    let window = 150;
+    let query = census_query(window);
+    let trace = census_trace();
+    let opts = agg_opts(window);
+    let exact = exact_reference();
+    let mut engine = ShedJoinBuilder::new(query)
+        .boxed_policy(parse_policy(name).unwrap())
+        .capacity_per_window(capacity)
+        .seed(8)
+        .build()
+        .unwrap();
+    let report = run_trace(&mut engine, &trace, &opts);
+    (
+        SeriesComparison::from_hists(
+            exact.agg_values.as_ref().unwrap(),
+            report.agg_values.as_ref().unwrap(),
+        ),
+        report.total_output(),
+    )
+}
+
+/// The RS sample answers the windowed AVG within a few percent even when
+/// memory holds a small fraction of the windows.
+#[test]
+fn rs_sample_supports_windowed_avg() {
+    let (cmp, produced) = compare("MSketch-RS", 40);
+    assert!(produced > 0);
+    assert!(
+        cmp.avg_relative_error < 0.08,
+        "windowed AVG error {:.4} too large",
+        cmp.avg_relative_error
+    );
+    assert_eq!(cmp.starved_buckets, 0, "no window may be starved");
+}
+
+/// The RS sample's distribution tracks the truth: quartile differences stay
+/// below one bracket of the 16-level income domain.
+#[test]
+fn rs_sample_tracks_quartiles() {
+    let (cmp, _) = compare("MSketch-RS", 40);
+    assert!(
+        cmp.avg_quantile_difference < 1.0,
+        "quartile diff {:.3} too large",
+        cmp.avg_quantile_difference
+    );
+}
+
+/// At full memory the "sample" is the exact result: both error metrics are
+/// identically zero.
+#[test]
+fn full_memory_sample_is_exact() {
+    let (cmp, _) = compare("MSketch-RS", 100_000);
+    assert_eq!(cmp.avg_relative_error, 0.0);
+    assert_eq!(cmp.avg_quantile_difference, 0.0);
+    assert_eq!(cmp.starved_buckets, 0);
+}
+
+/// Comparison metrics are monotone-ish in memory: much more memory should
+/// not make the RS sample meaningfully worse.
+#[test]
+fn more_memory_does_not_hurt_much() {
+    let (small, _) = compare("MSketch-RS", 25);
+    let (large, _) = compare("MSketch-RS", 250);
+    assert!(
+        large.avg_relative_error <= small.avg_relative_error + 0.02,
+        "large-memory error {:.4} vs small {:.4}",
+        large.avg_relative_error,
+        small.avg_relative_error
+    );
+}
