@@ -3,7 +3,10 @@
 //! paper's "fast-and-light" claim.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use mstream_core::mstream_sketch::{FourWiseHash, SketchBank, TumblingSketches};
+use mstream_core::mstream_sketch::signs::combine_packed_signs;
+use mstream_core::mstream_sketch::{
+    FourWiseHash, SignCache, SignFamilies, SketchBank, TumblingSketches,
+};
 use mstream_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -89,5 +92,110 @@ fn bench_productivity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hash, bench_bank_update, bench_productivity);
+/// The packed-sign kernels in isolation: one full polynomial sweep over
+/// 1000 copies, the XOR combine with every lookup missing the memo, and
+/// the same combine served entirely from memoized vectors.
+fn bench_packed_signs(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let families = SignFamilies::draw(&mut rng, 2, 1000);
+    let incidence = [(0usize, 0usize), (1usize, 1usize)];
+    let mut out = Vec::new();
+    let mut group = c.benchmark_group("packed_signs");
+    group.bench_function("eval_1000_copies", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            families.eval_packed_into(0, black_box(x), &mut out);
+            black_box(&out);
+        })
+    });
+    let mut cold_cache = SignCache::default();
+    group.bench_function("xor_combine_cold", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            // Always-fresh values: every lookup evaluates (and the bounded
+            // memo periodically generation-resets — that cost is part of
+            // the cold path).
+            x = x.wrapping_add(1);
+            combine_packed_signs(
+                &families,
+                &mut cold_cache,
+                &incidence,
+                &[Value(x), Value(x ^ 0xFFFF)],
+                &mut out,
+            );
+            black_box(&out);
+        })
+    });
+    let mut hot_cache = SignCache::default();
+    group.bench_function("xor_combine_cached", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            // A 64-value hot set: after one lap everything is memoized, so
+            // the combine is two map hits and 16 XOR'd words.
+            x = (x + 1) % 64;
+            combine_packed_signs(
+                &families,
+                &mut hot_cache,
+                &incidence,
+                &[Value(x), Value(x + 1000)],
+                &mut out,
+            );
+            black_box(&out);
+        })
+    });
+    group.finish();
+}
+
+/// Productivity at the paper's sizing (`s1 = 1000`) over a Zipfian value
+/// pool, past the first epoch rollover — the steady-state hot path the
+/// engine pays on every arrival and on every rollover rebuild: a memoized
+/// packed-sign lookup plus a signed sum over a frozen cross-product row.
+fn bench_productivity_repeated(c: &mut Criterion) {
+    let query = chain3();
+    let mut sk = TumblingSketches::new(
+        &query,
+        BankConfig {
+            s1: 1000,
+            s2: 1,
+            seed: 6,
+        },
+        EpochSpec::Time(VDur::from_secs(100)),
+    );
+    // Zipf-like pool: value v drawn with weight ~ 1/(v+1) over 50 values.
+    let mut pool: Vec<u64> = Vec::new();
+    for v in 0..50u64 {
+        for _ in 0..(50 / (v + 1)) {
+            pool.push(v);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..3000 {
+        let s = StreamId(rng.gen_range(0..3));
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = pool[rng.gen_range(0..pool.len())];
+        sk.observe(s, &[Value(a), Value(b)], VTime::ZERO);
+    }
+    // Cross the epoch boundary: every stream now has a last-epoch snapshot,
+    // so queries run the frozen-cross-product path.
+    sk.observe(StreamId(0), &[Value(0), Value(0)], VTime::from_secs(150));
+    let mut group = c.benchmark_group("productivity_repeated_zipf");
+    let mut i = 0usize;
+    group.bench_function("s1_1000_frozen", |b| {
+        b.iter(|| {
+            i = (i + 1) % pool.len();
+            black_box(sk.productivity(StreamId(0), &[Value(pool[i]), Value(0)]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_bank_update,
+    bench_productivity,
+    bench_packed_signs,
+    bench_productivity_repeated
+);
 criterion_main!(benches);

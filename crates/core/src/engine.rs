@@ -9,6 +9,7 @@ use mstream_window::{QueueVictim, Slot, WindowStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// How window memory is allocated across streams.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -190,16 +191,22 @@ impl ShedJoinEngine {
         //    and/or exact arrival-frequency tables); on epoch rollover,
         //    rebuild every window's priorities against the fresh snapshot.
         let mut rolled = false;
-        if let Some(sketches) = self.sketches.as_mut() {
-            rolled |= sketches.observe(stream, &tuple.values, now);
-        }
-        if let Some(freq) = self.partner_freq.as_mut() {
-            rolled |= freq.observe(stream, &tuple.values, now);
+        if self.sketches.is_some() || self.partner_freq.is_some() {
+            let t0 = Instant::now();
+            if let Some(sketches) = self.sketches.as_mut() {
+                rolled |= sketches.observe(stream, &tuple.values, now);
+            }
+            if let Some(freq) = self.partner_freq.as_mut() {
+                rolled |= freq.observe(stream, &tuple.values, now);
+            }
+            self.metrics.sketch_observe_ns += t0.elapsed().as_nanos() as u64;
         }
         if rolled {
             self.metrics.epoch_rollovers += 1;
             if self.reqs.recompute_on_epoch {
+                let t0 = Instant::now();
                 self.rebuild_all_priorities(now);
+                self.metrics.priority_rebuild_ns += t0.elapsed().as_nanos() as u64;
             }
         }
         // 2. Delete expired tuples from every window.
@@ -241,8 +248,15 @@ impl ShedJoinEngine {
             }
         }
         // 5. Score and store the arriving tuple, shedding if full.
+        let t0 = Instant::now();
         let (score, state) = self.score_window_with_state(&tuple, 0, now);
+        self.metrics.score_ns += t0.elapsed().as_nanos() as u64;
         self.insert_with_shedding(tuple, score, state);
+        if let Some(sketches) = self.sketches.as_ref() {
+            let stats = sketches.sign_cache_stats();
+            self.metrics.sign_cache_hits = stats.hits;
+            self.metrics.sign_cache_misses = stats.misses;
+        }
         produced
     }
 
@@ -577,6 +591,34 @@ mod tests {
             engine.process_arrival(StreamId(i as usize % 3), v(1, 1), VTime::from_secs(i));
         }
         assert!(engine.metrics().epoch_rollovers >= 4);
+    }
+
+    #[test]
+    fn stage_timings_and_cache_stats_accumulate() {
+        let mut config = cfg(32);
+        config.epoch = Some(EpochSpec::Time(VDur::from_secs(10)));
+        let mut engine = ShedJoinEngine::new(chain3(100), Box::new(MSketch), config).unwrap();
+        for i in 0..60u64 {
+            // Heavy value repetition: the packed-sign cache must hit.
+            engine.process_arrival(StreamId(i as usize % 3), v(i % 4, i % 3), VTime::from_secs(i));
+        }
+        let m = engine.metrics();
+        assert!(m.sketch_observe_ns > 0, "observe stage timed");
+        assert!(m.score_ns > 0, "scoring stage timed");
+        assert!(m.priority_rebuild_ns > 0, "rollover rebuilds timed");
+        assert!(m.sign_cache_misses > 0);
+        assert!(
+            m.sign_cache_hits > m.sign_cache_misses,
+            "repeated values must be served from the sign cache \
+             (hits={}, misses={})",
+            m.sign_cache_hits,
+            m.sign_cache_misses
+        );
+        // Sketch-free policies leave the sketch counters untouched.
+        let mut plain = ShedJoinEngine::new(chain3(100), Box::new(Fifo), cfg(32)).unwrap();
+        plain.process_arrival(StreamId(0), v(1, 1), VTime::ZERO);
+        assert_eq!(plain.metrics().sign_cache_hits, 0);
+        assert_eq!(plain.metrics().sketch_observe_ns, 0);
     }
 
     #[test]

@@ -20,6 +20,23 @@ pub struct EngineMetrics {
     pub expired: u64,
     /// Tumbling-epoch rollovers observed.
     pub epoch_rollovers: u64,
+    /// Wall-clock nanoseconds folding arrivals into the estimation state
+    /// (AGMS sketch / frequency-table `observe` calls).
+    #[serde(default)]
+    pub sketch_observe_ns: u64,
+    /// Wall-clock nanoseconds rebuilding window priorities at rollovers.
+    #[serde(default)]
+    pub priority_rebuild_ns: u64,
+    /// Wall-clock nanoseconds scoring arriving tuples (productivity
+    /// queries for sketch policies).
+    #[serde(default)]
+    pub score_ns: u64,
+    /// Packed-sign cache hits inside the sketch bank (0 when sketch-free).
+    #[serde(default)]
+    pub sign_cache_hits: u64,
+    /// Packed-sign cache misses inside the sketch bank.
+    #[serde(default)]
+    pub sign_cache_misses: u64,
 }
 
 /// The outcome of running one trace through one engine.

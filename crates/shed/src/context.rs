@@ -1,6 +1,6 @@
 //! The state handed to a policy when it scores a tuple.
 
-use mstream_sketch::{TumblingFreq, TumblingSketches};
+use mstream_sketch::{SignCacheStats, TumblingFreq, TumblingSketches};
 use mstream_types::{JoinQuery, StreamId, Tuple, VTime};
 use rand::rngs::StdRng;
 
@@ -122,6 +122,14 @@ impl<'a> PriorityCtx<'a> {
             }
             mstream_types::WindowSpec::Tuples(_) => 1.0,
         }
+    }
+
+    /// Hit/miss/occupancy counters of the sketch bank's packed-sign memo,
+    /// when the policy runs with sketches (`None` otherwise). Lets policy
+    /// diagnostics report how much of the productivity hot path is served
+    /// from memoized sign vectors.
+    pub fn sketch_cache_stats(&self) -> Option<SignCacheStats> {
+        self.sketches.as_deref().map(|s| s.sign_cache_stats())
     }
 
     /// Number of streams in the query.
@@ -267,6 +275,43 @@ mod tests {
         };
         // Empty sketches -> estimate 0, and never below.
         assert!(ctx.productivity(&tup(0, 0, 1, 1)) >= 0.0);
+    }
+
+    #[test]
+    fn sketch_cache_stats_exposed_when_sketches_present() {
+        let q = chain3();
+        let mut sk = TumblingSketches::new(
+            &q,
+            BankConfig {
+                s1: 4,
+                s2: 1,
+                seed: 2,
+            },
+            EpochSpec::Time(VDur::from_secs(100)),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = PriorityCtx {
+            query: &q,
+            sketches: Some(&mut sk),
+            partner_freq: None,
+            now: VTime::ZERO,
+            rng: &mut rng,
+        };
+        assert_eq!(ctx.sketch_cache_stats().unwrap().misses, 0);
+        let _ = ctx.productivity(&tup(0, 0, 1, 1));
+        let _ = ctx.productivity(&tup(0, 0, 1, 1));
+        let stats = ctx.sketch_cache_stats().unwrap();
+        assert!(stats.misses >= 1, "first sign lookup evaluates");
+        assert!(stats.hits >= 1, "repeated sign lookup memoized");
+        let mut rng2 = StdRng::seed_from_u64(0);
+        let ctx2 = PriorityCtx {
+            query: &q,
+            sketches: None,
+            partner_freq: None,
+            now: VTime::ZERO,
+            rng: &mut rng2,
+        };
+        assert!(ctx2.sketch_cache_stats().is_none());
     }
 
     #[test]

@@ -1,12 +1,23 @@
 //! Banks of `s1 × s2` independent sketch copies with median-of-means
 //! combination, for multi-way COUNT and per-tuple productivity estimation.
+//!
+//! Since the flat-kernel rework the bank is laid out structure-of-arrays:
+//! hash coefficients live copy-major per predicate in [`SignFamilies`],
+//! and the per-copy counters of all streams share one contiguous `Vec<i64>`
+//! indexed `[stream × copies + copy]`. Updates and estimates stream
+//! linearly through those arrays (see [`crate::kernel`]) instead of
+//! chasing per-copy allocations, and per-tuple sign vectors are evaluated
+//! once, bit-packed, and memoized in a [`SignCache`]. All estimates are
+//! bit-identical to the legacy AoS layout under the same seed (enforced by
+//! `tests/equivalence.rs`).
 
-use crate::atomic::AtomicSketch;
-use crate::hash::FourWiseHash;
+use crate::kernel;
+use crate::signs::{combine_packed_signs, SignCache, SignCacheStats, SignFamilies};
 use mstream_types::{JoinQuery, StreamId, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Sizing of a [`SketchBank`].
 ///
@@ -44,14 +55,16 @@ impl BankConfig {
     }
 }
 
-/// One independent copy: a ±1 family per predicate plus one atomic sketch
-/// per stream.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-struct Copy_ {
-    /// `families[j]` is the ξ family of predicate `j ∈ θ`.
-    families: Vec<FourWiseHash>,
-    /// `sketches[k]` is `X_k` for stream `k`.
-    sketches: Vec<AtomicSketch>,
+/// Reusable query-path buffers (packed sign words, per-copy statistics,
+/// group means) plus the packed-sign memo. Kept behind a `RefCell` so the
+/// read-only estimation API (`estimate_join_count`, `productivity`) stays
+/// `&self` while never allocating per call.
+#[derive(Clone, Debug, Default)]
+struct BankScratch {
+    cache: SignCache,
+    words: Vec<u64>,
+    per_copy: Vec<f64>,
+    groups: Vec<f64>,
 }
 
 /// A bank of `s1 × s2` sketch copies over the streams of one [`JoinQuery`].
@@ -65,7 +78,15 @@ pub struct SketchBank {
     n_streams: usize,
     /// `incidence[k]` = `(predicate index, attr index)` pairs of stream `k`.
     incidence: Vec<Vec<(usize, usize)>>,
-    copies: Vec<Copy_>,
+    /// SoA hash coefficient banks, one polynomial per (predicate, copy).
+    families: SignFamilies,
+    /// `counters[k * copies + c]` = atomic sketch `X_k` in copy `c`.
+    counters: Vec<i64>,
+    /// Tuples folded per stream this epoch.
+    tuples: Vec<u64>,
+    /// Query scratch + packed-sign memo (not part of the logical state).
+    #[serde(skip)]
+    scratch: RefCell<BankScratch>,
 }
 
 impl SketchBank {
@@ -76,12 +97,8 @@ impl SketchBank {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let n_streams = query.n_streams();
         let n_preds = query.predicates().len();
-        let copies = (0..config.copies())
-            .map(|_| Copy_ {
-                families: (0..n_preds).map(|_| FourWiseHash::random(&mut rng)).collect(),
-                sketches: vec![AtomicSketch::new(); n_streams],
-            })
-            .collect();
+        let copies = config.copies();
+        let families = SignFamilies::draw(&mut rng, n_preds, copies);
         let incidence = (0..n_streams)
             .map(|s| query.incident(StreamId(s)).to_vec())
             .collect();
@@ -89,7 +106,10 @@ impl SketchBank {
             config,
             n_streams,
             incidence,
-            copies,
+            families,
+            counters: vec![0; n_streams * copies],
+            tuples: vec![0; n_streams],
+            scratch: RefCell::new(BankScratch::default()),
         }
     }
 
@@ -105,73 +125,115 @@ impl SketchBank {
 
     /// Folds a tuple of `stream` (given its full value row) into every copy.
     ///
-    /// Cost: `s1·s2` products of `|incident(stream)|` signs — constant per
-    /// tuple, as the paper's complexity argument requires.
+    /// Cost: one packed-sign lookup per incident predicate (a polynomial
+    /// sweep on cache miss, a memcpy-sized fetch on hit), one XOR combine,
+    /// and `s1·s2` counter adds — no per-copy pointer chasing.
     pub fn update(&mut self, stream: StreamId, values: &[Value]) {
         let k = stream.index();
         debug_assert!(k < self.n_streams);
-        let incidence = &self.incidence[k];
-        for copy in &mut self.copies {
-            let mut sign = 1i64;
-            for &(pred, attr) in incidence {
-                sign *= copy.families[pred].sign(values[attr].raw());
-            }
-            copy.sketches[k].add(sign);
-        }
+        let copies = self.config.copies();
+        let scratch = self.scratch.get_mut();
+        combine_packed_signs(
+            &self.families,
+            &mut scratch.cache,
+            &self.incidence[k],
+            values,
+            &mut scratch.words,
+        );
+        let row = &mut self.counters[k * copies..(k + 1) * copies];
+        kernel::fold_packed_signs(&scratch.words, row);
+        self.tuples[k] += 1;
     }
 
     /// The ξ-sign product of a tuple of `stream` in copy `c`
-    /// (`Π_{j ∈ attrs(R_i)} ξ_{j, t[j]}`). Exposed for the tumbling-epoch
-    /// layer, which combines current-epoch signs with last-epoch sketches.
+    /// (`Π_{j ∈ attrs(R_i)} ξ_{j, t[j]}`). Scalar path, exposed for
+    /// diagnostics and the equivalence suite.
     #[inline]
     pub fn sign_in_copy(&self, c: usize, stream: StreamId, values: &[Value]) -> i64 {
         let mut sign = 1i64;
         for &(pred, attr) in &self.incidence[stream.index()] {
-            sign *= self.copies[c].families[pred].sign(values[attr].raw());
+            sign *= self.families.sign_one(pred, c, values[attr].raw());
         }
         sign
+    }
+
+    /// Writes the packed per-copy sign products of a tuple of `stream`
+    /// into `out` (bit `c` set ⇔ copy `c` has sign −1), served from the
+    /// memoizing sign cache. This is the batched counterpart of
+    /// [`SketchBank::sign_in_copy`].
+    pub fn packed_signs_into(&self, stream: StreamId, values: &[Value], out: &mut Vec<u64>) {
+        let mut scratch = self.scratch.borrow_mut();
+        combine_packed_signs(
+            &self.families,
+            &mut scratch.cache,
+            &self.incidence[stream.index()],
+            values,
+            out,
+        );
     }
 
     /// The raw atomic-sketch counter `X_k` of `stream` in copy `c`.
     #[inline]
     pub fn sketch_value(&self, c: usize, stream: StreamId) -> i64 {
-        self.copies[c].sketches[stream.index()].value()
+        self.counters[stream.index() * self.config.copies() + c]
+    }
+
+    /// The contiguous per-copy counter row of `stream` (`X_k` for every
+    /// copy) — the flat view the tumbling layer snapshots and multiplies.
+    #[inline]
+    pub fn counters_row(&self, stream: StreamId) -> &[i64] {
+        let copies = self.config.copies();
+        let k = stream.index();
+        &self.counters[k * copies..(k + 1) * copies]
     }
 
     /// Takes a snapshot of `stream`'s per-copy counters and resets them
     /// (per-stream epoch rollover for tuple-based windows, paper §4.1).
     pub fn take_stream_snapshot(&mut self, stream: StreamId) -> Vec<i64> {
+        let copies = self.config.copies();
         let k = stream.index();
-        self.copies
-            .iter_mut()
-            .map(|copy| {
-                let v = copy.sketches[k].value();
-                copy.sketches[k].reset();
-                v
-            })
-            .collect()
+        let row = &mut self.counters[k * copies..(k + 1) * copies];
+        let snapshot = row.to_vec();
+        row.fill(0);
+        self.tuples[k] = 0;
+        snapshot
     }
 
-    /// Resets every atomic sketch (epoch rollover); hash families persist.
+    /// Resets every atomic sketch (epoch rollover); hash families persist,
+    /// and so does the packed-sign memo — sign vectors depend only on the
+    /// families, so they stay valid across epochs.
     pub fn reset(&mut self) {
-        for copy in &mut self.copies {
-            for s in &mut copy.sketches {
-                s.reset();
-            }
-        }
+        self.counters.fill(0);
+        self.tuples.fill(0);
     }
 
     /// Number of tuples folded into stream `k` this epoch.
     pub fn tuples_seen(&self, stream: StreamId) -> u64 {
-        self.copies[0].sketches[stream.index()].tuples()
+        self.tuples[stream.index()]
+    }
+
+    /// Hit/miss/occupancy counters of the packed-sign memo.
+    pub fn sign_cache_stats(&self) -> SignCacheStats {
+        self.scratch.borrow().cache.stats()
+    }
+
+    /// Drops every memoized sign vector (the vectors remain valid for the
+    /// bank's lifetime; this only trades recomputation for memory).
+    pub fn clear_sign_cache(&self) {
+        self.scratch.borrow_mut().cache.clear();
     }
 
     /// Median-of-means estimate of the full multi-way COUNT
     /// `|W_1 ⋈ … ⋈ W_n|` from this bank's sketches.
     pub fn estimate_join_count(&self) -> f64 {
-        self.median_of_means(|copy: &Copy_| {
-            copy.sketches.iter().map(|s| s.value() as f64).product()
-        })
+        let copies = self.config.copies();
+        let mut scratch = self.scratch.borrow_mut();
+        let BankScratch {
+            per_copy, groups, ..
+        } = &mut *scratch;
+        per_copy.resize(copies, 0.0);
+        kernel::column_products(&self.counters, copies, usize::MAX, per_copy);
+        median_of_means_into(self.config.s1, self.config.s2, per_copy, groups)
     }
 
     /// Median-of-means estimate of `prod(t)` for a tuple of `stream` —
@@ -183,44 +245,47 @@ impl SketchBank {
     /// productivity is a count, hence non-negative).
     pub fn productivity(&self, stream: StreamId, values: &[Value]) -> f64 {
         let i = stream.index();
-        self.median_of_means(|copy: &Copy_| {
-            let mut est = 1.0f64;
-            for (k, s) in copy.sketches.iter().enumerate() {
-                if k != i {
-                    est *= s.value() as f64;
-                }
-            }
-            let mut sign = 1i64;
-            for &(pred, attr) in &self.incidence[i] {
-                sign *= copy.families[pred].sign(values[attr].raw());
-            }
-            est * sign as f64
-        })
-    }
-
-    /// Median over `s2` groups of means over `s1` per-copy statistics.
-    fn median_of_means<F: FnMut(&Copy_) -> f64>(&self, mut per_copy: F) -> f64 {
-        let s1 = self.config.s1;
-        let s2 = self.config.s2;
-        let mut group_means = Vec::with_capacity(s2);
-        for g in 0..s2 {
-            let sum: f64 = self.copies[g * s1..(g + 1) * s1].iter().map(&mut per_copy).sum();
-            group_means.push(sum / s1 as f64);
-        }
-        median_in_place(&mut group_means)
+        let copies = self.config.copies();
+        let mut scratch = self.scratch.borrow_mut();
+        let BankScratch {
+            cache,
+            words,
+            per_copy,
+            groups,
+        } = &mut *scratch;
+        combine_packed_signs(&self.families, cache, &self.incidence[i], values, words);
+        per_copy.resize(copies, 0.0);
+        kernel::column_products(&self.counters, copies, i, per_copy);
+        kernel::apply_packed_signs(words, per_copy);
+        median_of_means_into(self.config.s1, self.config.s2, per_copy, groups)
     }
 }
 
-/// Median-of-means over per-copy statistics laid out as `s1 × s2` values
-/// (group-major). Shared by [`SketchBank`] and the tumbling-epoch layer.
-pub fn median_of_means_slice(s1: usize, s2: usize, per_copy: &[f64]) -> f64 {
+/// Median over `s2` groups of means over `s1` per-copy statistics laid out
+/// group-major, reusing `groups` as the scratch buffer for the group means
+/// (no allocation once it has grown to `s2`). Shared by [`SketchBank`] and
+/// the tumbling-epoch layer.
+pub fn median_of_means_into(
+    s1: usize,
+    s2: usize,
+    per_copy: &[f64],
+    groups: &mut Vec<f64>,
+) -> f64 {
     assert_eq!(per_copy.len(), s1 * s2, "copy count must be s1*s2");
-    let mut group_means = Vec::with_capacity(s2);
+    groups.clear();
     for g in 0..s2 {
         let sum: f64 = per_copy[g * s1..(g + 1) * s1].iter().sum();
-        group_means.push(sum / s1 as f64);
+        groups.push(sum / s1 as f64);
     }
-    median_in_place(&mut group_means)
+    median_in_place(groups)
+}
+
+/// Median-of-means over per-copy statistics laid out as `s1 × s2` values
+/// (group-major). Allocating convenience wrapper around
+/// [`median_of_means_into`].
+pub fn median_of_means_slice(s1: usize, s2: usize, per_copy: &[f64]) -> f64 {
+    let mut groups = Vec::with_capacity(s2);
+    median_of_means_into(s1, s2, per_copy, &mut groups)
 }
 
 /// The median of a non-empty slice (averaging the two central elements for
@@ -282,6 +347,17 @@ mod tests {
         assert_eq!(median_in_place(&mut [3.0, 1.0]), 2.0);
         assert_eq!(median_in_place(&mut [5.0, 1.0, 3.0]), 3.0);
         assert_eq!(median_in_place(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn median_of_means_into_reuses_scratch() {
+        let per_copy = [1.0, 3.0, 10.0, 20.0];
+        let mut groups = Vec::new();
+        assert_eq!(median_of_means_into(2, 2, &per_copy, &mut groups), 8.5);
+        let cap = groups.capacity();
+        assert_eq!(median_of_means_into(2, 2, &per_copy, &mut groups), 8.5);
+        assert_eq!(groups.capacity(), cap, "no reallocation on reuse");
+        assert_eq!(median_of_means_slice(4, 1, &per_copy), 8.5);
     }
 
     #[test]
@@ -460,4 +536,47 @@ mod tests {
         assert_eq!(bank.productivity(StreamId(0), &v(1, 1)), 0.0);
     }
 
+    #[test]
+    fn snapshot_returns_row_and_zeroes_it() {
+        let q = chain_query();
+        let cfg = BankConfig {
+            s1: 6,
+            s2: 1,
+            seed: 11,
+        };
+        let mut bank = SketchBank::new(&q, cfg);
+        bank.update(StreamId(1), &v(4, 2));
+        bank.update(StreamId(1), &v(4, 2));
+        let expected: Vec<i64> = (0..6).map(|c| bank.sketch_value(c, StreamId(1))).collect();
+        assert!(expected.iter().any(|&x| x != 0));
+        let snap = bank.take_stream_snapshot(StreamId(1));
+        assert_eq!(snap, expected);
+        assert_eq!(bank.counters_row(StreamId(1)), vec![0i64; 6].as_slice());
+        assert_eq!(bank.tuples_seen(StreamId(1)), 0);
+    }
+
+    #[test]
+    fn packed_signs_match_scalar_signs_and_hit_cache() {
+        let q = chain_query();
+        let cfg = BankConfig {
+            s1: 70,
+            s2: 1,
+            seed: 13,
+        };
+        let bank = SketchBank::new(&q, cfg);
+        let vals = v(5, 9);
+        let mut words = Vec::new();
+        bank.packed_signs_into(StreamId(1), &vals, &mut words);
+        for c in 0..70 {
+            let packed = if (words[c / 64] >> (c % 64)) & 1 == 1 { -1 } else { 1 };
+            assert_eq!(packed, bank.sign_in_copy(c, StreamId(1), &vals), "copy {c}");
+        }
+        let before = bank.sign_cache_stats();
+        bank.packed_signs_into(StreamId(1), &vals, &mut words);
+        let after = bank.sign_cache_stats();
+        assert_eq!(after.misses, before.misses, "second lookup is all hits");
+        assert!(after.hits > before.hits);
+        bank.clear_sign_cache();
+        assert_eq!(bank.sign_cache_stats().entries, 0);
+    }
 }

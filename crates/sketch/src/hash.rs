@@ -15,9 +15,11 @@ pub const MERSENNE_P: u64 = (1u64 << 61) - 1;
 
 /// Reduces `x` modulo `2^61 − 1` using the Mersenne shift-add identity.
 ///
-/// Accepts any `u128` produced by multiplying two values `< 2^61`.
+/// Accepts any `u128` produced by multiplying two values `< 2^61` (and, in
+/// particular, any `u64`, which makes it a division-free replacement for
+/// `x % MERSENNE_P` on raw attribute values).
 #[inline]
-fn mod_mersenne(x: u128) -> u64 {
+pub fn mod_mersenne(x: u128) -> u64 {
     // Fold twice: after one fold the value fits in 62 bits + small carry.
     let folded = (x & MERSENNE_P as u128) + (x >> 61);
     let folded = (folded & MERSENNE_P as u128) + (folded >> 61);
@@ -57,10 +59,21 @@ impl FourWiseHash {
         FourWiseHash { coeffs }
     }
 
+    /// The polynomial coefficients `[c0, c1, c2, c3]` (ascending degree).
+    /// Exposed so the SoA sign banks can adopt families drawn through the
+    /// canonical [`FourWiseHash::random`] sequence without re-deriving it.
+    #[inline]
+    pub fn coeffs(&self) -> [u64; 4] {
+        self.coeffs
+    }
+
     /// Evaluates the underlying polynomial at `x`, in `[0, 2^61 − 1)`.
     #[inline]
     pub fn eval(&self, x: u64) -> u64 {
-        let x = x % MERSENNE_P;
+        // Division-free input reduction: the same shift-add Mersenne fold
+        // used between Horner steps (bit-identical to `x % MERSENNE_P`,
+        // see `mod_mersenne_matches_division_on_u64`).
+        let x = mod_mersenne(x as u128);
         // Horner's rule: (((c3·x + c2)·x + c1)·x + c0).
         let mut acc = self.coeffs[3];
         for &c in [self.coeffs[2], self.coeffs[1], self.coeffs[0]].iter() {
@@ -182,6 +195,30 @@ mod tests {
                                 x in 0..u64::MAX) {
             let h = FourWiseHash::from_coeffs([c0, c1, c2, c3]);
             prop_assert!(h.eval(x) < MERSENNE_P);
+        }
+
+        /// The shift-add Mersenne fold and the hardware division agree on
+        /// every `u64` input — the reduction `eval` now uses is exact.
+        #[test]
+        fn mod_mersenne_matches_division_on_u64(x in any::<u64>()) {
+            prop_assert_eq!(mod_mersenne(x as u128), x % MERSENNE_P);
+        }
+    }
+
+    #[test]
+    fn mod_mersenne_matches_division_at_u64_edges() {
+        for x in [
+            0u64,
+            1,
+            MERSENNE_P - 1,
+            MERSENNE_P,
+            MERSENNE_P + 1,
+            2 * MERSENNE_P,
+            2 * MERSENNE_P + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(mod_mersenne(x as u128), x % MERSENNE_P, "x={x}");
         }
     }
 }

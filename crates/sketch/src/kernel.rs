@@ -1,0 +1,153 @@
+//! Flat, branch-light kernels over the SoA sketch state.
+//!
+//! Every function here works on contiguous slices laid out *stream-major*:
+//! the counters (or last-epoch snapshots) of stream `k` occupy
+//! `buf[k * copies .. (k + 1) * copies]`, element `c` belonging to copy
+//! `c`. The kernels iterate copy-innermost so the compiler can vectorize,
+//! and every floating-point reduction folds in exactly the order the
+//! legacy AoS implementation used — ascending stream index, left to right
+//! over copies — so estimates stay bit-identical (multiplying by ±1 is an
+//! exact sign-bit flip and commutes with everything else).
+
+/// Adds the packed ±1 signs in `words` into per-copy counters:
+/// `counters[c] += +1` where bit `c` is clear, `−1` where set.
+///
+/// `counters` may be shorter than the bit capacity of `words` (the last
+/// word's tail bits are ignored); it must not be longer.
+pub fn fold_packed_signs(words: &[u64], counters: &mut [i64]) {
+    assert!(
+        counters.len() <= words.len() * 64,
+        "fewer packed sign bits than counters"
+    );
+    for (w_idx, chunk) in counters.chunks_mut(64).enumerate() {
+        let w = words[w_idx];
+        for (b, cnt) in chunk.iter_mut().enumerate() {
+            *cnt += 1 - 2 * ((w >> b) & 1) as i64;
+        }
+    }
+}
+
+/// Per-copy product of the counters of every stream except `exclude`
+/// (pass `usize::MAX` — or any index `>= n`— to include all streams):
+/// `out[c] = Π_{k ≠ exclude} buf[k·copies + c]`, multiplied in ascending
+/// stream order starting from 1.0, matching the legacy fold exactly.
+pub fn column_products(buf: &[i64], copies: usize, exclude: usize, out: &mut [f64]) {
+    assert_eq!(out.len(), copies, "output must hold one product per copy");
+    assert_eq!(buf.len() % copies.max(1), 0, "buffer is not stream-major");
+    out.fill(1.0);
+    for (k, row) in buf.chunks_exact(copies).enumerate() {
+        if k == exclude {
+            continue;
+        }
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o *= v as f64;
+        }
+    }
+}
+
+/// Multiplies one stream-row of counters into an accumulator:
+/// `acc[c] *= row[c]`. Used by the mixed last/current fallback path.
+#[inline]
+pub fn multiply_row(acc: &mut [f64], row: &[i64]) {
+    for (o, &v) in acc.iter_mut().zip(row) {
+        *o *= v as f64;
+    }
+}
+
+/// Negates `vals[c]` wherever bit `c` of `words` is set (sign −1).
+/// Exact: IEEE negation flips the sign bit only.
+pub fn apply_packed_signs(words: &[u64], vals: &mut [f64]) {
+    assert!(
+        vals.len() <= words.len() * 64,
+        "fewer packed sign bits than values"
+    );
+    for (w_idx, chunk) in vals.chunks_mut(64).enumerate() {
+        let w = words[w_idx];
+        for (b, v) in chunk.iter_mut().enumerate() {
+            if (w >> b) & 1 == 1 {
+                *v = -*v;
+            }
+        }
+    }
+}
+
+/// `dst[c] = ±src[c]` according to the packed signs — the entire frozen
+/// cross-product productivity query: one sign lookup and one copy per
+/// sketch copy, no multiplies.
+pub fn signed_copy(words: &[u64], src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "source/destination length mismatch");
+    assert!(
+        src.len() <= words.len() * 64,
+        "fewer packed sign bits than values"
+    );
+    for ((w_idx, chunk), s_chunk) in dst.chunks_mut(64).enumerate().zip(src.chunks(64)) {
+        let w = words[w_idx];
+        for ((b, d), &s) in chunk.iter_mut().enumerate().zip(s_chunk) {
+            *d = if (w >> b) & 1 == 1 { -s } else { s };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_adds_signed_units() {
+        let mut counters = vec![0i64; 70];
+        // Copies 0 and 65 negative, everything else positive.
+        let words = [1u64, 1 << 1];
+        fold_packed_signs(&words, &mut counters);
+        assert_eq!(counters[0], -1);
+        assert_eq!(counters[1], 1);
+        assert_eq!(counters[64], 1);
+        assert_eq!(counters[65], -1);
+        assert_eq!(counters.iter().sum::<i64>(), 70 - 4);
+        fold_packed_signs(&words, &mut counters);
+        assert_eq!(counters[0], -2);
+        assert_eq!(counters[69], 2);
+    }
+
+    #[test]
+    fn column_products_exclude_and_full() {
+        // 3 streams × 2 copies, stream-major.
+        let buf = [2i64, 3, 5, 7, -1, 10];
+        let mut out = [0.0f64; 2];
+        column_products(&buf, 2, usize::MAX, &mut out);
+        assert_eq!(out, [2.0 * 5.0 * -1.0, 3.0 * 7.0 * 10.0]);
+        column_products(&buf, 2, 1, &mut out);
+        assert_eq!(out, [2.0 * -1.0, 3.0 * 10.0]);
+        column_products(&buf, 2, 0, &mut out);
+        assert_eq!(out, [5.0 * -1.0, 7.0 * 10.0]);
+    }
+
+    #[test]
+    fn multiply_row_accumulates() {
+        let mut acc = [1.0f64, -2.0];
+        multiply_row(&mut acc, &[3, 4]);
+        assert_eq!(acc, [3.0, -8.0]);
+    }
+
+    #[test]
+    fn apply_and_signed_copy_agree() {
+        let words = [0b1010u64];
+        let src = [1.5f64, 2.5, 0.0, -4.0];
+        let mut a = src;
+        apply_packed_signs(&words, &mut a);
+        let mut b = [0.0f64; 4];
+        signed_copy(&words, &src, &mut b);
+        assert_eq!(a, [1.5, -2.5, 0.0, 4.0]);
+        assert_eq!(a, b);
+        // Negative zero round-trips exactly.
+        let mut z = [0.0f64];
+        apply_packed_signs(&[1], &mut z);
+        assert!(z[0] == 0.0 && z[0].is_sign_negative());
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer packed sign bits")]
+    fn fold_rejects_short_words() {
+        let mut counters = vec![0i64; 65];
+        fold_packed_signs(&[0], &mut counters);
+    }
+}

@@ -21,6 +21,13 @@
 //! * [`FreqTable`] / [`PartnerFrequency`] — exact per-window value-frequency
 //!   tables, the state behind the `Bjoin`/`Prob` baseline (and the space
 //!   cost the paper's complexity comparison charges it with).
+//! * [`SignFamilies`] / [`SignCache`] / [`kernel`] — the flat
+//!   structure-of-arrays hot path beneath [`SketchBank`]: hash coefficients
+//!   stored copy-major per predicate, ±1 signs evaluated once per
+//!   `(predicate, value)` into bit-packed `u64` vectors (memoized, XOR-
+//!   combined across incident predicates), and contiguous counter/product
+//!   kernels that keep every estimate bit-identical to the original
+//!   array-of-structs implementation.
 
 //!
 //! ```
@@ -50,10 +57,13 @@ pub mod atomic;
 pub mod bank;
 pub mod freq;
 pub mod hash;
+pub mod kernel;
+pub mod signs;
 pub mod tumbling;
 
 pub use atomic::AtomicSketch;
-pub use bank::{median_of_means_slice, BankConfig, SketchBank};
+pub use bank::{median_of_means_into, median_of_means_slice, BankConfig, SketchBank};
 pub use freq::{FreqTable, PartnerFrequency, TumblingFreq};
 pub use hash::FourWiseHash;
+pub use signs::{SignCache, SignCacheStats, SignFamilies};
 pub use tumbling::{EpochSpec, TumblingSketches};

@@ -12,8 +12,18 @@
 //! During the very first epoch there is no "last" sketch yet; the paper
 //! falls back to the current one, and so do we — per stream, so a slow
 //! stream keeps falling back until its own first epoch completes.
+//!
+//! Because the last-epoch snapshot is **immutable between rollovers**, the
+//! cross-products `Π_{k≠i} X_k^{last}` it contributes to every
+//! productivity query are precomputed once per rollover (lazily, per
+//! excluded stream) into contiguous `f64` rows. A productivity query then
+//! reduces to one packed-sign lookup plus a signed sum over that row —
+//! `O(copies)` adds instead of `O(copies · n)` multiplies — which is also
+//! what the engine's epoch-rollover priority rebuild pays per tuple.
 
-use crate::bank::{median_of_means_slice, BankConfig, SketchBank};
+use crate::bank::{median_of_means_into, BankConfig, SketchBank};
+use crate::kernel;
+use crate::signs::SignCacheStats;
 use mstream_types::{JoinQuery, StreamId, VDur, VTime, Value};
 use serde::{Deserialize, Serialize};
 
@@ -32,8 +42,9 @@ pub enum EpochSpec {
 #[derive(Clone, Debug)]
 pub struct TumblingSketches {
     bank: SketchBank,
-    /// `last[c][k]` = last completed epoch's `X_k` in copy `c`.
-    last: Vec<Vec<i64>>,
+    /// `last[k * copies + c]` = last completed epoch's `X_k` in copy `c`
+    /// (stream-major, same layout as the bank's counters).
+    last: Vec<i64>,
     /// Whether stream `k` has completed at least one epoch.
     has_last: Vec<bool>,
     epoch: EpochSpec,
@@ -41,8 +52,16 @@ pub struct TumblingSketches {
     next_roll: VTime,
     /// Tuple-mode: arrivals seen per stream since its last roll.
     arrivals: Vec<u64>,
-    /// Scratch buffer for median-of-means (avoids per-query allocation).
+    /// Scratch buffer of per-copy statistics (avoids per-query allocation).
     scratch: Vec<f64>,
+    /// Scratch buffer of group means for median-of-means.
+    groups: Vec<f64>,
+    /// Scratch buffer of packed sign words.
+    words: Vec<u64>,
+    /// `cross[i * copies + c]` = frozen `Π_{k≠i} X_k^{last}` in copy `c`.
+    cross: Vec<f64>,
+    /// Whether `cross` row `i` reflects the current `last` snapshot.
+    cross_valid: Vec<bool>,
 }
 
 impl TumblingSketches {
@@ -63,12 +82,16 @@ impl TumblingSketches {
         };
         TumblingSketches {
             bank,
-            last: vec![vec![0; n_streams]; copies],
+            last: vec![0; n_streams * copies],
             has_last: vec![false; n_streams],
             epoch,
             next_roll,
             arrivals: vec![0; n_streams],
             scratch: vec![0.0; copies],
+            groups: Vec::with_capacity(config.s2),
+            words: Vec::new(),
+            cross: vec![0.0; n_streams * copies],
+            cross_valid: vec![false; n_streams],
         }
     }
 
@@ -116,49 +139,83 @@ impl TumblingSketches {
 
     /// Rolls every stream at once (time-based epochs).
     fn roll_all(&mut self) {
-        let n_streams = self.has_last.len();
-        for c in 0..self.last.len() {
-            for k in 0..n_streams {
-                self.last[c][k] = self.bank.sketch_value(c, StreamId(k));
-            }
+        let copies = self.bank.config().copies();
+        for k in 0..self.has_last.len() {
+            self.last[k * copies..(k + 1) * copies]
+                .copy_from_slice(self.bank.counters_row(StreamId(k)));
         }
         self.bank.reset();
         self.has_last.fill(true);
+        self.cross_valid.fill(false);
     }
 
     /// Rolls a single stream (tuple-based epochs).
     fn roll_stream(&mut self, stream: StreamId) {
+        let copies = self.bank.config().copies();
+        let k = stream.index();
         let snapshot = self.bank.take_stream_snapshot(stream);
-        for (c, v) in snapshot.into_iter().enumerate() {
-            self.last[c][stream.index()] = v;
+        self.last[k * copies..(k + 1) * copies].copy_from_slice(&snapshot);
+        self.has_last[k] = true;
+        // Every cross-product row except `k`'s own consults X_k^{last}.
+        for (i, valid) in self.cross_valid.iter_mut().enumerate() {
+            if i != k {
+                *valid = false;
+            }
         }
-        self.has_last[stream.index()] = true;
+    }
+
+    /// Rebuilds the frozen cross-product row excluding stream `i` from the
+    /// current `last` snapshot (ascending stream order, so the float fold
+    /// matches the legacy per-copy loop bit for bit).
+    fn ensure_cross_row(&mut self, i: usize) {
+        if self.cross_valid[i] {
+            return;
+        }
+        let copies = self.bank.config().copies();
+        let row = &mut self.cross[i * copies..(i + 1) * copies];
+        kernel::column_products(&self.last, copies, i, row);
+        self.cross_valid[i] = true;
     }
 
     /// Estimated productivity of a tuple of `stream`:
     /// `prod(t) = Π_j ξ_{j,t[j]} · Π_{k≠i} X_k^{last}`, median-of-means
     /// combined, with per-stream fallback to the current sketch while a
     /// stream has not yet completed its first epoch.
+    ///
+    /// Steady state (every other stream past its first epoch) runs the
+    /// frozen-cross-product fast path: a memoized packed-sign lookup and a
+    /// signed copy of a precomputed `f64` row.
     pub fn productivity(&mut self, stream: StreamId, values: &[Value]) -> f64 {
         let i = stream.index();
-        let copies = self.scratch.len();
-        for c in 0..copies {
-            let mut est = self.bank.sign_in_copy(c, stream, values) as f64;
-            for k in 0..self.has_last.len() {
+        let n = self.has_last.len();
+        let copies = self.bank.config().copies();
+        self.bank.packed_signs_into(stream, values, &mut self.words);
+        self.scratch.resize(copies, 0.0);
+        let frozen = (0..n).all(|k| k == i || self.has_last[k]);
+        if frozen {
+            self.ensure_cross_row(i);
+            let row = &self.cross[i * copies..(i + 1) * copies];
+            kernel::signed_copy(&self.words, row, &mut self.scratch);
+        } else {
+            // Mixed path (some stream still in its first epoch): multiply
+            // per-stream rows in ascending order, choosing last-epoch or
+            // live counters per stream exactly as the paper prescribes.
+            self.scratch.fill(1.0);
+            for k in 0..n {
                 if k == i {
                     continue;
                 }
-                let x = if self.has_last[k] {
-                    self.last[c][k]
+                let row: &[i64] = if self.has_last[k] {
+                    &self.last[k * copies..(k + 1) * copies]
                 } else {
-                    self.bank.sketch_value(c, StreamId(k))
+                    self.bank.counters_row(StreamId(k))
                 };
-                est *= x as f64;
+                kernel::multiply_row(&mut self.scratch, row);
             }
-            self.scratch[c] = est;
+            kernel::apply_packed_signs(&self.words, &mut self.scratch);
         }
         let cfg = self.bank.config();
-        median_of_means_slice(cfg.s1, cfg.s2, &self.scratch)
+        median_of_means_into(cfg.s1, cfg.s2, &self.scratch, &mut self.groups)
     }
 
     /// Productivity computed against the *current* epoch's sketches
@@ -180,6 +237,11 @@ impl TumblingSketches {
     /// Whether `stream` has completed at least one epoch.
     pub fn has_last_epoch(&self, stream: StreamId) -> bool {
         self.has_last[stream.index()]
+    }
+
+    /// Hit/miss/occupancy counters of the bank's packed-sign memo.
+    pub fn sign_cache_stats(&self) -> SignCacheStats {
+        self.bank.sign_cache_stats()
     }
 }
 
@@ -297,6 +359,43 @@ mod tests {
         // current-based sees 1 R2-tuple × 0 R3 matches = 0 too, but through
         // a different path; both must be finite and small.
         assert!(current_based.abs() < 40.0);
+    }
+
+    #[test]
+    fn frozen_cross_products_match_direct_multiplication() {
+        // Same query answered before and after the cross rows are (lazily)
+        // built must agree bit for bit, across both time- and tuple-mode
+        // rolls interleaved with cache-warming repeats.
+        let q = chain_query();
+        let mut ts = TumblingSketches::new(&q, cfg(64, 8), EpochSpec::Time(VDur::from_secs(10)));
+        for i in 0..25u64 {
+            let s = StreamId((i % 3) as usize);
+            ts.observe(s, &v(i % 5, i % 3), VTime::from_secs(i % 9));
+        }
+        // Force a roll so the frozen path engages.
+        ts.observe(StreamId(0), &v(1, 1), VTime::from_secs(30));
+        assert!(ts.has_last_epoch(StreamId(1)));
+        let first = ts.productivity(StreamId(0), &v(2, 0));
+        let again = ts.productivity(StreamId(0), &v(2, 0));
+        assert_eq!(first.to_bits(), again.to_bits());
+        // A second roll invalidates and rebuilds the rows.
+        ts.observe(StreamId(1), &v(2, 2), VTime::from_secs(45));
+        let after_roll = ts.productivity(StreamId(0), &v(2, 0));
+        assert_eq!(
+            after_roll.to_bits(),
+            ts.productivity(StreamId(0), &v(2, 0)).to_bits()
+        );
+    }
+
+    #[test]
+    fn sign_cache_stats_flow_through() {
+        let q = chain_query();
+        let mut ts = TumblingSketches::new(&q, cfg(32, 6), EpochSpec::Time(VDur::from_secs(100)));
+        ts.observe(StreamId(0), &v(1, 1), VTime::ZERO);
+        ts.observe(StreamId(0), &v(1, 1), VTime::ZERO);
+        let stats = ts.sign_cache_stats();
+        assert!(stats.misses >= 1);
+        assert!(stats.hits >= 1, "repeated value must hit the memo");
     }
 
     #[test]

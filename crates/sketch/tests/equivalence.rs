@@ -1,0 +1,531 @@
+//! Bit-identity of the flat SoA sketch kernels against the original
+//! array-of-structs layout.
+//!
+//! The seed implementation stored one `Copy_ { Vec<FourWiseHash>,
+//! Vec<AtomicSketch> }` per sketch copy and walked them pointer-chasing;
+//! the rework stores coefficients copy-major per predicate and counters in
+//! one stream-major `Vec<i64>`, evaluates ±1 signs into bit-packed words,
+//! and freezes last-epoch cross-products. **None of that may change a
+//! single output bit under a fixed seed.** This suite rebuilds the legacy
+//! layout verbatim (from the still-public [`FourWiseHash`] /
+//! [`AtomicSketch`] primitives) and drives both implementations through
+//! identical workloads — golden vectors plus property-based random
+//! schedules covering epoch rollovers in both time- and tuple-window mode.
+
+use mstream_sketch::{
+    median_of_means_slice, AtomicSketch, BankConfig, EpochSpec, FourWiseHash, SketchBank,
+    TumblingSketches,
+};
+use mstream_types::{
+    Catalog, JoinQuery, StreamId, StreamSchema, VDur, VTime, Value, WindowSpec,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------------
+// Legacy reference implementation (the seed's AoS layout, verbatim logic).
+// ---------------------------------------------------------------------------
+
+struct LegacyCopy {
+    families: Vec<FourWiseHash>,
+    sketches: Vec<AtomicSketch>,
+}
+
+struct LegacyBank {
+    s1: usize,
+    s2: usize,
+    incidence: Vec<Vec<(usize, usize)>>,
+    copies: Vec<LegacyCopy>,
+}
+
+impl LegacyBank {
+    fn new(query: &JoinQuery, config: BankConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n_streams = query.n_streams();
+        let n_preds = query.predicates().len();
+        let copies = (0..config.copies())
+            .map(|_| LegacyCopy {
+                families: (0..n_preds)
+                    .map(|_| FourWiseHash::random(&mut rng))
+                    .collect(),
+                sketches: vec![AtomicSketch::new(); n_streams],
+            })
+            .collect();
+        let incidence = (0..n_streams)
+            .map(|s| query.incident(StreamId(s)).to_vec())
+            .collect();
+        LegacyBank {
+            s1: config.s1,
+            s2: config.s2,
+            incidence,
+            copies,
+        }
+    }
+
+    fn update(&mut self, stream: StreamId, values: &[Value]) {
+        let k = stream.index();
+        let incidence = &self.incidence[k];
+        for copy in &mut self.copies {
+            let mut sign = 1i64;
+            for &(pred, attr) in incidence {
+                sign *= copy.families[pred].sign(values[attr].raw());
+            }
+            copy.sketches[k].add(sign);
+        }
+    }
+
+    fn sign_in_copy(&self, c: usize, stream: StreamId, values: &[Value]) -> i64 {
+        let mut sign = 1i64;
+        for &(pred, attr) in &self.incidence[stream.index()] {
+            sign *= self.copies[c].families[pred].sign(values[attr].raw());
+        }
+        sign
+    }
+
+    fn take_stream_snapshot(&mut self, stream: StreamId) -> Vec<i64> {
+        let k = stream.index();
+        self.copies
+            .iter_mut()
+            .map(|copy| {
+                let v = copy.sketches[k].value();
+                copy.sketches[k].reset();
+                v
+            })
+            .collect()
+    }
+
+    fn reset(&mut self) {
+        for copy in &mut self.copies {
+            for s in &mut copy.sketches {
+                s.reset();
+            }
+        }
+    }
+
+    fn estimate_join_count(&self) -> f64 {
+        let per_copy: Vec<f64> = self
+            .copies
+            .iter()
+            .map(|copy| copy.sketches.iter().map(|s| s.value() as f64).product())
+            .collect();
+        median_of_means_slice(self.s1, self.s2, &per_copy)
+    }
+
+    fn productivity(&self, stream: StreamId, values: &[Value]) -> f64 {
+        let i = stream.index();
+        let per_copy: Vec<f64> = self
+            .copies
+            .iter()
+            .map(|copy| {
+                let mut est = 1.0f64;
+                for (k, s) in copy.sketches.iter().enumerate() {
+                    if k != i {
+                        est *= s.value() as f64;
+                    }
+                }
+                let mut sign = 1i64;
+                for &(pred, attr) in &self.incidence[i] {
+                    sign *= copy.families[pred].sign(values[attr].raw());
+                }
+                est * sign as f64
+            })
+            .collect();
+        median_of_means_slice(self.s1, self.s2, &per_copy)
+    }
+}
+
+/// The seed's tumbling-epoch layer: `last[c][k]` copy-major snapshots and
+/// the sign-first per-copy fold.
+struct LegacyTumbling {
+    bank: LegacyBank,
+    last: Vec<Vec<i64>>,
+    has_last: Vec<bool>,
+    epoch: EpochSpec,
+    next_roll: VTime,
+    arrivals: Vec<u64>,
+}
+
+impl LegacyTumbling {
+    fn new(query: &JoinQuery, config: BankConfig, epoch: EpochSpec) -> Self {
+        let bank = LegacyBank::new(query, config);
+        let n_streams = query.n_streams();
+        let next_roll = match epoch {
+            EpochSpec::Time(n) => VTime::ZERO + n,
+            EpochSpec::PerStreamTuples(_) => VTime::ZERO,
+        };
+        LegacyTumbling {
+            last: vec![vec![0; n_streams]; config.copies()],
+            has_last: vec![false; n_streams],
+            epoch,
+            next_roll,
+            arrivals: vec![0; n_streams],
+            bank,
+        }
+    }
+
+    fn observe(&mut self, stream: StreamId, values: &[Value], now: VTime) -> bool {
+        let rolled = match self.epoch {
+            EpochSpec::Time(n) => {
+                let mut rolled = false;
+                while now >= self.next_roll {
+                    self.roll_all();
+                    self.next_roll += n;
+                    rolled = true;
+                }
+                rolled
+            }
+            EpochSpec::PerStreamTuples(_) => false,
+        };
+        self.bank.update(stream, values);
+        let rolled_tuple = match self.epoch {
+            EpochSpec::PerStreamTuples(n) => {
+                let k = stream.index();
+                self.arrivals[k] += 1;
+                if self.arrivals[k] >= n {
+                    self.arrivals[k] = 0;
+                    let snapshot = self.bank.take_stream_snapshot(stream);
+                    for (c, v) in snapshot.into_iter().enumerate() {
+                        self.last[c][k] = v;
+                    }
+                    self.has_last[k] = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            EpochSpec::Time(_) => false,
+        };
+        rolled || rolled_tuple
+    }
+
+    fn roll_all(&mut self) {
+        for (c, copy) in self.bank.copies.iter().enumerate() {
+            for (k, s) in copy.sketches.iter().enumerate() {
+                self.last[c][k] = s.value();
+            }
+        }
+        self.bank.reset();
+        self.has_last.fill(true);
+    }
+
+    fn productivity(&mut self, stream: StreamId, values: &[Value]) -> f64 {
+        let i = stream.index();
+        let copies = self.bank.copies.len();
+        let mut per_copy = vec![0.0f64; copies];
+        for (c, slot) in per_copy.iter_mut().enumerate() {
+            let mut est = self.bank.sign_in_copy(c, stream, values) as f64;
+            for k in 0..self.has_last.len() {
+                if k == i {
+                    continue;
+                }
+                let x = if self.has_last[k] {
+                    self.last[c][k]
+                } else {
+                    self.bank.copies[c].sketches[k].value()
+                };
+                est *= x as f64;
+            }
+            *slot = est;
+        }
+        median_of_means_slice(self.bank.s1, self.bank.s2, &per_copy)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared fixtures.
+// ---------------------------------------------------------------------------
+
+fn chain_query() -> JoinQuery {
+    let mut c = Catalog::new();
+    c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+    JoinQuery::from_names(
+        c,
+        &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+        WindowSpec::secs(500),
+    )
+    .unwrap()
+}
+
+fn v(a: u64, b: u64) -> Vec<Value> {
+    vec![Value(a), Value(b)]
+}
+
+/// Deterministic pseudo-workload: `(stream, values, seconds)` triples.
+fn workload(len: u64, spread: u64) -> Vec<(StreamId, Vec<Value>, VTime)> {
+    (0..len)
+        .map(|i| {
+            // Mildly skewed values so the sign cache sees both hits and
+            // misses; time advances non-monotonically within a second but
+            // monotonically overall.
+            let s = StreamId((i % 3) as usize);
+            let a = (i * i + 7 * i) % spread;
+            let b = (i / 2) % spread;
+            (s, v(a, b), VTime::from_secs(i / 4))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Golden-vector equivalence.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bank_estimates_bit_identical_on_golden_workload() {
+    let q = chain_query();
+    for (s1, s2, seed) in [(1, 1, 0u64), (7, 1, 1), (16, 3, 42), (130, 2, 0xDEAD)] {
+        let cfg = BankConfig { s1, s2, seed };
+        let mut new = SketchBank::new(&q, cfg);
+        let mut old = LegacyBank::new(&q, cfg);
+        for (s, vals, _) in workload(200, 23) {
+            new.update(s, &vals);
+            old.update(s, &vals);
+        }
+        assert_eq!(
+            new.estimate_join_count().to_bits(),
+            old.estimate_join_count().to_bits(),
+            "join count diverged at s1={s1} s2={s2} seed={seed}"
+        );
+        for probe in 0..30u64 {
+            for stream in 0..3 {
+                let vals = v(probe % 23, (probe * 3) % 23);
+                let sid = StreamId(stream);
+                assert_eq!(
+                    new.productivity(sid, &vals).to_bits(),
+                    old.productivity(sid, &vals).to_bits(),
+                    "productivity diverged: s1={s1} s2={s2} seed={seed} \
+                     stream={stream} probe={probe}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_copy_state_matches_legacy_exactly() {
+    // Stronger than output equality: every counter and every sign agrees.
+    let q = chain_query();
+    let cfg = BankConfig {
+        s1: 65, // odd size straddling a packed-word boundary
+        s2: 1,
+        seed: 9,
+    };
+    let mut new = SketchBank::new(&q, cfg);
+    let mut old = LegacyBank::new(&q, cfg);
+    for (s, vals, _) in workload(120, 11) {
+        new.update(s, &vals);
+        old.update(s, &vals);
+    }
+    for c in 0..cfg.copies() {
+        for k in 0..3 {
+            assert_eq!(
+                new.sketch_value(c, StreamId(k)),
+                old.copies[c].sketches[k].value(),
+                "counter diverged at copy {c} stream {k}"
+            );
+        }
+        for probe in 0..10u64 {
+            let vals = v(probe, probe % 3);
+            for k in 0..3 {
+                assert_eq!(
+                    new.sign_in_copy(c, StreamId(k), &vals),
+                    old.sign_in_copy(c, StreamId(k), &vals),
+                    "sign diverged at copy {c} stream {k} probe {probe}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tumbling_time_epochs_bit_identical_across_rollovers() {
+    let q = chain_query();
+    let cfg = BankConfig {
+        s1: 40,
+        s2: 2,
+        seed: 77,
+    };
+    let epoch = EpochSpec::Time(VDur::from_secs(10));
+    let mut new = TumblingSketches::new(&q, cfg, epoch);
+    let mut old = LegacyTumbling::new(&q, cfg, epoch);
+    for (i, (s, vals, t)) in workload(300, 17).into_iter().enumerate() {
+        let rolled_new = new.observe(s, &vals, t);
+        let rolled_old = old.observe(s, &vals, t);
+        assert_eq!(rolled_new, rolled_old, "rollover cue diverged at {i}");
+        // Probe from every stream each step so first-epoch fallback, mixed
+        // and frozen paths all get exercised, before AND after rollovers.
+        if i % 7 == 0 {
+            for stream in 0..3 {
+                let probe = v((i as u64) % 17, (i as u64 / 3) % 17);
+                let sid = StreamId(stream);
+                assert_eq!(
+                    new.productivity(sid, &probe).to_bits(),
+                    old.productivity(sid, &probe).to_bits(),
+                    "tumbling productivity diverged at step {i} stream {stream}"
+                );
+            }
+            assert_eq!(
+                new.estimate_join_count().to_bits(),
+                old.estimate_join_count().to_bits(),
+                "tumbling join count diverged at step {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tumbling_tuple_epochs_bit_identical_with_snapshots() {
+    // PerStreamTuples rolls through `take_stream_snapshot`: streams roll
+    // independently, so the mixed last/current fallback path stays live for
+    // straggler streams long after others have frozen.
+    let q = chain_query();
+    let cfg = BankConfig {
+        s1: 33,
+        s2: 1,
+        seed: 123,
+    };
+    let epoch = EpochSpec::PerStreamTuples(8);
+    let mut new = TumblingSketches::new(&q, cfg, epoch);
+    let mut old = LegacyTumbling::new(&q, cfg, epoch);
+    for (i, (s, vals, t)) in workload(250, 9).into_iter().enumerate() {
+        // Skew arrivals: stream 2 only sees every third tuple, so it lags
+        // a full epoch behind the others.
+        if s == StreamId(2) && i % 3 != 0 {
+            continue;
+        }
+        assert_eq!(new.observe(s, &vals, t), old.observe(s, &vals, t));
+        if i % 5 == 0 {
+            for stream in 0..3 {
+                let probe = v((i as u64) % 9, (i as u64) % 4);
+                let sid = StreamId(stream);
+                assert_eq!(
+                    new.productivity(sid, &probe).to_bits(),
+                    old.productivity(sid, &probe).to_bits(),
+                    "tuple-mode productivity diverged at step {i} stream {stream}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn current_productivity_matches_bank_path() {
+    let q = chain_query();
+    let cfg = BankConfig {
+        s1: 50,
+        s2: 1,
+        seed: 4,
+    };
+    let mut new = TumblingSketches::new(&q, cfg, EpochSpec::Time(VDur::from_secs(50)));
+    let mut old = LegacyBank::new(&q, cfg);
+    for (s, vals, t) in workload(100, 13) {
+        new.observe(s, &vals, t);
+        old.update(s, &vals);
+    }
+    for probe in 0..10u64 {
+        let vals = v(probe % 13, probe % 5);
+        assert_eq!(
+            new.current_productivity(StreamId(0), &vals).to_bits(),
+            old.productivity(StreamId(0), &vals).to_bits()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property-based equivalence over random schedules.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random workloads, sizings and seeds: the SoA bank and the legacy
+    /// bank agree bit for bit on every estimate.
+    #[test]
+    fn bank_equivalence_holds_for_random_workloads(
+        seed in any::<u64>(),
+        s1 in 1usize..24,
+        s2 in 1usize..4,
+        steps in prop::collection::vec(
+            (0usize..3, 0u64..12, 0u64..12), 1..120),
+        probes in prop::collection::vec(
+            (0usize..3, 0u64..12, 0u64..12), 1..12),
+    ) {
+        let q = chain_query();
+        let cfg = BankConfig { s1, s2, seed };
+        let mut new = SketchBank::new(&q, cfg);
+        let mut old = LegacyBank::new(&q, cfg);
+        for (s, a, b) in steps {
+            new.update(StreamId(s), &v(a, b));
+            old.update(StreamId(s), &v(a, b));
+        }
+        prop_assert_eq!(
+            new.estimate_join_count().to_bits(),
+            old.estimate_join_count().to_bits()
+        );
+        for (s, a, b) in probes {
+            prop_assert_eq!(
+                new.productivity(StreamId(s), &v(a, b)).to_bits(),
+                old.productivity(StreamId(s), &v(a, b)).to_bits()
+            );
+        }
+    }
+
+    /// Random schedules with epoch rollovers in both window modes: the
+    /// tumbling layers agree bit for bit, including the frozen-cross-product
+    /// fast path and the first-epoch fallback.
+    #[test]
+    fn tumbling_equivalence_holds_across_rollovers(
+        seed in any::<u64>(),
+        s1 in 1usize..16,
+        time_mode in any::<bool>(),
+        period in 1u64..12,
+        steps in prop::collection::vec(
+            (0usize..3, 0u64..8, 0u64..8, 0u64..40), 1..100),
+        probes in prop::collection::vec(
+            (0usize..3, 0u64..8, 0u64..8), 1..8),
+    ) {
+        let q = chain_query();
+        let cfg = BankConfig { s1, s2: 1, seed };
+        let epoch = if time_mode {
+            EpochSpec::Time(VDur::from_secs(period))
+        } else {
+            EpochSpec::PerStreamTuples(period)
+        };
+        let mut new = TumblingSketches::new(&q, cfg, epoch);
+        let mut old = LegacyTumbling::new(&q, cfg, epoch);
+        let mut now = 0u64;
+        for (s, a, b, dt) in steps {
+            // Time must be monotone; accumulate the random increments.
+            now += dt / 8;
+            let t = VTime::from_secs(now);
+            prop_assert_eq!(
+                new.observe(StreamId(s), &v(a, b), t),
+                old.observe(StreamId(s), &v(a, b), t)
+            );
+        }
+        for (s, a, b) in &probes {
+            prop_assert_eq!(
+                new.productivity(StreamId(*s), &v(*a, *b)).to_bits(),
+                old.productivity(StreamId(*s), &v(*a, *b)).to_bits()
+            );
+        }
+        // Interleave another burst after probing (cross rows must
+        // invalidate correctly), then probe again.
+        for i in 0..10u64 {
+            now += 1;
+            let t = VTime::from_secs(now);
+            prop_assert_eq!(
+                new.observe(StreamId((i % 3) as usize), &v(i % 5, i % 4), t),
+                old.observe(StreamId((i % 3) as usize), &v(i % 5, i % 4), t)
+            );
+        }
+        for (s, a, b) in &probes {
+            prop_assert_eq!(
+                new.productivity(StreamId(*s), &v(*a, *b)).to_bits(),
+                old.productivity(StreamId(*s), &v(*a, *b)).to_bits()
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs the sketch-kernel microbenchmarks plus the fig3_time stage-timing
+# pass and merges everything into BENCH_sketch.json at the repo root.
+#
+# Usage: scripts/bench_sketch.sh [--scale S]
+#
+# Artifact layout (BENCH_sketch.json):
+#   {
+#     "criterion": { "<group>/<bench>": {"mean_ns": ..., "median_ns": ...} },
+#     "fig3_stages": [ {"policy": ..., "sketch_observe_ns": ...}, ... ]
+#   }
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${2:-0.25}"
+if [ "${1:-}" = "--scale" ] && [ -n "${2:-}" ]; then SCALE="$2"; fi
+
+echo "== criterion: sketch kernels =="
+cargo bench -p mstream-bench --bench bench_sketch
+
+echo "== fig3_time stage timings (scale $SCALE) =="
+cargo run --release -p mstream-bench --bin fig3_time -- \
+  --scale "$SCALE" --stage-json target/fig3_stages.json
+
+echo "== merging BENCH_sketch.json =="
+python3 - <<'EOF'
+import json, os, glob
+
+out = {"criterion": {}, "fig3_stages": []}
+
+# Criterion drops one estimates.json per benchmark under target/criterion.
+for path in sorted(glob.glob("target/criterion/**/new/estimates.json", recursive=True)):
+    parts = path.split(os.sep)
+    # .../criterion/<group>[/<bench>]/new/estimates.json
+    name = "/".join(parts[2:-2])
+    if not name or name.startswith("report"):
+        continue
+    with open(path) as f:
+        est = json.load(f)
+    out["criterion"][name] = {
+        "mean_ns": est["mean"]["point_estimate"],
+        "median_ns": est["median"]["point_estimate"],
+    }
+
+stages = "target/fig3_stages.json"
+if os.path.exists(stages):
+    with open(stages) as f:
+        out["fig3_stages"] = json.load(f)
+
+with open("BENCH_sketch.json", "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+print(f"wrote BENCH_sketch.json "
+      f"({len(out['criterion'])} criterion entries, "
+      f"{len(out['fig3_stages'])} fig3 policies)")
+EOF

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# The tier-1 gate: release build, full test suite, clippy with warnings
+# denied. CI and pre-commit both call this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
