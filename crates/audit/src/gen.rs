@@ -1,0 +1,140 @@
+//! Seeded random generation of queries and workloads.
+//!
+//! Everything is a pure function of the case seed, so a failing case is
+//! reproduced exactly by `replay <seed>` — including the engine's own
+//! randomness, which is seeded from the same value.
+
+use mstream_sketch::EpochSpec;
+use mstream_types::{
+    AttrRef, Catalog, EquiPredicate, JoinQuery, StreamId, StreamSchema, VDur, WindowSpec,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated stream arrival.
+#[derive(Clone, Debug)]
+pub struct Arrival {
+    /// Target stream index.
+    pub stream: usize,
+    /// Attribute values (every generated schema has two attributes).
+    pub values: Vec<u64>,
+    /// Processing instant in virtual microseconds (nondecreasing).
+    pub at_micros: u64,
+}
+
+/// A fully materialised audit case: query, engine configuration knobs and
+/// the arrival trace.
+pub struct Case {
+    /// The seed this case was generated from.
+    pub seed: u64,
+    /// The (validated) join query: 2–4 streams, chain or cyclic shape,
+    /// possibly heterogeneous time/tuple windows.
+    pub query: JoinQuery,
+    /// Explicit tumbling-epoch discipline (mixed-window queries have no
+    /// derivable default, so the generator always picks one).
+    pub epoch: EpochSpec,
+    /// Per-window capacity for the reduced-memory run.
+    pub reduced_capacity: usize,
+    /// Whether the reduced-memory run uses a shared global pool instead of
+    /// per-window allocations.
+    pub use_pool: bool,
+    /// The arrival trace.
+    pub arrivals: Vec<Arrival>,
+}
+
+impl Case {
+    /// The number of streams in this case's query.
+    pub fn n_streams(&self) -> usize {
+        self.query.n_streams()
+    }
+}
+
+/// Generates the audit case for `seed`.
+pub fn generate_case(seed: u64) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..=4usize);
+
+    let mut catalog = Catalog::new();
+    for k in 0..n {
+        catalog.add_stream(StreamSchema::new(format!("R{}", k + 1), &["A1", "A2"]));
+    }
+
+    // Window flavour: all-time, all-tuple, or heterogeneous per stream.
+    let flavour = rng.gen_range(0..3u8);
+    let windows: Vec<WindowSpec> = (0..n)
+        .map(|_| {
+            let time = match flavour {
+                0 => true,
+                1 => false,
+                _ => rng.gen_bool(0.5),
+            };
+            if time {
+                WindowSpec::Time(VDur::from_secs(rng.gen_range(4..40u64)))
+            } else {
+                WindowSpec::Tuples(rng.gen_range(3..24u64))
+            }
+        })
+        .collect();
+    let all_tuples = windows.iter().all(|w| matches!(w, WindowSpec::Tuples(_)));
+
+    // Join shape: a chain through all streams, optionally closed into a
+    // cycle (3+ streams), optionally doubled on one edge. Attribute choices
+    // are random on both sides.
+    let mut predicates = Vec::new();
+    for k in 0..n - 1 {
+        predicates.push(EquiPredicate::new(
+            AttrRef::new(StreamId(k), rng.gen_range(0..2usize)),
+            AttrRef::new(StreamId(k + 1), rng.gen_range(0..2usize)),
+        ));
+    }
+    if n >= 3 && rng.gen_bool(0.3) {
+        predicates.push(EquiPredicate::new(
+            AttrRef::new(StreamId(n - 1), rng.gen_range(0..2usize)),
+            AttrRef::new(StreamId(0), rng.gen_range(0..2usize)),
+        ));
+    }
+    if rng.gen_bool(0.2) {
+        let k = rng.gen_range(0..n - 1);
+        predicates.push(EquiPredicate::new(
+            AttrRef::new(StreamId(k), rng.gen_range(0..2usize)),
+            AttrRef::new(StreamId(k + 1), rng.gen_range(0..2usize)),
+        ));
+    }
+    let query = JoinQuery::new(catalog, predicates, windows)
+        .expect("generated queries are connected by construction");
+
+    let epoch = if all_tuples {
+        EpochSpec::PerStreamTuples(rng.gen_range(4..32u64))
+    } else {
+        EpochSpec::Time(VDur::from_secs(rng.gen_range(2..20u64)))
+    };
+
+    // Small value domains force joins; bursty clocks force expirations to
+    // land on and around window boundaries.
+    let domain = rng.gen_range(2..6u64);
+    let len = rng.gen_range(60..200usize);
+    let mut clock = 0u64;
+    let arrivals = (0..len)
+        .map(|_| {
+            // ~1/4 of arrivals share the previous instant; the rest step
+            // forward up to 2 virtual seconds.
+            if !rng.gen_bool(0.25) {
+                clock += rng.gen_range(1..2_000_000u64);
+            }
+            Arrival {
+                stream: rng.gen_range(0..n),
+                values: vec![rng.gen_range(0..domain), rng.gen_range(0..domain)],
+                at_micros: clock,
+            }
+        })
+        .collect();
+
+    Case {
+        seed,
+        query,
+        epoch,
+        reduced_capacity: rng.gen_range(2..8usize),
+        use_pool: rng.gen_bool(0.3),
+        arrivals,
+    }
+}

@@ -1,0 +1,273 @@
+//! The differential runner: engine vs oracle, per policy, per memory mode,
+//! with per-arrival structural invariant checks.
+
+use crate::gen::{Arrival, Case};
+use mstream_core::ShedJoinBuilder;
+use mstream_join::{Bindings, ExactJoin};
+use mstream_shed_policies::{parse_policy, ALL_POLICY_NAMES};
+use mstream_sketch::BankConfig;
+use mstream_types::{SeqNo, StreamId, Tuple, VTime, Value};
+use mstream_window::{QueueVictim, ShedQueue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// What contract a failing case violated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// At 100% memory the engine's result multiset differed from the
+    /// exact join's.
+    ExactMismatch,
+    /// Under reduced memory the engine emitted a result the oracle never
+    /// produced (shed output must be a sub-multiset of exact output).
+    NotSubMultiset,
+    /// A structural invariant check (or any engine internals) panicked.
+    InvariantPanic,
+    /// The standalone [`ShedQueue`] churn audit panicked.
+    QueuePanic,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailureKind::ExactMismatch => "exact-mismatch (100% memory)",
+            FailureKind::NotSubMultiset => "not-a-sub-multiset (reduced memory)",
+            FailureKind::InvariantPanic => "invariant-violation",
+            FailureKind::QueuePanic => "queue-invariant-violation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A reproducible audit failure.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Policy under which the failure surfaced (empty for the queue audit).
+    pub policy: String,
+    /// Violated contract.
+    pub kind: FailureKind,
+    /// Human-readable specifics (first differing row, panic message, …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.policy.is_empty() {
+            write!(f, "{}: {}", self.kind, self.detail)
+        } else {
+            write!(f, "[{}] {}: {}", self.policy, self.kind, self.detail)
+        }
+    }
+}
+
+/// One canonical result row: per-stream `(seq, values…)` flattened in
+/// stream order. Two executors agree byte-for-byte on a match exactly when
+/// these rows are equal, because sequence numbers are assigned identically
+/// (0, 1, 2, … in arrival order) by both.
+fn row(b: &Bindings<'_>, n: usize) -> Vec<u64> {
+    let mut r = Vec::with_capacity(n * 3);
+    for k in 0..n {
+        let t = b.tuple(StreamId(k));
+        r.push(t.seq.0);
+        r.extend(t.values.iter().map(|v| v.0));
+    }
+    r
+}
+
+/// Runs the full differential audit for `case`.
+pub fn run_case(case: &Case) -> Result<(), Failure> {
+    run_case_on(case, &case.arrivals)
+}
+
+/// Runs the differential audit for `case` restricted to `arrivals` (the
+/// shrinker re-enters here with progressively smaller traces).
+pub fn run_case_on(case: &Case, arrivals: &[Arrival]) -> Result<(), Failure> {
+    let n = case.n_streams();
+
+    let mut oracle = ExactJoin::new(case.query.clone());
+    let mut oracle_rows: Vec<Vec<u64>> = Vec::new();
+    for a in arrivals {
+        let values: Vec<Value> = a.values.iter().map(|&v| Value(v)).collect();
+        oracle.process_each(
+            StreamId(a.stream),
+            values,
+            VTime::from_micros(a.at_micros),
+            |b| oracle_rows.push(row(b, n)),
+        );
+    }
+    oracle_rows.sort();
+
+    for &name in ALL_POLICY_NAMES {
+        let full = drive_engine(case, arrivals, name, true)?;
+        if full != oracle_rows {
+            return Err(Failure {
+                policy: name.into(),
+                kind: FailureKind::ExactMismatch,
+                detail: first_diff(&full, &oracle_rows),
+            });
+        }
+        let shed = drive_engine(case, arrivals, name, false)?;
+        if let Some(extra) = not_in_multiset(&shed, &oracle_rows) {
+            return Err(Failure {
+                policy: name.into(),
+                kind: FailureKind::NotSubMultiset,
+                detail: format!("shed run emitted a row the oracle never did: {extra:?}"),
+            });
+        }
+    }
+
+    queue_audit(case, arrivals)
+}
+
+/// Builds the engine for one (policy, memory-mode) run and drives the
+/// trace through it, collecting canonical rows and re-checking structural
+/// invariants after every arrival. Panics anywhere inside the engine are
+/// converted into [`FailureKind::InvariantPanic`].
+fn drive_engine(
+    case: &Case,
+    arrivals: &[Arrival],
+    policy: &str,
+    full_memory: bool,
+) -> Result<Vec<Vec<u64>>, Failure> {
+    let n = case.n_streams();
+    let fail = |detail: String, kind| Failure {
+        policy: policy.into(),
+        kind,
+        detail,
+    };
+    let mut builder = ShedJoinBuilder::new(case.query.clone())
+        .boxed_policy(parse_policy(policy).expect("every registered policy parses"))
+        .epoch(case.epoch)
+        .bank(BankConfig {
+            s1: 32,
+            s2: 1,
+            seed: case.seed,
+        })
+        .seed(case.seed);
+    builder = if full_memory {
+        builder.capacity_per_window(arrivals.len() + 1)
+    } else if case.use_pool {
+        builder.global_pool(case.reduced_capacity * n)
+    } else {
+        builder.capacity_per_window(case.reduced_capacity)
+    };
+    let mut engine = builder
+        .build()
+        .map_err(|e| fail(format!("engine construction failed: {e:?}"), FailureKind::InvariantPanic))?;
+
+    let mut rows = Vec::new();
+    for (i, a) in arrivals.iter().enumerate() {
+        let values: Vec<Value> = a.values.iter().map(|&v| Value(v)).collect();
+        let now = VTime::from_micros(a.at_micros);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let tuple = engine.make_tuple(StreamId(a.stream), values, now);
+            engine.process_tuple_with(tuple, now, |b| rows.push(row(b, n)));
+            engine.check_invariants();
+        }));
+        if let Err(payload) = outcome {
+            return Err(fail(
+                format!("arrival #{i}: {}", panic_message(&payload)),
+                FailureKind::InvariantPanic,
+            ));
+        }
+    }
+    rows.sort();
+    Ok(rows)
+}
+
+/// Exercises [`ShedQueue`] with a seeded churn of offers and pops derived
+/// from the case trace, re-checking its invariants after every operation.
+fn queue_audit(case: &Case, arrivals: &[Arrival]) -> Result<(), Failure> {
+    let mut rng = StdRng::seed_from_u64(case.seed ^ 0xA5A5_5A5A_A5A5_5A5A);
+    let capacity = rng.gen_range(1..6usize);
+    let mut queue = ShedQueue::new(capacity);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        for (i, a) in arrivals.iter().enumerate() {
+            let tuple = Tuple::new(
+                StreamId(a.stream),
+                VTime::from_micros(a.at_micros),
+                SeqNo(i as u64),
+                a.values.iter().map(|&v| Value(v)).collect(),
+            );
+            let mode = match rng.gen_range(0..3u8) {
+                0 => QueueVictim::MinPriority,
+                1 => QueueVictim::Random,
+                _ => QueueVictim::Oldest,
+            };
+            let score = rng.gen_range(0.0..100.0f64);
+            queue.offer(tuple, score, mode, &mut rng);
+            queue.check_invariants();
+            if rng.gen_bool(0.3) {
+                let _ = queue.pop_front();
+                queue.check_invariants();
+            }
+        }
+    }));
+    outcome.map_err(|payload| Failure {
+        policy: String::new(),
+        kind: FailureKind::QueuePanic,
+        detail: format!("capacity {capacity}: {}", panic_message(&payload)),
+    })
+}
+
+/// Last panic rendered by the [`install_quiet_hook`] hook (message +
+/// source location), for reports where the payload itself is opaque.
+static LAST_PANIC: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+
+/// Replaces the default panic hook with one that stays quiet (the
+/// shrinker re-triggers failures dozens of times) but records each panic's
+/// message and location for the audit report. Call once before auditing.
+pub fn install_quiet_hook() {
+    std::panic::set_hook(Box::new(|info| {
+        *LAST_PANIC.lock().unwrap() = Some(info.to_string());
+    }));
+}
+
+/// Extracts the human-readable message from a caught panic: the payload
+/// string if it has one, else whatever [`install_quiet_hook`] recorded.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(rendered) = LAST_PANIC.lock().unwrap().take() {
+        rendered
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Describes the first discrepancy between two sorted row multisets.
+fn first_diff(got: &[Vec<u64>], want: &[Vec<u64>]) -> String {
+    if got.len() != want.len() {
+        return format!(
+            "row count {} vs oracle {} (first engine row missing from oracle / vice versa: {:?})",
+            got.len(),
+            want.len(),
+            got.iter().find(|r| !want.contains(r)).or_else(|| want.iter().find(|r| !got.contains(r)))
+        );
+    }
+    for (g, w) in got.iter().zip(want) {
+        if g != w {
+            return format!("first divergent row: engine {g:?} vs oracle {w:?}");
+        }
+    }
+    "multisets differ in an unlocated way".into()
+}
+
+/// Returns a row of `small` that exceeds its multiplicity in `big`, if any.
+fn not_in_multiset(small: &[Vec<u64>], big: &[Vec<u64>]) -> Option<Vec<u64>> {
+    let mut budget: HashMap<&[u64], i64> = HashMap::new();
+    for r in big {
+        *budget.entry(r.as_slice()).or_insert(0) += 1;
+    }
+    for r in small {
+        let b = budget.entry(r.as_slice()).or_insert(0);
+        *b -= 1;
+        if *b < 0 {
+            return Some(r.clone());
+        }
+    }
+    None
+}

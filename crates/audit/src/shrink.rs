@@ -1,0 +1,45 @@
+//! Greedy delta-debugging shrinker for failing audit cases.
+
+use crate::gen::{Arrival, Case};
+use crate::run::run_case_on;
+
+/// Greedily minimises the arrival trace of a failing `case`: repeatedly
+/// tries dropping contiguous chunks (halving the chunk size down to single
+/// arrivals) and keeps any removal after which the audit still fails.
+///
+/// The returned trace is 1-minimal with respect to single-arrival removal
+/// (dropping any one remaining arrival makes the case pass), though not
+/// necessarily globally minimal. The failure reproduced at the end may be
+/// a different policy/contract than the original — any failure counts.
+///
+/// The caller should silence the panic hook first: invariant violations
+/// surface as panics, and the shrinker triggers them dozens of times.
+pub fn shrink_case(case: &Case) -> Vec<Arrival> {
+    let fails = |sub: &[Arrival]| run_case_on(case, sub).is_err();
+    let mut current = case.arrivals.clone();
+    if !fails(&current) {
+        // Not reproducible (e.g. the failure needed the full trace's exact
+        // seq numbering); report the whole trace rather than lying.
+        return current;
+    }
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < current.len() {
+            let end = (i + chunk).min(current.len());
+            let mut candidate = current.clone();
+            candidate.drain(i..end);
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                // Same index now holds fresh content; retry in place.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    current
+}

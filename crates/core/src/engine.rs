@@ -2,7 +2,7 @@
 
 use crate::report::EngineMetrics;
 use mstream_join::{probe_each, Bindings, ProbePlan};
-use mstream_shed_policies::{PriorityCtx, Requirements, ShedPolicy};
+use mstream_shed_policies::{clamp_score, PriorityCtx, Requirements, ShedPolicy};
 use mstream_sketch::{BankConfig, EpochSpec, TumblingFreq, TumblingSketches};
 use mstream_types::{Error, JoinQuery, Result, SeqNo, StreamId, Tuple, VTime, Value, WindowSpec};
 use mstream_window::{QueueVictim, Slot, WindowStore};
@@ -96,9 +96,21 @@ impl ShedJoinEngine {
                 }
                 cs.clone()
             }
-            // In pool mode each store gets the whole pool; the engine
-            // enforces the global bound after every insert.
-            MemoryMode::GlobalPool(total) => vec![*total; n],
+            // In pool mode the stores are effectively unbounded and ALL
+            // enforcement happens in the engine's post-insert loop, which
+            // evicts the global (cross-window) minimum. Giving a store a
+            // finite capacity here would let it self-evict its *local*
+            // minimum when it alone exceeds the pool — the wrong victim
+            // (possibly the just-inserted tuple out of tie order), and one
+            // the metrics would never see.
+            MemoryMode::GlobalPool(total) => {
+                if *total == 0 {
+                    return Err(Error::InvalidConfig(
+                        "window capacity must be positive".into(),
+                    ));
+                }
+                vec![usize::MAX / 2; n]
+            }
         };
         if capacities.contains(&0) {
             return Err(Error::InvalidConfig(
@@ -160,6 +172,41 @@ impl ShedJoinEngine {
     /// Resident tuples in `stream`'s window.
     pub fn window_len(&self, stream: StreamId) -> usize {
         self.stores[stream.index()].len()
+    }
+
+    /// Structural audit of the whole operator: every window store's
+    /// arena/index/heap/expiry agreement, the tumbling sketches' epoch and
+    /// frozen-cross-product coherence, and the mode-aware memory bound
+    /// (per-window capacities, or the pooled total in
+    /// [`MemoryMode::GlobalPool`], where individual stores are unbounded
+    /// but the sum must respect the pool).
+    ///
+    /// O(resident tuples) and worse; compiled only under the `audit`
+    /// feature, where the differential harness calls it after every
+    /// arrival.
+    ///
+    /// # Panics
+    /// Panics on any violated invariant.
+    #[cfg(feature = "audit")]
+    pub fn check_invariants(&self) {
+        for store in &self.stores {
+            store.check_invariants();
+        }
+        if let Some(sketches) = self.sketches.as_ref() {
+            sketches.check_invariants();
+        }
+        match &self.memory {
+            // Store-local capacity bounds are asserted inside
+            // `WindowStore::check_invariants`; nothing extra to add.
+            MemoryMode::PerWindow(_) | MemoryMode::PerWindowEach(_) => {}
+            MemoryMode::GlobalPool(total) => {
+                let resident: usize = self.stores.iter().map(|s| s.len()).sum();
+                assert!(
+                    resident <= *total,
+                    "pool overrun: {resident} resident > {total} budget"
+                );
+            }
+        }
     }
 
     /// Mints the next tuple (assigns the arrival sequence number).
@@ -243,7 +290,7 @@ impl ShedJoinEngine {
                     continue;
                 };
                 let state = self.stores[k].state(slot).expect("counted slot is live");
-                let score = self.policy.refresh_priority(state, total);
+                let score = clamp_score(self.policy.refresh_priority(state, total));
                 self.stores[k].update_priority(slot, score);
             }
         }
@@ -277,7 +324,7 @@ impl ShedJoinEngine {
             now,
             rng,
         };
-        policy.queue_priority(&mut ctx, tuple)
+        clamp_score(policy.queue_priority(&mut ctx, tuple))
     }
 
     /// The queue-victim mode of the active policy.
@@ -324,7 +371,10 @@ impl ShedJoinEngine {
             now,
             rng,
         };
-        policy.window_priority_with_state(&mut ctx, tuple, produced)
+        // All scores funnel through the finite clamp before they reach a
+        // priority heap — third-party policies included.
+        let (score, state) = policy.window_priority_with_state(&mut ctx, tuple, produced);
+        (clamp_score(score), state)
     }
 
     fn rebuild_all_priorities(&mut self, now: VTime) {
@@ -346,7 +396,8 @@ impl ShedJoinEngine {
                     now,
                     rng,
                 };
-                policy.window_priority_with_state(&mut ctx, tuple, produced)
+                let (score, state) = policy.window_priority_with_state(&mut ctx, tuple, produced);
+                (clamp_score(score), state)
             });
         }
     }
@@ -367,15 +418,33 @@ impl ShedJoinEngine {
                 }
             }
             MemoryMode::GlobalPool(total) => {
-                self.stores[stream].insert_scored(tuple, score, state);
+                let outcome = self.stores[stream].insert_scored(tuple, score, state);
+                debug_assert_eq!(
+                    outcome.eviction,
+                    mstream_window::Eviction::None,
+                    "pool-mode stores are unbounded; only the engine evicts"
+                );
                 while self.stores.iter().map(WindowStore::len).sum::<usize>() > total {
+                    // Global minimum under the same (score, seq) order the
+                    // per-store heaps use, so cross-window ties still evict
+                    // the oldest tuple first — never the just-inserted one
+                    // ahead of an equally-scored elder.
                     let victim_store = self
                         .stores
                         .iter()
                         .enumerate()
-                        .filter_map(|(i, st)| st.peek_min().map(|(_, p)| (i, p)))
-                        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite priorities"))
-                        .map(|(i, _)| i)
+                        .filter_map(|(i, st)| {
+                            st.peek_min().map(|(slot, p)| {
+                                let seq = st.tuple(slot).expect("heap slot is live").seq;
+                                (i, p, seq)
+                            })
+                        })
+                        .min_by(|a, b| {
+                            a.1.partial_cmp(&b.1)
+                                .expect("finite priorities")
+                                .then(a.2.cmp(&b.2))
+                        })
+                        .map(|(i, _, _)| i)
                         .expect("pool over limit implies a resident tuple");
                     self.stores[victim_store]
                         .evict_min()
@@ -550,6 +619,59 @@ mod tests {
     }
 
     #[test]
+    fn global_pool_ties_evict_oldest_across_windows() {
+        // Empty sketches give every MSketch arrival score 0, so pool
+        // eviction order is decided purely by the (score, seq) tie-break:
+        // the globally oldest tuple goes first, never the one that was just
+        // inserted. Values are chosen to never join (no produced updates).
+        // Arrive in DESCENDING stream order so the oldest tied tuple lives
+        // in the highest-indexed store: a score-only comparison that
+        // resolves ties by store order would evict the fresh tuple instead.
+        let mut config = cfg(0);
+        config.memory = MemoryMode::GlobalPool(2);
+        let mut engine = ShedJoinEngine::new(chain3(1000), Box::new(MSketch), config).unwrap();
+        engine.process_arrival(StreamId(2), v(1, 1), VTime::ZERO);
+        engine.process_arrival(StreamId(1), v(2, 2), VTime::ZERO);
+        // Third arrival overflows the pool; seq 0 (window 2) must go, even
+        // though the arrival landed in window 0.
+        engine.process_arrival(StreamId(0), v(3, 3), VTime::ZERO);
+        assert_eq!(engine.window_len(StreamId(2)), 0, "oldest evicted");
+        assert_eq!(engine.window_len(StreamId(1)), 1);
+        assert_eq!(engine.window_len(StreamId(0)), 1, "fresh tuple survives the tie");
+        assert_eq!(engine.metrics().shed_window, 1);
+    }
+
+    #[test]
+    fn global_pool_counts_single_window_overflow() {
+        // All arrivals land in ONE window. Before pool enforcement moved
+        // entirely into the engine, the store (sized to the whole pool)
+        // would silently self-evict its local minimum here: the pool stayed
+        // within budget but `shed_window` never saw those evictions.
+        let mut config = cfg(0);
+        config.memory = MemoryMode::GlobalPool(2);
+        let mut engine = ShedJoinEngine::new(chain3(1000), Box::new(Fifo), config).unwrap();
+        for i in 0..5u64 {
+            engine.process_arrival(StreamId(0), v(i, i), VTime::ZERO);
+        }
+        assert_eq!(engine.window_len(StreamId(0)), 2, "pool bound enforced");
+        assert_eq!(
+            engine.metrics().shed_window,
+            3,
+            "every pool eviction is counted exactly once"
+        );
+    }
+
+    #[test]
+    fn global_pool_zero_budget_rejected() {
+        let mut config = cfg(1);
+        config.memory = MemoryMode::GlobalPool(0);
+        let err = ShedJoinEngine::new(chain3(10), Box::new(Fifo), config)
+            .err()
+            .expect("zero pool must be rejected");
+        assert!(matches!(err, Error::InvalidConfig(_)));
+    }
+
+    #[test]
     fn bjoin_runs_through_shedding_and_epoch_rollovers() {
         use rand::Rng;
         // Exercise the tumbling frequency tables across inserts, evictions,
@@ -561,7 +683,10 @@ mod tests {
             engine.process_arrival(
                 s,
                 v(rng.gen_range(0..4), rng.gen_range(0..4)),
-                VTime::from_secs(i / 10),
+                // ~0.7 arrivals/s/stream against 20s windows of 8 slots:
+                // slow enough that hot tuples can outlive the window
+                // (expirations), fast enough to overflow it (evictions).
+                VTime::from_secs(i / 2),
             );
         }
         assert!(engine.metrics().expired > 0, "expirations exercised");

@@ -253,7 +253,10 @@ mod tests {
             anchor_grid: Some(5),
             tuples_per_relation: 300,
             feed: mstream_workload::FeedOrder::Stationary,
-            seed: 21,
+            // Seed chosen so the generated regions overlap on BOTH chain
+            // predicates under the vendored deterministic RNG (seed 21's
+            // layout left R2.A2 and R3.A1 disjoint, a zero-output join).
+            seed: 7,
         })
         .unwrap()
         .generate()

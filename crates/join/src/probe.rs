@@ -34,6 +34,26 @@ impl<'a> Bindings<'a> {
         self.slots[stream.index()]
     }
 
+    /// The full bound tuple of `stream` (the arriving tuple for the origin
+    /// stream). Lets consumers identify matches by arrival identity — e.g.
+    /// the differential audit harness keys result rows on per-stream
+    /// sequence numbers.
+    pub fn tuple(&self, stream: StreamId) -> &Tuple {
+        if stream == self.origin {
+            self.origin_tuple
+        } else {
+            let slot = self.slots[stream.index()].expect("stream bound in match");
+            self.stores[stream.index()]
+                .tuple(slot)
+                .expect("bound slot is live")
+        }
+    }
+
+    /// The arrival sequence number of the tuple bound on `stream`.
+    pub fn seq(&self, stream: StreamId) -> mstream_types::SeqNo {
+        self.tuple(stream).seq
+    }
+
     /// The arriving tuple that triggered this probe.
     pub fn origin_tuple(&self) -> &Tuple {
         self.origin_tuple

@@ -44,6 +44,11 @@ pub struct PriorityCtx<'a> {
 impl<'a> PriorityCtx<'a> {
     /// Sketch-estimated productivity of `tuple`, clamped at zero.
     ///
+    /// AGMS estimates are signed and unbounded: zero/negative estimates
+    /// clamp to 0, and non-finite estimates (overflowed products, NaN)
+    /// clamp through [`crate::policies::clamp_score`] so lifetime-weighted
+    /// policies can never derive a `0 × ∞ = NaN` heap priority from them.
+    ///
     /// # Panics
     /// Panics if the policy did not declare `sketches` in its requirements.
     pub fn productivity(&mut self, tuple: &Tuple) -> f64 {
@@ -51,7 +56,7 @@ impl<'a> PriorityCtx<'a> {
             .sketches
             .as_deref_mut()
             .expect("policy did not declare Requirements::sketches");
-        sketches.productivity(tuple.stream, &tuple.values).max(0.0)
+        crate::policies::clamp_score(sketches.productivity(tuple.stream, &tuple.values)).max(0.0)
     }
 
     /// Productivity of `tuple` against the *current* (still accumulating)
@@ -67,8 +72,7 @@ impl<'a> PriorityCtx<'a> {
             .sketches
             .as_deref()
             .expect("policy did not declare Requirements::sketches");
-        sketches
-            .current_productivity(tuple.stream, &tuple.values)
+        crate::policies::clamp_score(sketches.current_productivity(tuple.stream, &tuple.values))
             .max(0.0)
     }
 

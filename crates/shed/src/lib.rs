@@ -28,6 +28,6 @@ pub mod policies;
 
 pub use context::{PriorityCtx, Requirements};
 pub use policies::{
-    parse_policy, Age, Bjoin, Fifo, Life, MSketch, MSketchCurrentEpoch, MSketchRs, RandomLoad,
-    ShedPolicy, ALL_POLICY_NAMES,
+    clamp_score, parse_policy, Age, Bjoin, Fifo, Life, MSketch, MSketchCurrentEpoch, MSketchRs,
+    RandomLoad, ShedPolicy, ALL_POLICY_NAMES, MAX_SCORE,
 };

@@ -5,6 +5,28 @@ use mstream_types::Tuple;
 use mstream_window::QueueVictim;
 use rand::Rng;
 
+/// Largest magnitude a policy score may take.
+///
+/// The priority heap (`mstream-window`) asserts finiteness, so every score
+/// must be clamped into this range before it reaches a priority queue.
+pub const MAX_SCORE: f64 = 1e300;
+
+/// Maps a raw policy score onto the finite range the priority heaps accept.
+///
+/// AGMS estimates are unbounded sums of signed products, so a pathological
+/// input can push a productivity estimate to `±∞`, and lifetime-weighted
+/// measures can then produce `0 × ∞ = NaN`. Either would trip the
+/// finiteness assert in the window heap and panic the engine mid-run. NaN
+/// collapses to `0` (an estimate that carries no information protects
+/// nothing); infinities saturate at `±`[`MAX_SCORE`].
+pub fn clamp_score(score: f64) -> f64 {
+    if score.is_nan() {
+        0.0
+    } else {
+        score.clamp(-MAX_SCORE, MAX_SCORE)
+    }
+}
+
 /// A load-shedding policy: a priority score per tuple.
 ///
 /// Higher scores survive; the engine evicts the minimum when a window or
@@ -124,12 +146,18 @@ impl ShedPolicy for MSketchRs {
     /// tuple that still owes output (otherwise dead tuples would be
     /// immortal at priority 1 and crowd every producer out of memory).
     /// Over-producers go further negative. Clamps keep scores finite.
+    ///
+    /// AGMS estimates can be zero or negative; a NaN expectation lands in
+    /// the dead-tuple branch explicitly, so the division below only ever
+    /// sees a denominator above the `EPSILON` floor (a saturated `+∞`
+    /// expectation divides to 0 and scores the full fraction, which is the
+    /// conservative direction).
     fn refresh_priority(&self, expected: f64, produced: u64) -> f64 {
-        if expected <= f64::EPSILON {
+        if expected.is_nan() || expected <= f64::EPSILON {
             if produced == 0 {
                 0.0
             } else {
-                -(produced as f64) * 1e6
+                clamp_score(-(produced as f64) * 1e6)
             }
         } else {
             (1.0 - produced as f64 / expected).max(-1e12)
@@ -450,6 +478,69 @@ mod tests {
         let over = p.window_priority(&mut ctx(&q, Some(&mut sk), None, 0, &mut rng), &t, 5);
         assert_eq!(idle, 0.0, "nothing left to contribute");
         assert!(over < -1e5);
+    }
+
+    #[test]
+    fn negative_productivity_estimates_score_finite() {
+        // With a single sketch copy the AGMS estimate is one signed
+        // product, so roughly half of all values carry a *negative*
+        // estimate — the raw quantity MSketch-RS would divide by. Find one
+        // and check every policy that consumes productivity stays finite
+        // and clamped.
+        let q = chain3();
+        let mut sk = TumblingSketches::new(
+            &q,
+            BankConfig {
+                s1: 1,
+                s2: 1,
+                seed: 3,
+            },
+            EpochSpec::Time(VDur::from_secs(1000)),
+        );
+        for i in 0..8 {
+            sk.observe(StreamId(1), &[Value(i), Value(i)], VTime::ZERO);
+            sk.observe(StreamId(2), &[Value(i), Value(0)], VTime::ZERO);
+        }
+        let negative = (0..64)
+            .find(|&a| sk.bank().productivity(StreamId(0), &[Value(a), Value(0)]) < 0.0)
+            .expect("a single-copy sketch has negative estimates");
+        let t = tup(0, 0, 0, negative, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        // The clamped context estimate is exactly zero.
+        let mut c = ctx(&q, Some(&mut sk), None, 0, &mut rng);
+        assert_eq!(c.productivity(&t), 0.0);
+        // MSketch / Age: zero, not negative or NaN.
+        assert_eq!(MSketch.window_priority(&mut c, &t, 0), 0.0);
+        assert_eq!(Age.window_priority(&mut c, &t, 0), 0.0);
+        // MSketch-RS: the expected-output denominator is <= 0, so the
+        // remaining-fraction division must not run; the dead-tuple branch
+        // yields finite scores for any produced count.
+        let mut p = MSketchRs;
+        for produced in [0, 1, 10, u64::MAX] {
+            let (score, state) = p.window_priority_with_state(&mut c, &t, produced);
+            assert!(score.is_finite(), "produced={produced} score={score}");
+            assert!(state.is_finite());
+            assert!(p.refresh_priority(state, produced).is_finite());
+        }
+        assert_eq!(p.window_priority(&mut c, &t, 0), 0.0);
+        assert!(p.window_priority(&mut c, &t, 3) < 0.0, "over-producer sheds first");
+    }
+
+    #[test]
+    fn clamp_score_maps_every_float_into_heap_range() {
+        assert_eq!(clamp_score(f64::NAN), 0.0);
+        assert_eq!(clamp_score(f64::INFINITY), MAX_SCORE);
+        assert_eq!(clamp_score(f64::NEG_INFINITY), -MAX_SCORE);
+        assert_eq!(clamp_score(42.5), 42.5);
+        assert_eq!(clamp_score(-0.0), -0.0);
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::MAX, 1e307] {
+            assert!(clamp_score(v).is_finite());
+        }
+        // NaN expectations (estimator misuse) take the dead-tuple branch.
+        let p = MSketchRs;
+        assert_eq!(p.refresh_priority(f64::NAN, 0), 0.0);
+        assert!(p.refresh_priority(f64::NAN, 7).is_finite());
+        assert_eq!(p.refresh_priority(f64::INFINITY, 123), 1.0);
     }
 
     #[test]

@@ -243,6 +243,58 @@ impl TumblingSketches {
     pub fn sign_cache_stats(&self) -> SignCacheStats {
         self.bank.sign_cache_stats()
     }
+
+    /// Structural audit of the tumbling state:
+    ///
+    /// - buffer shapes agree with the stream count and copy count;
+    /// - epoch bookkeeping is coherent (time mode: the pending roll instant
+    ///   is a positive whole number of epochs; tuple mode: no per-stream
+    ///   arrival counter has silently passed its roll threshold);
+    /// - every cross-product row flagged `cross_valid` is bit-identical to
+    ///   a fresh recomputation from the `last` snapshot — the frozen fast
+    ///   path must never serve a stale product.
+    ///
+    /// O(streams² · copies); compiled only for tests and the `audit`
+    /// feature, where the differential harness calls it after every arrival.
+    ///
+    /// # Panics
+    /// Panics on any violated invariant.
+    #[cfg(any(test, feature = "audit"))]
+    pub fn check_invariants(&self) {
+        let n = self.has_last.len();
+        let copies = self.bank.config().copies();
+        assert_eq!(self.last.len(), n * copies, "last snapshot shape");
+        assert_eq!(self.cross.len(), n * copies, "cross-product shape");
+        assert_eq!(self.cross_valid.len(), n, "cross_valid shape");
+        assert_eq!(self.arrivals.len(), n, "arrival counter shape");
+        match self.epoch {
+            EpochSpec::Time(p) => {
+                let micros = self.next_roll.as_micros();
+                assert!(micros >= p.as_micros(), "next roll before first epoch end");
+                assert_eq!(micros % p.as_micros(), 0, "next roll off the epoch grid");
+            }
+            EpochSpec::PerStreamTuples(c) => {
+                for (k, &a) in self.arrivals.iter().enumerate() {
+                    assert!(a < c, "stream {k} missed its epoch roll: {a} >= {c}");
+                }
+            }
+        }
+        let mut fresh = vec![0.0f64; copies];
+        for i in 0..n {
+            if !self.cross_valid[i] {
+                continue;
+            }
+            kernel::column_products(&self.last, copies, i, &mut fresh);
+            let row = &self.cross[i * copies..(i + 1) * copies];
+            for (c, (&got, &want)) in row.iter().zip(&fresh).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "stale frozen cross-product: row {i}, copy {c}"
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -368,7 +368,7 @@ fn tumbling_time_epochs_bit_identical_across_rollovers() {
             }
             assert_eq!(
                 new.estimate_join_count().to_bits(),
-                old.estimate_join_count().to_bits(),
+                old.bank.estimate_join_count().to_bits(),
                 "tumbling join count diverged at step {i}"
             );
         }

@@ -193,12 +193,24 @@ impl IndexedHeap {
         self.positions.insert(self.heap[b].0, b);
     }
 
-    /// Debug invariant check: heap order + position-map consistency.
-    #[cfg(test)]
-    fn check_invariants(&self) {
-        assert_eq!(self.heap.len(), self.positions.len());
+    /// Structural invariant check: heap order + position-map bijection.
+    ///
+    /// O(n); compiled only for tests and the `audit` feature, where the
+    /// differential harness calls it after every arrival.
+    ///
+    /// # Panics
+    /// Panics if the binary-heap order is violated, or if `positions` is
+    /// not an exact inverse of the heap array (missing, stale, or
+    /// duplicated entries).
+    #[cfg(any(test, feature = "audit"))]
+    pub fn check_invariants(&self) {
+        assert_eq!(
+            self.heap.len(),
+            self.positions.len(),
+            "heap/position-map size mismatch"
+        );
         for (i, &(slot, ref prio)) in self.heap.iter().enumerate() {
-            assert_eq!(self.positions[&slot], i);
+            assert_eq!(self.positions[&slot], i, "position map stale for {slot:?}");
             if i > 0 {
                 let parent = &self.heap[(i - 1) / 2].1;
                 assert!(!prio.less(parent), "heap order violated at {i}");

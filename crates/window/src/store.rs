@@ -349,6 +349,57 @@ impl WindowStore {
             assert_eq!(indexed, self.arena.len(), "index vs arena size");
         }
     }
+
+    /// Full structural audit: [`Self::check_consistency`] plus heap-order /
+    /// position-map invariants, the capacity bound, and agreement between
+    /// the lazily-cleaned expiry deque and the arena.
+    ///
+    /// O(n log n); compiled only for tests and the `audit` feature, where
+    /// the differential harness calls it after every arrival.
+    ///
+    /// # Panics
+    /// Panics on any violated invariant.
+    #[cfg(any(test, feature = "audit"))]
+    pub fn check_invariants(&self) {
+        self.check_consistency();
+        self.heap.check_invariants();
+        assert!(
+            self.arena.len() <= self.capacity,
+            "window over capacity: {} > {}",
+            self.arena.len(),
+            self.capacity
+        );
+        // Every live slot must appear in the expiry deque exactly once, and
+        // live deque entries must run oldest-first (nondecreasing seq) or
+        // FIFO expiration would release tuples out of order.
+        let mut seen = std::collections::HashSet::new();
+        let mut last_seq: Option<SeqNo> = None;
+        for &slot in &self.expiry {
+            let Some(entry) = self.arena.get(slot) else {
+                continue; // stale entry awaiting lazy cleanup
+            };
+            assert!(seen.insert(slot), "slot queued for expiry twice: {slot:?}");
+            if let Some(prev) = last_seq {
+                assert!(
+                    entry.tuple.seq >= prev,
+                    "expiry deque out of arrival order"
+                );
+            }
+            last_seq = Some(entry.tuple.seq);
+            // A resident must not already be past its tuple-window bound.
+            if let WindowSpec::Tuples(count) = self.spec {
+                assert!(
+                    self.arrivals_seen.saturating_sub(entry.arrival_idx) <= count,
+                    "resident tuple outlived its tuple window"
+                );
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            self.arena.len(),
+            "live slot missing from expiry deque"
+        );
+    }
 }
 
 #[cfg(test)]

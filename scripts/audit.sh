@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Nightly deep audit sweep: engine-vs-oracle differential fuzzing over
+# randomly generated queries and workloads, with structural invariant
+# checks after every arrival (see DESIGN.md §8).
+#
+# Usage: scripts/audit.sh [CASES] [SEED]
+#
+# Defaults to 1000 cases seeded from the date, so each night explores
+# fresh cases while any failure stays reproducible: the failing case's
+# seed is printed with a `replay <seed>` line and a shrunk minimal trace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CASES="${1:-1000}"
+SEED="${2:-$(date +%Y%m%d)}"
+
+echo "audit sweep: ${CASES} cases, master seed ${SEED}"
+cargo run --release -p mstream-audit -- sweep --cases "${CASES}" --seed "${SEED}"

@@ -7,3 +7,6 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+# Differential audit smoke: every policy vs the exact oracle over 50
+# fuzzed cases, with per-arrival structural invariant checks.
+cargo run --release -p mstream-audit -- sweep --cases 50 --seed 7

@@ -1,0 +1,137 @@
+//! Window-expiration boundary semantics, pinned across layers.
+//!
+//! Time-based windows expire a tuple once `ts + p <= now` (strict: the
+//! tuple is gone *at* the boundary instant); tuple-based windows expire a
+//! tuple once `count` newer arrivals have been seen on its stream. The
+//! probe path holds no notion of "still in window" of its own — it probes
+//! whatever is resident — so the contract both the shedding engine and the
+//! exact oracle must honour is: **expire before probing, with the same
+//! boundary**. A tuple must never join at the exact instant it expires,
+//! and both executors must agree tuple for tuple on boundary-heavy traces.
+
+use mstream_core::prelude::*;
+
+fn chain3(window_secs: u64) -> JoinQuery {
+    let mut c = Catalog::new();
+    c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+    JoinQuery::from_names(
+        c,
+        &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+        WindowSpec::secs(window_secs),
+    )
+    .unwrap()
+}
+
+fn pair_query(window: WindowSpec) -> JoinQuery {
+    let mut c = Catalog::new();
+    c.add_stream(StreamSchema::new("R1", &["A1"]));
+    c.add_stream(StreamSchema::new("R2", &["A1"]));
+    JoinQuery::uniform(
+        c,
+        vec![EquiPredicate::new(
+            AttrRef::new(StreamId(0), 0),
+            AttrRef::new(StreamId(1), 0),
+        )],
+        window,
+    )
+    .unwrap()
+}
+
+fn engine(query: JoinQuery) -> ShedJoinEngine {
+    ShedJoinBuilder::new(query)
+        .policy(Fifo)
+        .capacity_per_window(10_000)
+        .build()
+        .unwrap()
+}
+
+/// Time windows: `ts + p == now` is OUT of the window — the partner that
+/// arrives exactly `p` after a tuple does not see it; one microsecond
+/// earlier it still does. Engine and oracle agree on both sides.
+#[test]
+fn time_window_tuple_cannot_join_at_its_expiry_instant() {
+    let p_secs = 10;
+    for (offset_micros, expect) in [(0u64, 0u64), (1, 1)] {
+        let boundary = VTime::from_secs(p_secs).as_micros() - offset_micros;
+        let mut eng = engine(pair_query(WindowSpec::secs(p_secs)));
+        let mut exact = ExactJoin::new(pair_query(WindowSpec::secs(p_secs)));
+        let got_e = {
+            eng.process_arrival(StreamId(0), vec![Value(7)], VTime::ZERO);
+            eng.process_arrival(StreamId(1), vec![Value(7)], VTime::from_micros(boundary))
+        };
+        let got_x = {
+            exact.process(StreamId(0), vec![Value(7)], VTime::ZERO);
+            exact.process(StreamId(1), vec![Value(7)], VTime::from_micros(boundary))
+        };
+        assert_eq!(got_e, expect, "engine at boundary-{offset_micros}µs");
+        assert_eq!(got_x, expect, "oracle at boundary-{offset_micros}µs");
+        if expect == 0 {
+            assert_eq!(eng.window_len(StreamId(0)), 0, "expired at the instant");
+            assert_eq!(exact.window_len(StreamId(0)), 0);
+        }
+    }
+}
+
+/// Tuple windows: a `Tuples(c)` window expires a tuple once `c` newer
+/// arrivals have been seen on its stream — the probe of the c-th newer
+/// arrival (on the *other* stream) still sees it, the first probe after
+/// the c-th same-stream arrival does not.
+#[test]
+fn tuple_window_expires_on_count_boundary_arrival() {
+    let c = 3u64;
+    let mut eng = engine(pair_query(WindowSpec::Tuples(c)));
+    let mut exact = ExactJoin::new(pair_query(WindowSpec::Tuples(c)));
+    let mut both = |s: usize, v: u64, what: &str, expect: Option<u64>| {
+        let a = eng.process_arrival(StreamId(s), vec![Value(v)], VTime::ZERO);
+        let b = exact.process(StreamId(s), vec![Value(v)], VTime::ZERO);
+        if let Some(e) = expect {
+            assert_eq!(a, e, "engine: {what}");
+            assert_eq!(b, e, "oracle: {what}");
+        }
+        assert_eq!(a, b, "{what}");
+    };
+    // Seed the probed tuple, then c-1 same-stream fillers (no shared join
+    // value): a partner probe still matches — the seed has seen only c-1
+    // newer arrivals.
+    both(0, 7, "seed", None);
+    for i in 0..c - 1 {
+        both(0, 100 + i, "filler", Some(0));
+    }
+    both(1, 7, "after c-1 newer arrivals the seed still joins", Some(1));
+    // One more same-stream arrival reaches the count boundary, so the next
+    // partner probe must not see the seed any more.
+    both(0, 200, "boundary arrival", Some(0));
+    both(1, 7, "after c newer arrivals the seed is expired", Some(0));
+}
+
+/// A boundary-heavy trace: every R1 tuple's partner arrives either exactly
+/// at, just before, or just after its expiry instant. Engine (unshedded)
+/// and oracle must agree arrival by arrival.
+#[test]
+fn engine_and_oracle_agree_on_boundary_heavy_trace() {
+    let p = 20;
+    let mut eng = engine(chain3(p));
+    let mut exact = ExactJoin::new(chain3(p));
+    let p_micros = VDur::from_secs(p).as_micros();
+    let mut total = 0u64;
+    for i in 0..120u64 {
+        let base = i * 500_000; // arrivals every 0.5s
+        let (stream, ts) = match i % 4 {
+            0 => (0, base),
+            1 => (1, base),
+            2 => (2, base),
+            // Every 4th arrival lands exactly on the expiry instant of the
+            // tuple seeded 20s earlier (if any).
+            _ => (0, (base - 1_500_000) + p_micros),
+        };
+        let vals = vec![Value(i % 3), Value(i % 3)];
+        let a = eng.process_arrival(StreamId(stream), vals.clone(), VTime::from_micros(ts));
+        let b = exact.process(StreamId(stream), vals, VTime::from_micros(ts));
+        assert_eq!(a, b, "arrival {i} at t={ts}µs");
+        total += a;
+    }
+    assert!(total > 0, "boundary trace must still produce joins");
+    assert_eq!(eng.metrics().total_output, exact.total_output());
+}

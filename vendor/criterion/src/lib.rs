@@ -1,0 +1,164 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!` / `criterion_main!` harness shape and the
+//! `Criterion` / `BenchmarkGroup` / `Bencher` API the workspace's benches
+//! use, but replaces the statistics machinery with "run the closure a
+//! bounded number of times, print the mean". Good enough to keep bench
+//! targets compiling and executable without a registry; real performance
+//! numbers should come from a network-enabled environment with upstream
+//! criterion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement driver handed to each bench closure.
+pub struct Bencher {
+    /// Samples actually executed.
+    iters: u64,
+    /// Total elapsed across samples.
+    elapsed: Duration,
+    /// Sample budget per bench.
+    target_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over this bencher's sample budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call outside the measurement.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.target_iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.target_iters;
+    }
+}
+
+/// Top-level benchmark registry.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+fn report(label: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("{label}: no samples");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    println!("{label}: {:.3} ms/iter ({} iters)", per_iter * 1e3, b.iters);
+}
+
+fn run_one(label: &str, sample_size: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+        target_iters: sample_size,
+    };
+    f(&mut b);
+    report(label, &b);
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering just the parameter, upstream-style.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps samples per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.text), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (formatting no-op here).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of bench functions, upstream-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, upstream-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

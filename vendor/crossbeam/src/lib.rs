@@ -1,0 +1,77 @@
+//! Offline stand-in for `crossbeam`, covering only `channel::bounded`
+//! with `try_send` / `recv` as the workspace's example uses it. Backed by
+//! `std::sync::mpsc::sync_channel`, which has the same bounded,
+//! multi-producer single-consumer semantics for this use.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Bounded MPSC channel.
+
+    use std::sync::mpsc;
+
+    /// Sending half; clone freely across producer threads.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error from [`Sender::try_send`]: channel full or disconnected.
+    #[derive(Debug)]
+    pub struct TrySendError<T>(pub T);
+
+    /// Error from [`Receiver::recv`]: all senders dropped.
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Non-blocking send; fails when the buffer is full or the
+        /// receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) | mpsc::TrySendError::Disconnected(v) => {
+                    TrySendError(v)
+                }
+            })
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; fails once every sender is dropped and the
+        /// buffer has drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// A channel buffering at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_try_send_and_drain() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        assert!(tx.try_send(3).is_err(), "third send exceeds capacity");
+        let tx2 = tx.clone();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert!(rx.recv().is_err(), "disconnected after senders dropped");
+    }
+}

@@ -1,0 +1,316 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crate-registry access, so the workspace
+//! vendors a minimal serialization framework under the same names the
+//! real crates export. Instead of serde's visitor-based data model, both
+//! traits go through one concrete JSON tree ([`json::Value`]):
+//!
+//! * [`Serialize::to_json_value`] renders a value into the tree;
+//! * [`Deserialize::from_json_value`] rebuilds a value from it.
+//!
+//! The `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! vendored `serde_derive`) understand the shapes this workspace actually
+//! uses: named structs (with `#[serde(default)]` / `#[serde(skip)]`),
+//! transparent one-field newtype structs, and enums with unit or
+//! one-field tuple variants, all without generics.
+//!
+//! Deliberate deviations from upstream, acceptable because nothing in the
+//! workspace observes them: maps serialize as `[[key, value], ...]` pair
+//! arrays (upstream emits objects with stringified keys), and `Deserialize`
+//! has no `'de` lifetime parameter (no zero-copy borrowing).
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Renders `self` into the [`json::Value`] tree.
+pub trait Serialize {
+    /// The rendered tree.
+    fn to_json_value(&self) -> json::Value;
+}
+
+/// Rebuilds `Self` from a [`json::Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the tree, failing with a message naming the mismatch.
+    fn from_json_value(v: &json::Value) -> Result<Self, json::DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Number(json::Number::U(*self as u64))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Number(json::Number::I(*self as i64))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Number(json::Number::F(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Number(json::Number::F(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> json::Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Maps serialize as `[[key, value], ...]` so non-string keys round-trip
+/// without a key-to-string convention.
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(
+            self.iter()
+                .map(|(k, v)| json::Value::Array(vec![k.to_json_value(), v.to_json_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(
+            self.iter()
+                .map(|(k, v)| json::Value::Array(vec![k.to_json_value(), v.to_json_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for json::Value {
+    fn to_json_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty : $get:ident),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &json::Value) -> Result<Self, json::DeError> {
+                let n = v
+                    .$get()
+                    .ok_or_else(|| json::DeError::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n)
+                    .map_err(|_| json::DeError::new(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+de_int!(u8: as_u64, u16: as_u64, u32: as_u64, u64: as_u64, usize: as_u64);
+de_int!(i8: as_i64, i16: as_i64, i32: as_i64, i64: as_i64, isize: as_i64);
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::DeError> {
+        v.as_f64().ok_or_else(|| json::DeError::new("expected f64"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::DeError> {
+        Ok(f64::from_json_value(v)? as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::DeError> {
+        v.as_bool().ok_or_else(|| json::DeError::new("expected bool"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| json::DeError::new("expected string"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::DeError> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => Ok(Some(T::from_json_value(other)?)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::DeError> {
+        v.as_array()
+            .ok_or_else(|| json::DeError::new("expected array"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::DeError> {
+        Ok(Vec::<T>::from_json_value(v)?.into())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::DeError> {
+        let items = Vec::<T>::from_json_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| json::DeError::new(format!("expected array of {N}, got {got}")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal, $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &json::Value) -> Result<Self, json::DeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| json::DeError::new("expected tuple array"))?;
+                if items.len() != $len {
+                    return Err(json::DeError::new(concat!(
+                        "expected tuple of ",
+                        stringify!($len)
+                    )));
+                }
+                Ok(($($t::from_json_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1, 0 A)
+    (2, 0 A, 1 B)
+    (3, 0 A, 1 B, 2 C)
+    (4, 0 A, 1 B, 2 C, 3 D)
+}
+
+fn de_pairs<K: Deserialize, V: Deserialize>(
+    v: &json::Value,
+) -> Result<Vec<(K, V)>, json::DeError> {
+    v.as_array()
+        .ok_or_else(|| json::DeError::new("expected map pair array"))?
+        .iter()
+        .map(<(K, V)>::from_json_value)
+        .collect()
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(v: &json::Value) -> Result<Self, json::DeError> {
+        Ok(de_pairs::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::DeError> {
+        Ok(de_pairs::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl Deserialize for json::Value {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::DeError> {
+        Ok(v.clone())
+    }
+}

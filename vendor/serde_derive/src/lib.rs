@@ -1,0 +1,463 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` /
+//! `serde::Deserialize` traits (which render through one JSON tree
+//! rather than upstream's visitor data model). Since the container has
+//! no registry access, there is no `syn`/`quote`; the item is parsed
+//! directly from its token stream, which is tractable because the
+//! workspace only derives on:
+//!
+//! * named-field structs without generics (honoring `#[serde(default)]`
+//!   and `#[serde(skip)]`),
+//! * one-field tuple structs (serialized transparently, upstream's
+//!   newtype behavior),
+//! * enums whose variants are unit or one-field tuples (externally
+//!   tagged, upstream's default).
+//!
+//! Anything else fails loudly with a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    /// 0 = unit variant, 1 = one-field tuple variant.
+    arity: usize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let generated = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    generated
+        .parse()
+        .expect("serde_derive stand-in generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility until the `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            None => return Err("serde stand-in: no struct/enum found".to_string()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // `pub`, etc.
+            }
+            Some(TokenTree::Group(_)) => i += 1, // `pub(crate)` path part
+            Some(_) => i += 1,
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stand-in: missing item name".to_string()),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in (vendor/serde_derive) does not support generics on `{name}`"
+        ));
+    }
+
+    match tokens.get(i) {
+        // struct Name { ... }  /  enum Name { ... }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&body)?,
+                })
+            } else {
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(&body)?,
+                })
+            }
+        }
+        // struct Name(...);
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err(format!("serde stand-in: unexpected parens after enum `{name}`"));
+            }
+            let arity = count_tuple_fields(g.stream());
+            Ok(Item::TupleStruct { name, arity })
+        }
+        _ => Err(format!("serde stand-in: unsupported item shape for `{name}`")),
+    }
+}
+
+/// Counts comma-separated fields at angle-bracket depth 0.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+/// Reads `#[serde(default)]` / `#[serde(skip)]` markers off one
+/// attribute group.
+fn serde_flags(group: &proc_macro::Group, default: &mut bool, skip: &mut bool) {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    let [TokenTree::Ident(id), TokenTree::Group(args)] = &inner[..] else {
+        return;
+    };
+    if id.to_string() != "serde" {
+        return;
+    }
+    for t in args.stream() {
+        if let TokenTree::Ident(flag) = t {
+            match flag.to_string().as_str() {
+                "default" => *default = true,
+                "skip" => *skip = true,
+                other => panic!(
+                    "serde stand-in (vendor/serde_derive) does not support #[serde({other})]"
+                ),
+            }
+        }
+    }
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        let mut default = false;
+        let mut skip = false;
+        // Attributes before the field.
+        while matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = body.get(i + 1) {
+                serde_flags(g, &mut default, &mut skip);
+            }
+            i += 2;
+        }
+        // Visibility.
+        while let Some(TokenTree::Ident(id)) = body.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if matches!(body.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(field_name)) = body.get(i) else {
+            return Err("serde stand-in: expected field name".to_string());
+        };
+        let name = field_name.to_string();
+        i += 1;
+        if !matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("serde stand-in: expected ':' after field `{name}`"));
+        }
+        i += 1;
+        // Skip the type up to a comma at angle depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = body.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field {
+            name,
+            default,
+            skip,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        while matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2; // attribute
+        }
+        let Some(TokenTree::Ident(vname)) = body.get(i) else {
+            return Err("serde stand-in: expected variant name".to_string());
+        };
+        let name = vname.to_string();
+        i += 1;
+        let arity = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_tuple_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde stand-in (vendor/serde_derive) does not support struct variant `{name}`"
+                ));
+            }
+            _ => 0,
+        };
+        if arity > 1 {
+            return Err(format!(
+                "serde stand-in (vendor/serde_derive) supports at most one field per variant; `{name}` has {arity}"
+            ));
+        }
+        if matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "serde stand-in: discriminant on variant `{name}` unsupported"
+            ));
+        }
+        if matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, arity });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "__fields.push(({n:?}.to_string(), ::serde::Serialize::to_json_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::json::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::json::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::json::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\n\
+                     impl ::serde::Serialize for {name} {{\n\
+                         fn to_json_value(&self) -> ::serde::json::Value {{\n\
+                             ::serde::Serialize::to_json_value(&self.0)\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let items = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\n\
+                     impl ::serde::Serialize for {name} {{\n\
+                         fn to_json_value(&self) -> ::serde::json::Value {{\n\
+                             ::serde::json::Value::Array(vec![{items}])\n\
+                         }}\n\
+                     }}"
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::json::Value::String({v:?}.to_string()),\n",
+                        v = v.name
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v}(__x) => ::serde::json::Value::Object(vec![({v:?}.to_string(), ::serde::Serialize::to_json_value(__x))]),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            format!(
+                "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::json::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{n}: ::core::default::Default::default(),\n",
+                        n = f.name
+                    ));
+                    continue;
+                }
+                let missing = if f.default {
+                    "::core::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::core::result::Result::Err(::serde::json::DeError::new(concat!(\"missing field `\", {n:?}, \"` in {name}\")))",
+                        n = f.name
+                    )
+                };
+                inits.push_str(&format!(
+                    "{n}: match ::serde::json::obj_get(__obj, {n:?}) {{\n\
+                         ::core::option::Option::Some(__v) => ::serde::Deserialize::from_json_value(__v)?,\n\
+                         ::core::option::Option::None => {missing},\n\
+                     }},\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(__v: &::serde::json::Value) -> ::core::result::Result<Self, ::serde::json::DeError> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| ::serde::json::DeError::new(\"expected object for {name}\"))?;\n\
+                         ::core::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\n\
+                     impl ::serde::Deserialize for {name} {{\n\
+                         fn from_json_value(__v: &::serde::json::Value) -> ::core::result::Result<Self, ::serde::json::DeError> {{\n\
+                             ::core::result::Result::Ok({name}(::serde::Deserialize::from_json_value(__v)?))\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let items = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_json_value(&__items[{i}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\n\
+                     impl ::serde::Deserialize for {name} {{\n\
+                         fn from_json_value(__v: &::serde::json::Value) -> ::core::result::Result<Self, ::serde::json::DeError> {{\n\
+                             let __items = __v.as_array().ok_or_else(|| ::serde::json::DeError::new(\"expected array for {name}\"))?;\n\
+                             if __items.len() != {arity} {{\n\
+                                 return ::core::result::Result::Err(::serde::json::DeError::new(\"wrong arity for {name}\"));\n\
+                             }}\n\
+                             ::core::result::Result::Ok({name}({items}))\n\
+                         }}\n\
+                     }}"
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tuple_arms = String::new();
+            for v in variants {
+                if v.arity == 0 {
+                    unit_arms.push_str(&format!(
+                        "{v:?} => return ::core::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                } else {
+                    tuple_arms.push_str(&format!(
+                        "{v:?} => return ::core::result::Result::Ok({name}::{v}(::serde::Deserialize::from_json_value(__val)?)),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            format!(
+                "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(__v: &::serde::json::Value) -> ::core::result::Result<Self, ::serde::json::DeError> {{\n\
+                         if let ::serde::json::Value::String(__s) = __v {{\n\
+                             #[allow(clippy::match_single_binding)]\n\
+                             match __s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                         }}\n\
+                         if let ::serde::json::Value::Object(__members) = __v {{\n\
+                             if __members.len() == 1 {{\n\
+                                 let (__tag, __val) = &__members[0];\n\
+                                 #[allow(clippy::match_single_binding, unused_variables)]\n\
+                                 match __tag.as_str() {{\n{tuple_arms}_ => {{}}\n}}\n\
+                             }}\n\
+                         }}\n\
+                         ::core::result::Result::Err(::serde::json::DeError::new(\"no matching variant of {name}\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

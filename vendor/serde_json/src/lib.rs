@@ -1,0 +1,86 @@
+//! Offline stand-in for `serde_json`, re-exporting the vendored serde's
+//! JSON tree under upstream's names and providing `to_string`,
+//! `to_string_pretty`, `from_str`, and the `json!` macro.
+
+#![forbid(unsafe_code)]
+
+pub use serde::json::{DeError as Error, Number, Value};
+use serde::{Deserialize, Serialize};
+
+/// A `Result` specialized to this crate's [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Compact JSON text for `value`.
+///
+/// Infallible in practice for this stand-in; the `Result` mirrors
+/// upstream's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().render_compact())
+}
+
+/// Two-space-indented JSON text for `value`.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().render_pretty())
+}
+
+/// Parses JSON text into any deserializable value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    T::from_json_value(&serde::json::parse(s)?)
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal.
+///
+/// Supports the forms this workspace uses: `null`, object literals with
+/// string-literal keys and expression values, array literals, and bare
+/// expressions. (Upstream additionally allows nested object literals as
+/// values; here a nested object must be written as an inner `json!`.)
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::to_value(&$val)) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_objects() {
+        let policy = "MSketch";
+        let v = json!({
+            "policy": policy,
+            "output": 5u64,
+            "rate": 0.5,
+            "flag": true,
+            "label": format!("x{}", 1),
+            "cond": if policy.len() > 3 { 1.0 } else { 0.0 },
+        });
+        assert_eq!(v["policy"], "MSketch");
+        assert_eq!(v["output"], 5);
+        assert_eq!(v["flag"], true);
+        assert_eq!(v["label"], "x1");
+        assert_eq!(v["cond"], 1.0);
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back["output"], 5);
+    }
+
+    #[test]
+    fn primitive_round_trip() {
+        let s = to_string(&123u64).unwrap();
+        assert_eq!(s, "123");
+        let back: u64 = from_str(&s).unwrap();
+        assert_eq!(back, 123);
+    }
+}
