@@ -22,6 +22,17 @@ pub struct Arrival {
     pub at_micros: u64,
 }
 
+/// Memory discipline for a case's reduced-memory run.
+#[derive(Clone, Debug)]
+pub enum ReducedMemory {
+    /// The same small capacity on every window.
+    PerWindow(usize),
+    /// Heterogeneous per-window capacities (one entry per stream).
+    PerWindowEach(Vec<usize>),
+    /// One shared pool across all windows.
+    GlobalPool(usize),
+}
+
 /// A fully materialised audit case: query, engine configuration knobs and
 /// the arrival trace.
 pub struct Case {
@@ -33,11 +44,11 @@ pub struct Case {
     /// Explicit tumbling-epoch discipline (mixed-window queries have no
     /// derivable default, so the generator always picks one).
     pub epoch: EpochSpec,
-    /// Per-window capacity for the reduced-memory run.
-    pub reduced_capacity: usize,
-    /// Whether the reduced-memory run uses a shared global pool instead of
-    /// per-window allocations.
-    pub use_pool: bool,
+    /// Memory discipline for the reduced-memory run.
+    pub reduced: ReducedMemory,
+    /// Worker count for the sharded differential runs (2 or 4). Cases
+    /// whose query cannot partition exercise the degrade path instead.
+    pub shards: usize,
     /// The arrival trace.
     pub arrivals: Vec<Arrival>,
 }
@@ -79,25 +90,29 @@ pub fn generate_case(seed: u64) -> Case {
 
     // Join shape: a chain through all streams, optionally closed into a
     // cycle (3+ streams), optionally doubled on one edge. Attribute choices
-    // are random on both sides.
+    // are random on both sides, except that ~35% of cases pin every
+    // predicate to attribute 0 — a guaranteed key-partitionable shape, so
+    // the sharded differential regularly exercises real multi-shard runs.
+    let keyed = rng.gen_bool(0.35);
+    let attr = |rng: &mut StdRng| if keyed { 0 } else { rng.gen_range(0..2usize) };
     let mut predicates = Vec::new();
     for k in 0..n - 1 {
         predicates.push(EquiPredicate::new(
-            AttrRef::new(StreamId(k), rng.gen_range(0..2usize)),
-            AttrRef::new(StreamId(k + 1), rng.gen_range(0..2usize)),
+            AttrRef::new(StreamId(k), attr(&mut rng)),
+            AttrRef::new(StreamId(k + 1), attr(&mut rng)),
         ));
     }
     if n >= 3 && rng.gen_bool(0.3) {
         predicates.push(EquiPredicate::new(
-            AttrRef::new(StreamId(n - 1), rng.gen_range(0..2usize)),
-            AttrRef::new(StreamId(0), rng.gen_range(0..2usize)),
+            AttrRef::new(StreamId(n - 1), attr(&mut rng)),
+            AttrRef::new(StreamId(0), attr(&mut rng)),
         ));
     }
     if rng.gen_bool(0.2) {
         let k = rng.gen_range(0..n - 1);
         predicates.push(EquiPredicate::new(
-            AttrRef::new(StreamId(k), rng.gen_range(0..2usize)),
-            AttrRef::new(StreamId(k + 1), rng.gen_range(0..2usize)),
+            AttrRef::new(StreamId(k), attr(&mut rng)),
+            AttrRef::new(StreamId(k + 1), attr(&mut rng)),
         ));
     }
     let query = JoinQuery::new(catalog, predicates, windows)
@@ -129,12 +144,20 @@ pub fn generate_case(seed: u64) -> Case {
         })
         .collect();
 
+    let reduced = match rng.gen_range(0..3u8) {
+        0 => ReducedMemory::PerWindow(rng.gen_range(2..8usize)),
+        1 => ReducedMemory::PerWindowEach(
+            (0..n).map(|_| rng.gen_range(2..8usize)).collect(),
+        ),
+        _ => ReducedMemory::GlobalPool(rng.gen_range(2..8usize) * n),
+    };
+
     Case {
         seed,
         query,
         epoch,
-        reduced_capacity: rng.gen_range(2..8usize),
-        use_pool: rng.gen_bool(0.3),
+        reduced,
+        shards: if rng.gen_bool(0.5) { 2 } else { 4 },
         arrivals,
     }
 }

@@ -29,7 +29,7 @@ pub mod gen;
 pub mod run;
 pub mod shrink;
 
-pub use gen::{generate_case, Arrival, Case};
+pub use gen::{generate_case, Arrival, Case, ReducedMemory};
 pub use run::{install_quiet_hook, run_case, run_case_on, Failure, FailureKind};
 pub use shrink::shrink_case;
 
@@ -58,7 +58,8 @@ mod tests {
             assert_eq!(x.values, y.values);
             assert_eq!(x.at_micros, y.at_micros);
         }
-        assert_eq!(a.reduced_capacity, b.reduced_capacity);
+        assert_eq!(format!("{:?}", a.reduced), format!("{:?}", b.reduced));
+        assert_eq!(a.shards, b.shards);
         assert_eq!(a.query.n_streams(), b.query.n_streams());
     }
 
@@ -84,6 +85,34 @@ mod tests {
             }
         }
         assert!(time && tuples, "generator must exercise both window kinds");
+    }
+
+    #[test]
+    fn generator_covers_memory_modes_shards_and_partitionability() {
+        use mstream_types::Partitioning;
+        let (mut pw, mut pwe, mut pool) = (false, false, false);
+        let (mut s2, mut s4) = (false, false);
+        let (mut keyed, mut single) = (false, false);
+        for i in 0..60u64 {
+            let case = generate_case(case_seed(5, i));
+            match case.reduced {
+                ReducedMemory::PerWindow(_) => pw = true,
+                ReducedMemory::PerWindowEach(_) => pwe = true,
+                ReducedMemory::GlobalPool(_) => pool = true,
+            }
+            match case.shards {
+                2 => s2 = true,
+                4 => s4 = true,
+                other => panic!("unexpected shard count {other}"),
+            }
+            match case.query.partitioning() {
+                Partitioning::ByKey { .. } => keyed = true,
+                Partitioning::Single { .. } => single = true,
+            }
+        }
+        assert!(pw && pwe && pool, "all three memory modes generated");
+        assert!(s2 && s4, "both shard counts generated");
+        assert!(keyed && single, "both partitionability outcomes generated");
     }
 
     #[test]

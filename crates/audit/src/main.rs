@@ -10,6 +10,7 @@
 
 use mstream_audit::{
     case_seed, generate_case, install_quiet_hook, run_case, shrink_case, Arrival, Case, Failure,
+    ReducedMemory,
 };
 use mstream_types::StreamId;
 
@@ -68,7 +69,8 @@ fn sweep(args: &[String]) -> i32 {
     }
     println!(
         "audit sweep: {cases} cases ({arrivals_total} arrivals) — all policies match the \
-         exact oracle at 100% memory, all shed runs are sub-multisets, zero invariant \
+         exact oracle at 100% memory (single-engine and sharded), all shed runs are \
+         sub-multisets, sharded runs honour the partitioning contract, zero invariant \
          violations"
     );
     0
@@ -121,14 +123,20 @@ fn describe(case: &Case) -> String {
     let windows: Vec<String> = (0..case.n_streams())
         .map(|k| format!("{:?}", case.query.window(StreamId(k))))
         .collect();
+    let memory = match &case.reduced {
+        ReducedMemory::PerWindow(c) => format!("cap {c}/window"),
+        ReducedMemory::PerWindowEach(cs) => format!("caps {cs:?}"),
+        ReducedMemory::GlobalPool(total) => format!("pool {total}"),
+    };
     format!(
-        "{} streams, {} predicates, windows [{}], epoch {:?}, reduced cap {}{}",
+        "{} streams, {} predicates, windows [{}], epoch {:?}, reduced {}, {} shards ({:?})",
         case.n_streams(),
         case.query.predicates().len(),
         windows.join(", "),
         case.epoch,
-        case.reduced_capacity,
-        if case.use_pool { " (pooled)" } else { "" },
+        memory,
+        case.shards,
+        case.query.partitioning(),
     )
 }
 

@@ -1,12 +1,14 @@
 //! The differential runner: engine vs oracle, per policy, per memory mode,
 //! with per-arrival structural invariant checks.
 
-use crate::gen::{Arrival, Case};
-use mstream_core::ShedJoinBuilder;
+use crate::gen::{Arrival, Case, ReducedMemory};
+use mstream_core::ingest::FnSink;
+use mstream_core::shard::{Backpressure, ShardConfig};
+use mstream_core::EngineBuilder;
 use mstream_join::{Bindings, ExactJoin};
 use mstream_shed_policies::{parse_policy, ALL_POLICY_NAMES};
 use mstream_sketch::BankConfig;
-use mstream_types::{SeqNo, StreamId, Tuple, VTime, Value};
+use mstream_types::{Partitioning, SeqNo, StreamId, Tuple, VTime, Value};
 use mstream_window::{QueueVictim, ShedQueue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +28,10 @@ pub enum FailureKind {
     InvariantPanic,
     /// The standalone [`ShedQueue`] churn audit panicked.
     QueuePanic,
+    /// The sharded engine violated its partitioning contract: wrong shard
+    /// count, missing/spurious degrade reason, or channel drops under
+    /// blocking backpressure.
+    ShardContract,
 }
 
 impl std::fmt::Display for FailureKind {
@@ -35,6 +41,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::NotSubMultiset => "not-a-sub-multiset (reduced memory)",
             FailureKind::InvariantPanic => "invariant-violation",
             FailureKind::QueuePanic => "queue-invariant-violation",
+            FailureKind::ShardContract => "shard-contract-violation",
         };
         f.write_str(s)
     }
@@ -117,6 +124,28 @@ pub fn run_case_on(case: &Case, arrivals: &[Arrival]) -> Result<(), Failure> {
         }
     }
 
+    // The sharded engine must honour the same two contracts (plus its
+    // partitioning metadata) for a deterministic and a sketch policy.
+    for name in ["MSketch", "FIFO"] {
+        let label = format!("{name}@x{}", case.shards);
+        let full = drive_sharded(case, arrivals, name, true)?;
+        if full != oracle_rows {
+            return Err(Failure {
+                policy: label.clone(),
+                kind: FailureKind::ExactMismatch,
+                detail: first_diff(&full, &oracle_rows),
+            });
+        }
+        let shed = drive_sharded(case, arrivals, name, false)?;
+        if let Some(extra) = not_in_multiset(&shed, &oracle_rows) {
+            return Err(Failure {
+                policy: label,
+                kind: FailureKind::NotSubMultiset,
+                detail: format!("sharded shed run emitted a row the oracle never did: {extra:?}"),
+            });
+        }
+    }
+
     queue_audit(case, arrivals)
 }
 
@@ -136,23 +165,7 @@ fn drive_engine(
         kind,
         detail,
     };
-    let mut builder = ShedJoinBuilder::new(case.query.clone())
-        .boxed_policy(parse_policy(policy).expect("every registered policy parses"))
-        .epoch(case.epoch)
-        .bank(BankConfig {
-            s1: 32,
-            s2: 1,
-            seed: case.seed,
-        })
-        .seed(case.seed);
-    builder = if full_memory {
-        builder.capacity_per_window(arrivals.len() + 1)
-    } else if case.use_pool {
-        builder.global_pool(case.reduced_capacity * n)
-    } else {
-        builder.capacity_per_window(case.reduced_capacity)
-    };
-    let mut engine = builder
+    let mut engine = configured_builder(case, arrivals, policy, full_memory)
         .build()
         .map_err(|e| fail(format!("engine construction failed: {e:?}"), FailureKind::InvariantPanic))?;
 
@@ -161,8 +174,8 @@ fn drive_engine(
         let values: Vec<Value> = a.values.iter().map(|&v| Value(v)).collect();
         let now = VTime::from_micros(a.at_micros);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let tuple = engine.make_tuple(StreamId(a.stream), values, now);
-            engine.process_tuple_with(tuple, now, |b| rows.push(row(b, n)));
+            let tuple = engine.mint(mstream_core::Arrival::new(StreamId(a.stream), values, now));
+            engine.ingest_tuple(tuple, now, &mut FnSink(|b: &Bindings<'_>| rows.push(row(b, n))));
             engine.check_invariants();
         }));
         if let Err(payload) = outcome {
@@ -172,6 +185,151 @@ fn drive_engine(
             ));
         }
     }
+    rows.sort();
+    Ok(rows)
+}
+
+/// The shared [`EngineBuilder`] setup for one (policy, memory-mode) run:
+/// explicit epoch and sketch bank, case-seeded determinism, and the case's
+/// reduced-memory discipline (full-memory runs size every window to hold
+/// the whole trace).
+fn configured_builder(
+    case: &Case,
+    arrivals: &[Arrival],
+    policy: &str,
+    full_memory: bool,
+) -> EngineBuilder {
+    let builder = EngineBuilder::new(case.query.clone())
+        .boxed_policy(parse_policy(policy).expect("every registered policy parses"))
+        .epoch(case.epoch)
+        .bank(BankConfig {
+            s1: 32,
+            s2: 1,
+            seed: case.seed,
+        })
+        .seed(case.seed);
+    if full_memory {
+        builder.capacity_per_window(arrivals.len() + 1)
+    } else {
+        match &case.reduced {
+            ReducedMemory::PerWindow(c) => builder.capacity_per_window(*c),
+            ReducedMemory::PerWindowEach(cs) => builder.capacities(cs.clone()),
+            ReducedMemory::GlobalPool(total) => builder.global_pool(*total),
+        }
+    }
+}
+
+/// Drives the trace through a [`mstream_core::ShardedJoinEngine`] at the
+/// case's shard count, checks the partitioning contract (real fan-out on
+/// partitionable queries, clean degrade with a reason otherwise, no drops
+/// under blocking backpressure), and returns the merged canonical rows.
+fn drive_sharded(
+    case: &Case,
+    arrivals: &[Arrival],
+    policy: &str,
+    full_memory: bool,
+) -> Result<Vec<Vec<u64>>, Failure> {
+    let fail = |detail: String, kind| Failure {
+        policy: format!("{policy}@x{}", case.shards),
+        kind,
+        detail,
+    };
+    let mut builder = configured_builder(case, arrivals, policy, full_memory);
+    if full_memory {
+        // The shard layer splits the budget S ways; skewed routing may put
+        // most tuples on one shard, so "full memory" must survive the
+        // worst case: the whole trace landing on a single worker.
+        builder = builder.capacity_per_window((arrivals.len() + 1) * case.shards);
+    }
+    let mut engine = builder
+        .shard_config(ShardConfig {
+            shards: case.shards,
+            channel_capacity: 4,
+            batch_size: 3, // deliberately small: exercises mid-trace flushes
+            backpressure: Backpressure::Block,
+            collect_rows: true,
+        })
+        .build_sharded()
+        .map_err(|e| fail(format!("sharded construction failed: {e:?}"), FailureKind::InvariantPanic))?;
+
+    match case.query.partitioning() {
+        Partitioning::ByKey { .. } => {
+            if engine.shards() != case.shards || engine.degraded().is_some() {
+                return Err(fail(
+                    format!(
+                        "partitionable query ran on {} shards (requested {}), degraded: {:?}",
+                        engine.shards(),
+                        case.shards,
+                        engine.degraded()
+                    ),
+                    FailureKind::ShardContract,
+                ));
+            }
+        }
+        Partitioning::Single { .. } => {
+            if engine.shards() != 1 || engine.degraded().is_none() {
+                return Err(fail(
+                    format!(
+                        "non-partitionable query must degrade to 1 shard with a reason; got {} shards, degraded: {:?}",
+                        engine.shards(),
+                        engine.degraded()
+                    ),
+                    FailureKind::ShardContract,
+                ));
+            }
+        }
+    }
+
+    let expect_shards = engine.shards();
+    let expect_degraded = engine.degraded().map(str::to_owned);
+    for a in arrivals {
+        let values: Vec<Value> = a.values.iter().map(|&v| Value(v)).collect();
+        engine.ingest(mstream_core::Arrival::new(
+            StreamId(a.stream),
+            values,
+            VTime::from_micros(a.at_micros),
+        ));
+    }
+    let report = engine
+        .finish()
+        .map_err(|e| fail(format!("{e}"), FailureKind::InvariantPanic))?;
+    if report.shed_channel != 0 {
+        return Err(fail(
+            format!("{} tuples dropped under Backpressure::Block", report.shed_channel),
+            FailureKind::ShardContract,
+        ));
+    }
+    if report.combined.shards != expect_shards
+        || report.combined.degraded != expect_degraded
+        || report.per_shard.len() != expect_shards
+    {
+        return Err(fail(
+            format!(
+                "merged report disagrees with the engine: shards {} vs {}, degraded {:?} vs {:?}, {} per-shard entries",
+                report.combined.shards,
+                expect_shards,
+                report.combined.degraded,
+                expect_degraded,
+                report.per_shard.len()
+            ),
+            FailureKind::ShardContract,
+        ));
+    }
+
+    let n = case.n_streams();
+    let mut rows: Vec<Vec<u64>> = report
+        .rows
+        .expect("collect_rows was set")
+        .iter()
+        .map(|result| {
+            let mut r = Vec::with_capacity(n * 3);
+            for t in result {
+                r.push(t.seq.0);
+                r.extend(t.values.iter().map(|v| v.0));
+            }
+            r
+        })
+        .collect();
     rows.sort();
     Ok(rows)
 }

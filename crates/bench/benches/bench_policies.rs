@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 
 fn steady_engine(policy: &str) -> ShedJoinEngine {
     let query = paper::paper_query(100);
-    let mut engine = ShedJoinBuilder::new(query)
+    let mut engine = EngineBuilder::new(query)
         .boxed_policy(parse_policy(policy).expect("builtin"))
         .capacity_per_window(256)
         .bank(BankConfig {
@@ -26,12 +26,16 @@ fn steady_engine(policy: &str) -> ShedJoinEngine {
         .expect("valid engine");
     // Warm up into steady state: full windows, sketches populated.
     let mut rng = StdRng::seed_from_u64(7);
+    let mut sink = CountSink::default();
     for i in 0..3000u64 {
         let s = StreamId(rng.gen_range(0..3));
-        engine.process_arrival(
-            s,
-            vec![Value(rng.gen_range(0..40)), Value(rng.gen_range(0..40))],
-            VTime::from_micros(i * 100_000),
+        engine.ingest(
+            Arrival::new(
+                s,
+                vec![Value(rng.gen_range(0..40)), Value(rng.gen_range(0..40))],
+                VTime::from_micros(i * 100_000),
+            ),
+            &mut sink,
         );
     }
     engine
@@ -43,14 +47,18 @@ fn bench_policies(c: &mut Criterion) {
         let mut engine = steady_engine(policy);
         let mut rng = StdRng::seed_from_u64(8);
         let mut i = 3000u64;
+        let mut sink = CountSink::default();
         group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, _| {
             b.iter(|| {
                 let s = StreamId(rng.gen_range(0..3));
                 i += 1;
-                black_box(engine.process_arrival(
-                    s,
-                    vec![Value(rng.gen_range(0..40)), Value(rng.gen_range(0..40))],
-                    VTime::from_micros(i * 100_000),
+                black_box(engine.ingest(
+                    Arrival::new(
+                        s,
+                        vec![Value(rng.gen_range(0..40)), Value(rng.gen_range(0..40))],
+                        VTime::from_micros(i * 100_000),
+                    ),
+                    &mut sink,
                 ))
             })
         });

@@ -30,18 +30,17 @@ fn main() {
     let mut rows = Vec::new();
     let mut outputs = Vec::new();
     for s1 in [50usize, 200, 1000, 4000] {
-        let policy = parse_policy("msketch").expect("builtin");
-        let config = EngineConfig {
-            memory: MemoryMode::PerWindow(capacity),
-            bank: BankConfig {
+        let mut engine = EngineBuilder::new(query.clone())
+            .policy(MSketch)
+            .capacity_per_window(capacity)
+            .bank(BankConfig {
                 s1,
                 s2: 1,
                 seed: args.seed ^ 0x5EED,
-            },
-            epoch: None,
-            seed: args.seed,
-        };
-        let mut engine = ShedJoinEngine::new(query.clone(), policy, config).expect("valid");
+            })
+            .seed(args.seed)
+            .build()
+            .expect("valid");
         let report = run_trace(&mut engine, &trace, &opts);
         outputs.push(report.total_output());
         rows.push(vec![

@@ -1,0 +1,100 @@
+//! Shard-scaling throughput: the sharded engine on a key-partitionable
+//! variant of the paper's query at S ∈ {1, 2, 4, 8} workers.
+//!
+//! Not a figure from the paper — the ICDE'07 operator is single-threaded —
+//! but the measurement behind the sharded-execution design note in
+//! DESIGN.md: when every predicate rides one attribute class, hash
+//! partitioning splits both the work and the memory budget `S` ways with
+//! no cross-shard probes, so throughput should scale until routing skew or
+//! channel overhead dominates.
+//!
+//! ```text
+//! cargo run --release -p mstream-bench --bin shard_scaling
+//! cargo run --release -p mstream-bench --bin shard_scaling -- --scale 0.2 --json out.json
+//! ```
+
+use mstream_bench::{args, paper, table, Args};
+use mstream_core::prelude::*;
+
+/// The paper's 3-relation shape with both predicates through `A1` — one
+/// attribute-equivalence class, so the query partitions by key.
+fn keyed_query(window_secs: u64) -> JoinQuery {
+    let mut catalog = Catalog::new();
+    catalog.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+    catalog.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+    catalog.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+    JoinQuery::from_names(
+        catalog,
+        &[("R1.A1", "R2.A1"), ("R2.A1", "R3.A1")],
+        WindowSpec::secs(window_secs),
+    )
+    .expect("valid query")
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale_or(1.0);
+    let query = keyed_query(paper::scaled_window(scale));
+    let trace = paper::paper_regions(paper::Z_INTRA_RANGES[1], scale, args.seed).generate();
+    let capacity = paper::memory_tuples(25, scale);
+    let rate = 1000.0;
+
+    let header = vec![
+        "shards".to_string(),
+        "time (s)".to_string(),
+        "output".to_string(),
+        "tuples/s".to_string(),
+        "speedup".to_string(),
+    ];
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut base_secs = 0.0f64;
+    let mut times = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let engine = EngineBuilder::new(query.clone())
+            .policy(MSketch)
+            .capacity_per_window(capacity)
+            .seed(args.seed)
+            .shard_config(ShardConfig {
+                shards,
+                channel_capacity: 64,
+                batch_size: 256,
+                backpressure: Backpressure::Block,
+                collect_rows: false,
+            })
+            .build_sharded()
+            .expect("valid engine");
+        let report = engine.run_trace(&trace, rate).expect("workers exit cleanly");
+        assert_eq!(report.combined.shards, shards, "query must partition");
+        let secs = report.combined.wall_time.as_secs_f64();
+        if shards == 1 {
+            base_secs = secs;
+        }
+        times.push(secs);
+        rows.push(vec![
+            shards.to_string(),
+            format!("{secs:.3}"),
+            report.combined.total_output().to_string(),
+            table::fmt_num(report.combined.metrics.processed as f64 / secs),
+            format!("{:.2}x", base_secs / secs),
+        ]);
+        json_rows.push(serde_json::json!({
+            "shards": shards,
+            "seconds": secs,
+            "output": report.combined.total_output(),
+            "processed": report.combined.metrics.processed,
+            "shed_window": report.combined.metrics.shed_window,
+            "speedup": base_secs / secs,
+        }));
+    }
+    table::print_table(
+        &format!("Shard scaling: keyed 3-way join, 25% memory ({capacity} tuples total)"),
+        &header,
+        &rows,
+    );
+    table::print_shape(
+        "multi-shard beats single-shard wall time (2 or 4 workers faster than 1)",
+        times[1] < times[0] || times[2] < times[0],
+    );
+    args::maybe_dump_json(&args.json, &json_rows);
+}

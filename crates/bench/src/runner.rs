@@ -11,17 +11,20 @@ pub fn build_engine(
 ) -> ShedJoinEngine {
     let policy =
         parse_policy(policy_name).unwrap_or_else(|| panic!("unknown policy {policy_name}"));
-    let config = EngineConfig {
-        memory,
-        bank: BankConfig {
+    let builder = EngineBuilder::new(query.clone())
+        .boxed_policy(policy)
+        .bank(BankConfig {
             s1: 1000,
             s2: 1,
             seed: seed ^ 0x5EED,
-        },
-        epoch: None,
-        seed,
+        })
+        .seed(seed);
+    let builder = match memory {
+        MemoryMode::PerWindow(c) => builder.capacity_per_window(c),
+        MemoryMode::PerWindowEach(cs) => builder.capacities(cs),
+        MemoryMode::GlobalPool(total) => builder.global_pool(total),
     };
-    ShedJoinEngine::new(query.clone(), policy, config).expect("engine config is valid")
+    builder.build().expect("engine config is valid")
 }
 
 /// Runs one policy over `trace` and returns its report.

@@ -25,6 +25,17 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             return Err(CliError::usage("--service must be positive"));
         }
     }
+    if let Some(shards) = flags.num_opt::<usize>("--shards")? {
+        if shards == 0 {
+            return Err(CliError::usage("--shards must be >= 1"));
+        }
+        if service.is_some() {
+            return Err(CliError::usage(
+                "--service models a single-threaded operator and cannot be combined with --shards",
+            ));
+        }
+        return run_sharded(flags, out, query, policy, policy_name, &trace, capacity, rate, shards);
+    }
     let opts = RunOptions {
         sim: SimConfig {
             arrival_rate: rate,
@@ -33,7 +44,7 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         },
         ..Default::default()
     };
-    let mut engine = ShedJoinBuilder::new(query)
+    let mut engine = EngineBuilder::new(query)
         .boxed_policy(policy)
         .capacity_per_window(capacity)
         .seed(flags.num("--seed", 42)?)
@@ -72,6 +83,94 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             "virtual span:    {:.1}s   wall: {:.3}s",
             report.end_time.as_secs_f64(),
             report.wall_time.as_secs_f64()
+        )?;
+    }
+    Ok(())
+}
+
+/// `mstream run --shards N`: hash-partitioned parallel execution. The
+/// capacity flag is still the *total* memory budget; each worker gets
+/// `1/S` of it. Non-partitionable queries degrade to one shard and the
+/// report says why.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded(
+    flags: &Flags,
+    out: &mut dyn Write,
+    query: JoinQuery,
+    policy: Box<dyn ShedPolicy>,
+    policy_name: &str,
+    trace: &Trace,
+    capacity: usize,
+    rate: f64,
+    shards: usize,
+) -> Result<(), CliError> {
+    let engine = EngineBuilder::new(query)
+        .boxed_policy(policy)
+        .capacity_per_window(capacity)
+        .seed(flags.num("--seed", 42)?)
+        .shards(shards)
+        .build_sharded()
+        .map_err(|e| CliError::input(e.to_string()))?;
+    let report = engine
+        .run_trace(trace, rate)
+        .map_err(|e| CliError::input(e.to_string()))?;
+    if flags.has("--json") {
+        let per_shard: Vec<serde_json::Value> = report
+            .per_shard
+            .iter()
+            .map(|m| {
+                serde_json::json!({
+                    "processed": m.processed,
+                    "output_tuples": m.total_output,
+                    "shed_window": m.shed_window,
+                })
+            })
+            .collect();
+        let body = serde_json::json!({
+            "policy": policy_name,
+            "capacity_total": capacity,
+            "shards_requested": shards,
+            "shards": report.combined.shards,
+            "degraded": report.combined.degraded,
+            "arrivals": trace.len(),
+            "output_tuples": report.combined.total_output(),
+            "processed": report.combined.metrics.processed,
+            "shed_window": report.combined.metrics.shed_window,
+            "shed_channel": report.shed_channel,
+            "expired": report.combined.metrics.expired,
+            "per_shard": per_shard,
+            "end_time_secs": report.combined.end_time.as_secs_f64(),
+            "wall_seconds": report.combined.wall_time.as_secs_f64(),
+        });
+        writeln!(out, "{}", serde_json::to_string_pretty(&body).expect("serializable"))?;
+    } else {
+        writeln!(out, "policy:          {policy_name}")?;
+        writeln!(out, "memory total:    {capacity} tuples across {shards} requested shards")?;
+        match &report.combined.degraded {
+            Some(reason) => writeln!(out, "shards:          1 (degraded: {reason})")?,
+            None => writeln!(out, "shards:          {}", report.combined.shards)?,
+        }
+        writeln!(out, "arrivals:        {}", trace.len())?;
+        writeln!(out, "processed:       {}", report.combined.metrics.processed)?;
+        writeln!(out, "output tuples:   {}", report.combined.total_output())?;
+        writeln!(
+            out,
+            "shed:            {} window, {} channel",
+            report.combined.metrics.shed_window, report.shed_channel
+        )?;
+        writeln!(out, "expired:         {}", report.combined.metrics.expired)?;
+        for (i, m) in report.per_shard.iter().enumerate() {
+            writeln!(
+                out,
+                "  shard {i}:       processed {:>7}  output {:>9}  shed {:>6}",
+                m.processed, m.total_output, m.shed_window
+            )?;
+        }
+        writeln!(
+            out,
+            "virtual span:    {:.1}s   wall: {:.3}s",
+            report.combined.end_time.as_secs_f64(),
+            report.combined.wall_time.as_secs_f64()
         )?;
     }
     Ok(())
@@ -331,6 +430,63 @@ mod tests {
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&json_report).unwrap();
         assert_eq!(v["arrivals"], 600);
+    }
+
+    #[test]
+    fn sharded_run_reports_fanout_and_degrade() {
+        let dir = std::env::temp_dir().join("mstream_cli_test_shard");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.csv");
+        let trace_path = trace_path.to_str().unwrap();
+        run_cli(&[
+            "generate", "--workload", "regions", "--tuples", "200", "--out", trace_path,
+        ])
+        .unwrap();
+        // All predicates through one attribute class: real 4-way fan-out.
+        let keyed = "SELECT * FROM R1(A1, A2) [RANGE 30 SECONDS], R2(A1, A2), R3(A1, A2) \
+                     WHERE R1.A1 = R2.A1 AND R2.A1 = R3.A1";
+        let json = run_cli(&[
+            "run", "--query", keyed, "--trace", trace_path, "--capacity", "400",
+            "--shards", "4", "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["shards"], 4);
+        assert_eq!(v["degraded"], serde_json::Value::Null);
+        assert_eq!(v["per_shard"].as_array().unwrap().len(), 4);
+        assert_eq!(v["shed_channel"], 0);
+
+        // The chain query cannot partition: degrade with a reason.
+        let chain = "SELECT * FROM R1(A1, A2) [RANGE 30 SECONDS], R2(A1, A2), R3(A1, A2) \
+                     WHERE R1.A1 = R2.A1 AND R2.A2 = R3.A1";
+        let json = run_cli(&[
+            "run", "--query", chain, "--trace", trace_path, "--shards", "4", "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["shards"], 1);
+        assert!(v["degraded"].as_str().is_some(), "{v:?}");
+        let text = run_cli(&[
+            "run", "--query", chain, "--trace", trace_path, "--shards", "4",
+        ])
+        .unwrap();
+        assert!(text.contains("degraded:"), "{text}");
+    }
+
+    #[test]
+    fn sharded_run_excludes_service_and_zero_shards() {
+        let query = "SELECT * FROM L(a) [ROWS 5], R(a) WHERE L.a = R.a";
+        let err = run_cli(&[
+            "run", "--query", query, "--trace", "/dev/null", "--shards", "2",
+            "--service", "100",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--shards"), "{err}");
+        let err = run_cli(&[
+            "run", "--query", query, "--trace", "/dev/null", "--shards", "0",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains(">= 1"), "{err}");
     }
 
     #[test]

@@ -62,6 +62,9 @@ RUN OPTIONS:
     --service <l>        join service rate; omit for an unbounded operator
     --queue <n>          input-queue capacity under overload (default 100)
     --seed <n>           engine seed (default 42)
+    --shards <n>         hash-partition across n worker threads when the query's
+                         predicates allow (degrades to 1 with a reason otherwise);
+                         --capacity stays the total budget; excludes --service
     --json               print the report as JSON instead of text
 
 GENERATE OPTIONS:

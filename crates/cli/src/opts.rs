@@ -62,6 +62,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--service",
     "--queue",
     "--seed",
+    "--shards",
     "--workload",
     "--out",
     "--tuples",

@@ -1,11 +1,18 @@
 //! Ergonomic construction of shedding join engines.
+//!
+//! [`EngineBuilder`] is the one documented construction path: it owns all
+//! configuration validation (memory capacities, sketch bank sizing, epoch
+//! derivability, shard counts) and produces either a single-threaded
+//! [`ShedJoinEngine`] (`build`) or a hash-partitioned parallel
+//! [`ShardedJoinEngine`] (`build_sharded`).
 
-use crate::engine::{EngineConfig, MemoryMode, ShedJoinEngine};
+use crate::engine::{default_epoch, resolve_capacities, EngineConfig, MemoryMode, ShedJoinEngine};
+use crate::shard::{ShardConfig, ShardedJoinEngine};
 use mstream_shed_policies::{MSketch, ShedPolicy};
 use mstream_sketch::{BankConfig, EpochSpec};
-use mstream_types::{JoinQuery, Result};
+use mstream_types::{Error, JoinQuery, Result};
 
-/// A fluent builder over [`ShedJoinEngine`].
+/// A fluent builder over [`ShedJoinEngine`] and [`ShardedJoinEngine`].
 ///
 /// ```
 /// use mstream_core::prelude::*;
@@ -15,7 +22,7 @@ use mstream_types::{JoinQuery, Result};
 /// catalog.add_stream(StreamSchema::new("R", &["k"]));
 /// let query = JoinQuery::from_names(catalog, &[("L.k", "R.k")], WindowSpec::secs(60)).unwrap();
 ///
-/// let engine = ShedJoinBuilder::new(query)
+/// let engine = EngineBuilder::new(query)
 ///     .policy(MSketchRs)
 ///     .capacity_per_window(256)
 ///     .sketch_copies(64)
@@ -24,20 +31,26 @@ use mstream_types::{JoinQuery, Result};
 ///     .unwrap();
 /// assert_eq!(engine.policy_name(), "MSketch-RS");
 /// ```
-pub struct ShedJoinBuilder {
+pub struct EngineBuilder {
     query: JoinQuery,
     policy: Box<dyn ShedPolicy>,
     config: EngineConfig,
+    shard: ShardConfig,
 }
 
-impl ShedJoinBuilder {
+/// Former name of [`EngineBuilder`].
+#[deprecated(since = "0.3.0", note = "renamed to `EngineBuilder`")]
+pub type ShedJoinBuilder = EngineBuilder;
+
+impl EngineBuilder {
     /// Starts a builder for `query` with the paper's flagship policy
     /// (`MSketch`) and default sizing.
     pub fn new(query: JoinQuery) -> Self {
-        ShedJoinBuilder {
+        EngineBuilder {
             query,
             policy: Box::new(MSketch),
             config: EngineConfig::default(),
+            shard: ShardConfig::default(),
         }
     }
 
@@ -98,15 +111,74 @@ impl ShedJoinBuilder {
         self
     }
 
-    /// Builds the engine.
+    /// Requests `shards` parallel workers. The engine must then be built
+    /// with [`EngineBuilder::build_sharded`]; queries whose predicates do
+    /// not all share one partition attribute degrade to a single shard
+    /// (the reason is surfaced on the run report).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shard.shards = shards;
+        self
+    }
+
+    /// Full sharded-execution tuning (channel capacity, batch size,
+    /// backpressure, row collection). The shard *count* set here is kept;
+    /// call [`EngineBuilder::shards`] afterwards to override just that.
+    pub fn shard_config(mut self, config: ShardConfig) -> Self {
+        self.shard = config;
+        self
+    }
+
+    /// Validates everything the engine constructors assume: memory
+    /// capacities, sketch bank sizing, epoch derivability for the chosen
+    /// policy, and the shard count.
+    fn validate(&self) -> Result<()> {
+        resolve_capacities(&self.config.memory, self.query.n_streams())?;
+        if self.config.bank.s1 == 0 || self.config.bank.s2 == 0 {
+            return Err(Error::InvalidConfig(
+                "sketch bank needs s1 >= 1 and s2 >= 1".into(),
+            ));
+        }
+        let reqs = self.policy.requirements();
+        if (reqs.sketches || reqs.partner_freq) && self.config.epoch.is_none() {
+            // Surfaces the mixed-window error at build time instead of
+            // deep inside engine construction.
+            default_epoch(&self.query)?;
+        }
+        if self.shard.shards == 0 {
+            return Err(Error::InvalidConfig("shard count must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Builds the single-threaded engine.
+    ///
+    /// Errors if [`EngineBuilder::shards`] requested more than one worker —
+    /// use [`EngineBuilder::build_sharded`] for that.
     pub fn build(self) -> Result<ShedJoinEngine> {
+        self.validate()?;
+        if self.shard.shards > 1 {
+            return Err(Error::InvalidConfig(format!(
+                "{} shards requested; call build_sharded()",
+                self.shard.shards
+            )));
+        }
         ShedJoinEngine::new(self.query, self.policy, self.config)
+    }
+
+    /// Builds the sharded parallel engine (spawns its worker threads).
+    ///
+    /// A shard count of 1 is valid and runs the same code path with a
+    /// single worker.
+    pub fn build_sharded(self) -> Result<ShardedJoinEngine> {
+        self.validate()?;
+        ShardedJoinEngine::new(self.query, self.policy, self.config, self.shard)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ingest::{Arrival, CountSink};
     use mstream_shed_policies::Fifo;
     use mstream_types::{Catalog, StreamId, StreamSchema, VTime, Value, WindowSpec};
 
@@ -117,31 +189,38 @@ mod tests {
         JoinQuery::from_names(c, &[("L.k", "R.k")], WindowSpec::secs(60)).unwrap()
     }
 
+    fn feed(e: &mut ShedJoinEngine, s: usize, v: u64, at: VTime) {
+        e.ingest(
+            Arrival::new(StreamId(s), vec![Value(v)], at),
+            &mut CountSink::default(),
+        );
+    }
+
     #[test]
     fn builder_defaults_to_msketch() {
-        let e = ShedJoinBuilder::new(pair_query()).build().unwrap();
+        let e = EngineBuilder::new(pair_query()).build().unwrap();
         assert_eq!(e.policy_name(), "MSketch");
     }
 
     #[test]
     fn builder_applies_policy_and_capacity() {
-        let mut e = ShedJoinBuilder::new(pair_query())
+        let mut e = EngineBuilder::new(pair_query())
             .policy(Fifo)
             .capacity_per_window(2)
             .build()
             .unwrap();
         assert_eq!(e.policy_name(), "FIFO");
         for i in 0..5u64 {
-            e.process_arrival(StreamId(0), vec![Value(i)], VTime::ZERO);
+            feed(&mut e, 0, i, VTime::ZERO);
         }
-        assert_eq!(e.window_len(StreamId(0)), 2);
+        assert_eq!(e.window_len(StreamId(0)), Some(2));
         assert_eq!(e.metrics().shed_window, 3);
     }
 
     #[test]
     fn builder_accepts_parsed_policies() {
         let boxed = mstream_shed_policies::parse_policy("bjoin").unwrap();
-        let e = ShedJoinBuilder::new(pair_query())
+        let e = EngineBuilder::new(pair_query())
             .boxed_policy(boxed)
             .build()
             .unwrap();
@@ -150,23 +229,50 @@ mod tests {
 
     #[test]
     fn builder_rejects_bad_capacities() {
-        assert!(ShedJoinBuilder::new(pair_query())
+        assert!(EngineBuilder::new(pair_query())
             .capacities(vec![1])
             .build()
             .is_err());
     }
 
     #[test]
+    fn builder_rejects_bad_bank_and_shards() {
+        let bank = BankConfig {
+            s1: 0,
+            ..BankConfig::default()
+        };
+        assert!(EngineBuilder::new(pair_query()).bank(bank).build().is_err());
+        assert!(EngineBuilder::new(pair_query()).shards(0).build().is_err());
+    }
+
+    #[test]
+    fn builder_build_refuses_multi_shard() {
+        let err = EngineBuilder::new(pair_query())
+            .shards(4)
+            .build()
+            .err()
+            .expect("multi-shard build() must be rejected");
+        assert!(err.to_string().contains("build_sharded"));
+    }
+
+    #[test]
     fn builder_global_pool_mode() {
-        let mut e = ShedJoinBuilder::new(pair_query())
+        let mut e = EngineBuilder::new(pair_query())
             .policy(Fifo)
             .global_pool(3)
             .build()
             .unwrap();
         for i in 0..5u64 {
-            e.process_arrival(StreamId((i % 2) as usize), vec![Value(i)], VTime::ZERO);
+            feed(&mut e, (i % 2) as usize, i, VTime::ZERO);
         }
-        let total = e.window_len(StreamId(0)) + e.window_len(StreamId(1));
+        let total =
+            e.window_len(StreamId(0)).unwrap() + e.window_len(StreamId(1)).unwrap();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn window_len_out_of_range_is_none() {
+        let e = EngineBuilder::new(pair_query()).build().unwrap();
+        assert_eq!(e.window_len(StreamId(7)), None);
     }
 }

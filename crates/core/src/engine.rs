@@ -1,5 +1,6 @@
 //! The shedding multi-way join engine (paper §4, Algorithm 1).
 
+use crate::ingest::{Arrival, CountSink, EmitSink, FnSink, IngestOutcome};
 use crate::report::EngineMetrics;
 use mstream_join::{probe_each, Bindings, ProbePlan};
 use mstream_shed_policies::{clamp_score, PriorityCtx, Requirements, ShedPolicy};
@@ -84,39 +85,7 @@ impl ShedJoinEngine {
         config: EngineConfig,
     ) -> Result<Self> {
         let n = query.n_streams();
-        let capacities: Vec<usize> = match &config.memory {
-            MemoryMode::PerWindow(c) => vec![*c; n],
-            MemoryMode::PerWindowEach(cs) => {
-                if cs.len() != n {
-                    return Err(Error::InvalidConfig(format!(
-                        "{} capacities for {} streams",
-                        cs.len(),
-                        n
-                    )));
-                }
-                cs.clone()
-            }
-            // In pool mode the stores are effectively unbounded and ALL
-            // enforcement happens in the engine's post-insert loop, which
-            // evicts the global (cross-window) minimum. Giving a store a
-            // finite capacity here would let it self-evict its *local*
-            // minimum when it alone exceeds the pool — the wrong victim
-            // (possibly the just-inserted tuple out of tie order), and one
-            // the metrics would never see.
-            MemoryMode::GlobalPool(total) => {
-                if *total == 0 {
-                    return Err(Error::InvalidConfig(
-                        "window capacity must be positive".into(),
-                    ));
-                }
-                vec![usize::MAX / 2; n]
-            }
-        };
-        if capacities.contains(&0) {
-            return Err(Error::InvalidConfig(
-                "window capacity must be positive".into(),
-            ));
-        }
+        let capacities = resolve_capacities(&config.memory, n)?;
         let stores = (0..n)
             .map(|s| {
                 let sid = StreamId(s);
@@ -169,9 +138,10 @@ impl ShedJoinEngine {
         &self.metrics
     }
 
-    /// Resident tuples in `stream`'s window.
-    pub fn window_len(&self, stream: StreamId) -> usize {
-        self.stores[stream.index()].len()
+    /// Resident tuples in `stream`'s window, or `None` if `stream` is not
+    /// one of this query's streams.
+    pub fn window_len(&self, stream: StreamId) -> Option<usize> {
+        self.stores.get(stream.index()).map(WindowStore::len)
     }
 
     /// Structural audit of the whole operator: every window store's
@@ -209,30 +179,64 @@ impl ShedJoinEngine {
         }
     }
 
-    /// Mints the next tuple (assigns the arrival sequence number).
-    pub fn make_tuple(&mut self, stream: StreamId, values: Vec<Value>, ts: VTime) -> Tuple {
+    /// Mints an [`Arrival`] into a sequence-numbered tuple without
+    /// processing it.
+    ///
+    /// Use this when the tuple will be processed *later* (queued input,
+    /// sharded dispatch): sequence numbers are assigned in arrival order,
+    /// independent of service order.
+    pub fn mint(&mut self, arrival: Arrival) -> Tuple {
         let seq = self.next_seq;
         self.next_seq = seq.next();
-        Tuple::new(stream, ts, seq, values)
+        Tuple::new(arrival.stream, arrival.ts, seq, arrival.values)
+    }
+
+    /// The single entry point for feeding the engine: mints `arrival` and
+    /// runs it through the operator at its arrival timestamp, passing every
+    /// join result it completes to `sink`.
+    pub fn ingest(&mut self, arrival: Arrival, sink: &mut impl EmitSink) -> IngestOutcome {
+        let now = arrival.ts;
+        let tuple = self.mint(arrival);
+        self.ingest_tuple(tuple, now, sink)
+    }
+
+    /// Mints the next tuple (assigns the arrival sequence number).
+    #[deprecated(since = "0.3.0", note = "use `mint(Arrival)` instead")]
+    pub fn make_tuple(&mut self, stream: StreamId, values: Vec<Value>, ts: VTime) -> Tuple {
+        self.mint(Arrival::new(stream, values, ts))
     }
 
     /// Convenience entry point: mints a tuple arriving (and being
     /// processed) at `now` and runs it through the operator. Returns the
     /// number of join results it produced.
+    #[deprecated(since = "0.3.0", note = "use `ingest(Arrival, &mut CountSink)` instead")]
     pub fn process_arrival(&mut self, stream: StreamId, values: Vec<Value>, now: VTime) -> u64 {
-        let tuple = self.make_tuple(stream, values, now);
-        self.process_tuple_with(tuple, now, |_| {})
+        self.ingest(Arrival::new(stream, values, now), &mut CountSink::default())
+            .produced
     }
 
-    /// Runs one tuple through the join operator at time `now` (its arrival
-    /// timestamp may be earlier if it waited in the input queue), invoking
+    /// Runs one tuple through the join operator at time `now`, invoking
     /// `on_match` for every result combination it produces.
+    #[deprecated(since = "0.3.0", note = "use `ingest_tuple(tuple, now, &mut FnSink(f))` instead")]
     pub fn process_tuple_with<F: FnMut(&Bindings<'_>)>(
         &mut self,
         tuple: Tuple,
         now: VTime,
-        mut on_match: F,
+        on_match: F,
     ) -> u64 {
+        self.ingest_tuple(tuple, now, &mut FnSink(on_match)).produced
+    }
+
+    /// Runs one already-minted tuple through the join operator at time
+    /// `now` (its arrival timestamp may be earlier if it waited in an input
+    /// queue or a shard channel), passing every result combination to
+    /// `sink`.
+    pub fn ingest_tuple(
+        &mut self,
+        tuple: Tuple,
+        now: VTime,
+        sink: &mut impl EmitSink,
+    ) -> IngestOutcome {
         let stream = tuple.stream;
         // 1. Fold into the current tumbling estimation state (AGMS sketches
         //    and/or exact arrival-frequency tables); on epoch rollover,
@@ -273,7 +277,7 @@ impl ShedJoinEngine {
                     }
                 }
             }
-            on_match(b);
+            sink.emit(b);
         });
         self.metrics.total_output += produced;
         self.metrics.processed += 1;
@@ -298,13 +302,25 @@ impl ShedJoinEngine {
         let t0 = Instant::now();
         let (score, state) = self.score_window_with_state(&tuple, 0, now);
         self.metrics.score_ns += t0.elapsed().as_nanos() as u64;
-        self.insert_with_shedding(tuple, score, state);
+        let (stored, shed) = self.insert_with_shedding(tuple, score, state);
         if let Some(sketches) = self.sketches.as_ref() {
             let stats = sketches.sign_cache_stats();
             self.metrics.sign_cache_hits = stats.hits;
             self.metrics.sign_cache_misses = stats.misses;
         }
-        produced
+        IngestOutcome {
+            produced,
+            stored,
+            shed,
+        }
+    }
+
+    /// Notes an arrival on `stream` that is being processed *elsewhere*
+    /// (another shard of a partitioned execution), so tuple-based window
+    /// expiration here still counts every operator-reaching arrival of the
+    /// stream, not just the ones routed to this engine.
+    pub fn note_foreign_arrival(&mut self, stream: StreamId) {
+        self.stores[stream.index()].note_arrival();
     }
 
     /// Priority a policy assigns `tuple` if it were queued right now.
@@ -408,22 +424,31 @@ impl ShedJoinEngine {
         }
     }
 
-    fn insert_with_shedding(&mut self, tuple: Tuple, score: f64, state: f64) {
+    /// Returns `(stored, shed)`: whether the arriving tuple remained
+    /// resident, and how many tuples (possibly itself) were evicted.
+    fn insert_with_shedding(&mut self, tuple: Tuple, score: f64, state: f64) -> (bool, u64) {
         let stream = tuple.stream.index();
         match self.memory {
             MemoryMode::PerWindow(_) | MemoryMode::PerWindowEach(_) => {
                 let outcome = self.stores[stream].insert_scored(tuple, score, state);
+                let stored = outcome.slot.is_some();
                 if let mstream_window::Eviction::Evicted(_) = outcome.eviction {
                     self.metrics.shed_window += 1;
+                    (stored, 1)
+                } else {
+                    (stored, 0)
                 }
             }
             MemoryMode::GlobalPool(total) => {
+                let seq = tuple.seq;
                 let outcome = self.stores[stream].insert_scored(tuple, score, state);
                 debug_assert_eq!(
                     outcome.eviction,
                     mstream_window::Eviction::None,
                     "pool-mode stores are unbounded; only the engine evicts"
                 );
+                let mut stored = true;
+                let mut shed = 0u64;
                 while self.stores.iter().map(WindowStore::len).sum::<usize>() > total {
                     // Global minimum under the same (score, seq) order the
                     // per-store heaps use, so cross-window ties still evict
@@ -446,20 +471,65 @@ impl ShedJoinEngine {
                         })
                         .map(|(i, _, _)| i)
                         .expect("pool over limit implies a resident tuple");
-                    self.stores[victim_store]
+                    let (victim, _) = self.stores[victim_store]
                         .evict_min()
                         .expect("store has a minimum");
+                    if victim.seq == seq {
+                        stored = false;
+                    }
                     self.metrics.shed_window += 1;
+                    shed += 1;
                 }
+                (stored, shed)
             }
         }
     }
 }
 
+/// Resolves a [`MemoryMode`] into per-store capacities for an `n`-stream
+/// query, validating it in the process (shared by the engine, the builder
+/// and the sharded coordinator).
+///
+/// Pool mode yields effectively-unbounded stores: ALL enforcement happens
+/// in the engine's post-insert loop, which evicts the global (cross-window)
+/// minimum. Giving a store a finite capacity would let it self-evict its
+/// *local* minimum when it alone exceeds the pool — the wrong victim
+/// (possibly the just-inserted tuple out of tie order), and one the
+/// metrics would never see.
+pub(crate) fn resolve_capacities(memory: &MemoryMode, n: usize) -> Result<Vec<usize>> {
+    let capacities: Vec<usize> = match memory {
+        MemoryMode::PerWindow(c) => vec![*c; n],
+        MemoryMode::PerWindowEach(cs) => {
+            if cs.len() != n {
+                return Err(Error::InvalidConfig(format!(
+                    "{} capacities for {} streams",
+                    cs.len(),
+                    n
+                )));
+            }
+            cs.clone()
+        }
+        MemoryMode::GlobalPool(total) => {
+            if *total == 0 {
+                return Err(Error::InvalidConfig(
+                    "window capacity must be positive".into(),
+                ));
+            }
+            vec![usize::MAX / 2; n]
+        }
+    };
+    if capacities.contains(&0) {
+        return Err(Error::InvalidConfig(
+            "window capacity must be positive".into(),
+        ));
+    }
+    Ok(capacities)
+}
+
 /// The paper's default epoch: `n = p` for time windows; per-stream tuple
 /// counts for tuple-based windows (§4.1). Mixed window kinds require an
 /// explicit epoch choice.
-fn default_epoch(query: &JoinQuery) -> Result<EpochSpec> {
+pub(crate) fn default_epoch(query: &JoinQuery) -> Result<EpochSpec> {
     if query.all_tuple_based() {
         let count = query
             .windows()
@@ -518,6 +588,13 @@ mod tests {
         vec![Value(a), Value(b)]
     }
 
+    /// Test shorthand for the ingest path; returns the produced count.
+    fn arrive(engine: &mut ShedJoinEngine, s: StreamId, vals: Vec<Value>, now: VTime) -> u64 {
+        engine
+            .ingest(Arrival::new(s, vals, now), &mut CountSink::default())
+            .produced
+    }
+
     #[test]
     fn unshedded_engine_matches_exact_join() {
         // With capacity >= arrivals the engine must be exact regardless of
@@ -532,7 +609,7 @@ mod tests {
             let now = VTime::from_secs(i / 5);
             let s = StreamId(rng.gen_range(0..3));
             let vals = v(rng.gen_range(0..6), rng.gen_range(0..6));
-            let a = engine.process_arrival(s, vals.clone(), now);
+            let a = arrive(&mut engine, s, vals.clone(), now);
             let b = exact.process(s, vals, now);
             assert_eq!(a, b, "arrival {i}");
         }
@@ -560,10 +637,10 @@ mod tests {
             for i in 0..600u64 {
                 let now = VTime::from_secs(i / 3);
                 let s = StreamId(rng.gen_range(0..3));
-                engine.process_arrival(s, v(rng.gen_range(0..5), rng.gen_range(0..5)), now);
+                arrive(&mut engine, s, v(rng.gen_range(0..5), rng.gen_range(0..5)), now);
                 for k in 0..3 {
                     assert!(
-                        engine.window_len(StreamId(k)) <= 16,
+                        engine.window_len(StreamId(k)).unwrap() <= 16,
                         "{name}: window over capacity"
                     );
                 }
@@ -584,13 +661,13 @@ mod tests {
             let mut engine = ShedJoinEngine::new(chain3(1000), policy, cfg(8)).unwrap();
             for i in 0..200u64 {
                 let now = VTime::from_secs(i);
-                engine.process_arrival(StreamId(1), v(1, 2), now);
-                engine.process_arrival(StreamId(2), v(2, 0), now);
+                arrive(&mut engine, StreamId(1), v(1, 2), now);
+                arrive(&mut engine, StreamId(2), v(2, 0), now);
                 // Alternate productive / dead R1 tuples: FIFO retains the
                 // last 8 (half dead), MSketch retains 8 productive ones, so
                 // the R2/R3 arrivals that probe W1 find twice the partners.
                 let a = if i % 2 == 0 { 1 } else { 0 };
-                engine.process_arrival(StreamId(0), v(a, 0), now);
+                arrive(&mut engine, StreamId(0), v(a, 0), now);
             }
             engine.metrics().total_output
         };
@@ -611,8 +688,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for i in 0..300u64 {
             let s = StreamId(rng.gen_range(0..3));
-            engine.process_arrival(s, v(rng.gen_range(0..4), 0), VTime::from_secs(i));
-            let total: usize = (0..3).map(|k| engine.window_len(StreamId(k))).sum();
+            arrive(&mut engine, s, v(rng.gen_range(0..4), 0), VTime::from_secs(i));
+            let total: usize = (0..3).map(|k| engine.window_len(StreamId(k)).unwrap()).sum();
             assert!(total <= 30, "pool bound violated: {total}");
         }
         assert!(engine.metrics().shed_window > 0);
@@ -630,14 +707,14 @@ mod tests {
         let mut config = cfg(0);
         config.memory = MemoryMode::GlobalPool(2);
         let mut engine = ShedJoinEngine::new(chain3(1000), Box::new(MSketch), config).unwrap();
-        engine.process_arrival(StreamId(2), v(1, 1), VTime::ZERO);
-        engine.process_arrival(StreamId(1), v(2, 2), VTime::ZERO);
+        arrive(&mut engine, StreamId(2), v(1, 1), VTime::ZERO);
+        arrive(&mut engine, StreamId(1), v(2, 2), VTime::ZERO);
         // Third arrival overflows the pool; seq 0 (window 2) must go, even
         // though the arrival landed in window 0.
-        engine.process_arrival(StreamId(0), v(3, 3), VTime::ZERO);
-        assert_eq!(engine.window_len(StreamId(2)), 0, "oldest evicted");
-        assert_eq!(engine.window_len(StreamId(1)), 1);
-        assert_eq!(engine.window_len(StreamId(0)), 1, "fresh tuple survives the tie");
+        arrive(&mut engine, StreamId(0), v(3, 3), VTime::ZERO);
+        assert_eq!(engine.window_len(StreamId(2)).unwrap(), 0, "oldest evicted");
+        assert_eq!(engine.window_len(StreamId(1)).unwrap(), 1);
+        assert_eq!(engine.window_len(StreamId(0)).unwrap(), 1, "fresh tuple survives the tie");
         assert_eq!(engine.metrics().shed_window, 1);
     }
 
@@ -651,9 +728,9 @@ mod tests {
         config.memory = MemoryMode::GlobalPool(2);
         let mut engine = ShedJoinEngine::new(chain3(1000), Box::new(Fifo), config).unwrap();
         for i in 0..5u64 {
-            engine.process_arrival(StreamId(0), v(i, i), VTime::ZERO);
+            arrive(&mut engine, StreamId(0), v(i, i), VTime::ZERO);
         }
-        assert_eq!(engine.window_len(StreamId(0)), 2, "pool bound enforced");
+        assert_eq!(engine.window_len(StreamId(0)).unwrap(), 2, "pool bound enforced");
         assert_eq!(
             engine.metrics().shed_window,
             3,
@@ -680,7 +757,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         for i in 0..1500u64 {
             let s = StreamId(rng.gen_range(0..3));
-            engine.process_arrival(
+            arrive(&mut engine, 
                 s,
                 v(rng.gen_range(0..4), rng.gen_range(0..4)),
                 // ~0.7 arrivals/s/stream against 20s windows of 8 slots:
@@ -697,11 +774,11 @@ mod tests {
     fn produced_counters_feed_rs_priorities() {
         let mut engine = ShedJoinEngine::new(chain3(1000), Box::new(MSketchRs), cfg(64)).unwrap();
         // A hot R2 tuple that produces on every R1/R3 arrival.
-        engine.process_arrival(StreamId(1), v(1, 1), VTime::ZERO);
-        engine.process_arrival(StreamId(2), v(1, 0), VTime::ZERO);
+        arrive(&mut engine, StreamId(1), v(1, 1), VTime::ZERO);
+        arrive(&mut engine, StreamId(2), v(1, 0), VTime::ZERO);
         let mut produced = 0;
         for i in 0..10u64 {
-            produced += engine.process_arrival(StreamId(0), v(1, 0), VTime::from_secs(i));
+            produced += arrive(&mut engine, StreamId(0), v(1, 0), VTime::from_secs(i));
         }
         assert_eq!(produced, 10);
         assert_eq!(engine.metrics().total_output, 10);
@@ -713,7 +790,7 @@ mod tests {
         config.epoch = Some(EpochSpec::Time(VDur::from_secs(10)));
         let mut engine = ShedJoinEngine::new(chain3(100), Box::new(MSketch), config).unwrap();
         for i in 0..50u64 {
-            engine.process_arrival(StreamId(i as usize % 3), v(1, 1), VTime::from_secs(i));
+            arrive(&mut engine, StreamId(i as usize % 3), v(1, 1), VTime::from_secs(i));
         }
         assert!(engine.metrics().epoch_rollovers >= 4);
     }
@@ -725,7 +802,7 @@ mod tests {
         let mut engine = ShedJoinEngine::new(chain3(100), Box::new(MSketch), config).unwrap();
         for i in 0..60u64 {
             // Heavy value repetition: the packed-sign cache must hit.
-            engine.process_arrival(StreamId(i as usize % 3), v(i % 4, i % 3), VTime::from_secs(i));
+            arrive(&mut engine, StreamId(i as usize % 3), v(i % 4, i % 3), VTime::from_secs(i));
         }
         let m = engine.metrics();
         assert!(m.sketch_observe_ns > 0, "observe stage timed");
@@ -741,7 +818,7 @@ mod tests {
         );
         // Sketch-free policies leave the sketch counters untouched.
         let mut plain = ShedJoinEngine::new(chain3(100), Box::new(Fifo), cfg(32)).unwrap();
-        plain.process_arrival(StreamId(0), v(1, 1), VTime::ZERO);
+        arrive(&mut plain, StreamId(0), v(1, 1), VTime::ZERO);
         assert_eq!(plain.metrics().sign_cache_hits, 0);
         assert_eq!(plain.metrics().sketch_observe_ns, 0);
     }
@@ -789,7 +866,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(9);
             for i in 0..400u64 {
                 let s = StreamId(rng.gen_range(0..3));
-                engine.process_arrival(
+                arrive(&mut engine, 
                     s,
                     v(rng.gen_range(0..5), rng.gen_range(0..5)),
                     VTime::from_secs(i / 4),

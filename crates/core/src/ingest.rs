@@ -1,0 +1,134 @@
+//! The unified ingest API: arrivals in, join results out through a sink.
+//!
+//! Every way of feeding the engine reduces to one verb:
+//!
+//! ```text
+//! engine.ingest(arrival, &mut sink) -> IngestOutcome
+//! ```
+//!
+//! An [`Arrival`] is the raw event a source produces — stream, values,
+//! timestamp. The engine mints it into a sequence-numbered tuple and runs
+//! it through the operator, invoking the [`EmitSink`] for every join
+//! result combination it completes. The returned [`IngestOutcome`] reports
+//! what the operator did with it.
+//!
+//! Three sink adapters cover the common shapes:
+//!
+//! * [`CountSink`] — counts results (the cheapest; equals
+//!   [`IngestOutcome::produced`]).
+//! * [`VecSink`] — collects every result as owned tuples in stream order
+//!   (what the audit harness and the sharded merge consume).
+//! * [`FnSink`] — wraps any `FnMut(&Bindings)` closure (streaming
+//!   aggregation, forwarding, printing).
+
+use mstream_join::Bindings;
+use mstream_types::{StreamId, Tuple, VTime, Value};
+
+/// One raw stream event, before the engine assigns it a sequence number.
+///
+/// `ts` is the arrival timestamp in virtual time. In the common case the
+/// tuple is also *processed* at `ts` ([`crate::ShedJoinEngine::ingest`]);
+/// when an input queue delays it, processing happens later at the service
+/// instant ([`crate::ShedJoinEngine::ingest_tuple`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Source stream.
+    pub stream: StreamId,
+    /// Attribute values, matching the stream's schema arity.
+    pub values: Vec<Value>,
+    /// Arrival instant in virtual time.
+    pub ts: VTime,
+}
+
+impl Arrival {
+    /// Convenience constructor.
+    pub fn new(stream: StreamId, values: Vec<Value>, ts: VTime) -> Self {
+        Arrival { stream, values, ts }
+    }
+}
+
+/// What the operator did with one ingested arrival.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Join result combinations this arrival completed (each was passed to
+    /// the sink).
+    pub produced: u64,
+    /// Whether the arriving tuple is resident in its window afterwards
+    /// (`false` means it was itself the lowest-priority tuple and was shed
+    /// on arrival).
+    pub stored: bool,
+    /// Window-resident tuples evicted to make room, counting the arriving
+    /// tuple itself if it was dismissed immediately.
+    pub shed: u64,
+}
+
+/// A consumer of join results.
+///
+/// The engine calls [`EmitSink::emit`] once per result combination, with a
+/// zero-copy [`Bindings`] view valid only for the duration of the call —
+/// sinks that keep results must copy what they need.
+pub trait EmitSink {
+    /// Receives one join result.
+    fn emit(&mut self, bindings: &Bindings<'_>);
+}
+
+/// Counts results and otherwise discards them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountSink {
+    /// Results received so far.
+    pub produced: u64,
+}
+
+impl EmitSink for CountSink {
+    fn emit(&mut self, _bindings: &Bindings<'_>) {
+        self.produced += 1;
+    }
+}
+
+/// Collects every result as owned tuples, one row per result, tuples in
+/// stream order (`row[k]` is the participating tuple of stream `k`).
+#[derive(Clone, Debug, Default)]
+pub struct VecSink {
+    /// Collected result rows.
+    pub rows: Vec<Vec<Tuple>>,
+}
+
+impl EmitSink for VecSink {
+    fn emit(&mut self, bindings: &Bindings<'_>) {
+        let n = bindings.n_streams();
+        let row = (0..n)
+            .map(|k| bindings.tuple(StreamId(k)).clone())
+            .collect();
+        self.rows.push(row);
+    }
+}
+
+/// Adapts any `FnMut(&Bindings)` closure into a sink.
+pub struct FnSink<F: FnMut(&Bindings<'_>)>(pub F);
+
+impl<F: FnMut(&Bindings<'_>)> EmitSink for FnSink<F> {
+    fn emit(&mut self, bindings: &Bindings<'_>) {
+        (self.0)(bindings);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_constructor_round_trips() {
+        let a = Arrival::new(StreamId(1), vec![Value(3)], VTime::from_secs(2));
+        assert_eq!(a.stream, StreamId(1));
+        assert_eq!(a.values, vec![Value(3)]);
+        assert_eq!(a.ts, VTime::from_secs(2));
+    }
+
+    #[test]
+    fn outcome_defaults_are_empty() {
+        let o = IngestOutcome::default();
+        assert_eq!(o.produced, 0);
+        assert!(!o.stored);
+        assert_eq!(o.shed, 0);
+    }
+}

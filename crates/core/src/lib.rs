@@ -25,19 +25,23 @@
 //! ).unwrap();
 //!
 //! // An MSketch-shedding engine holding at most 64 tuples per window.
-//! let mut engine = ShedJoinBuilder::new(query)
+//! let mut engine = EngineBuilder::new(query)
 //!     .policy(MSketch)
 //!     .capacity_per_window(64)
 //!     .build()
 //!     .unwrap();
 //!
-//! // Feed a few arrivals by hand (real runs use `run_trace`).
-//! let n = engine.process_arrival(StreamId(1), vec![Value(7), Value(3)], VTime::from_secs(1));
-//! assert_eq!(n, 0); // nothing to join against yet
-//! let n = engine.process_arrival(StreamId(2), vec![Value(3), Value(0)], VTime::from_secs(2));
-//! assert_eq!(n, 0); // still missing the R1 side
-//! let n = engine.process_arrival(StreamId(0), vec![Value(7), Value(9)], VTime::from_secs(3));
-//! assert_eq!(n, 1); // completes one 3-way result
+//! // Feed a few arrivals by hand (real runs use `run_trace`). Results
+//! // flow into a sink; `CountSink` just counts them.
+//! let mut sink = CountSink::default();
+//! let o = engine.ingest(Arrival::new(StreamId(1), vec![Value(7), Value(3)], VTime::from_secs(1)), &mut sink);
+//! assert_eq!(o.produced, 0); // nothing to join against yet
+//! let o = engine.ingest(Arrival::new(StreamId(2), vec![Value(3), Value(0)], VTime::from_secs(2)), &mut sink);
+//! assert_eq!(o.produced, 0); // still missing the R1 side
+//! let o = engine.ingest(Arrival::new(StreamId(0), vec![Value(7), Value(9)], VTime::from_secs(3)), &mut sink);
+//! assert_eq!(o.produced, 1); // completes one 3-way result
+//! assert!(o.stored);
+//! assert_eq!(sink.produced, 1);
 //! assert_eq!(engine.metrics().total_output, 1);
 //! ```
 //!
@@ -45,9 +49,13 @@
 //!
 //! * [`engine`] — [`ShedJoinEngine`]: Algorithm 1 of the paper (window
 //!   shedding, tumbling sketches, priority queues, per-policy state).
+//! * [`ingest`] — the unified feed API: [`Arrival`] in, join results out
+//!   through an [`EmitSink`].
+//! * [`shard`] — [`ShardedJoinEngine`]: hash-partitioned parallel
+//!   execution across worker threads, when the query's predicates allow.
 //! * [`sim`] — the discrete-event driver: arrival rate `k`, service rate
 //!   `l`, the bounded input queue, and overload shedding.
-//! * [`builder`] — [`ShedJoinBuilder`], the ergonomic front door.
+//! * [`builder`] — [`EngineBuilder`], the one documented construction path.
 //! * [`report`] — run reports: output counts, per-bucket series, collected
 //!   aggregate values, shedding counters, wall-clock time.
 //!
@@ -62,12 +70,18 @@
 
 pub mod builder;
 pub mod engine;
+pub mod ingest;
 pub mod report;
+pub mod shard;
 pub mod sim;
 
+pub use builder::EngineBuilder;
+#[allow(deprecated)]
 pub use builder::ShedJoinBuilder;
 pub use engine::{EngineConfig, MemoryMode, ShedJoinEngine};
+pub use ingest::{Arrival, CountSink, EmitSink, FnSink, IngestOutcome, VecSink};
 pub use report::{EngineMetrics, RunReport};
+pub use shard::{Backpressure, ShardConfig, ShardedJoinEngine, ShardedRunReport};
 pub use sim::{run_exact_trace, run_trace, RunOptions, SimConfig};
 
 // Re-export the substrate crates under their own names…
@@ -81,20 +95,24 @@ pub use mstream_workload;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
+    pub use crate::builder::EngineBuilder;
+    #[allow(deprecated)]
     pub use crate::builder::ShedJoinBuilder;
     pub use crate::engine::{EngineConfig, MemoryMode, ShedJoinEngine};
+    pub use crate::ingest::{Arrival, CountSink, EmitSink, FnSink, IngestOutcome, VecSink};
     pub use crate::report::{EngineMetrics, RunReport};
+    pub use crate::shard::{Backpressure, ShardConfig, ShardedJoinEngine, ShardedRunReport};
     pub use crate::sim::{run_exact_trace, run_trace, RunOptions, SimConfig};
     pub use mstream_agg::{quartiles, Reservoir, SeriesComparison};
-    pub use mstream_join::ExactJoin;
+    pub use mstream_join::{Bindings, ExactJoin};
     pub use mstream_shed_policies::{
         parse_policy, Age, Bjoin, Fifo, Life, MSketch, MSketchCurrentEpoch, MSketchRs,
         RandomLoad, ShedPolicy, ALL_POLICY_NAMES,
     };
     pub use mstream_sketch::{BankConfig, EpochSpec};
     pub use mstream_types::{
-        AttrRef, Catalog, EquiPredicate, JoinQuery, SeqNo, StreamId, StreamSchema, Tuple, VDur,
-        VTime, Value, WindowSpec,
+        AttrRef, Catalog, EquiPredicate, JoinQuery, Partitioning, SeqNo, StreamId, StreamSchema,
+        Tuple, VDur, VTime, Value, WindowSpec,
     };
     pub use mstream_workload::{
         CensusConfig, CensusGenerator, FeedOrder, RegionsConfig, RegionsGenerator, Trace,

@@ -39,8 +39,26 @@ pub struct EngineMetrics {
     pub sign_cache_misses: u64,
 }
 
+impl EngineMetrics {
+    /// Folds `other` into `self` by summing every counter (used to combine
+    /// the per-shard metrics of a partitioned run).
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.total_output += other.total_output;
+        self.processed += other.processed;
+        self.shed_window += other.shed_window;
+        self.shed_queue += other.shed_queue;
+        self.expired += other.expired;
+        self.epoch_rollovers += other.epoch_rollovers;
+        self.sketch_observe_ns += other.sketch_observe_ns;
+        self.priority_rebuild_ns += other.priority_rebuild_ns;
+        self.score_ns += other.score_ns;
+        self.sign_cache_hits += other.sign_cache_hits;
+        self.sign_cache_misses += other.sign_cache_misses;
+    }
+}
+
 /// The outcome of running one trace through one engine.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Final engine counters.
     pub metrics: EngineMetrics,
@@ -54,6 +72,28 @@ pub struct RunReport {
     /// Wall-clock time spent inside the engine (shedding decisions + join
     /// processing — the quantity Figure 3 compares).
     pub wall_time: Duration,
+    /// Parallel workers the run actually executed on (1 for the
+    /// single-threaded engine).
+    pub shards: usize,
+    /// Why a multi-shard request degraded to one shard, if it did (the
+    /// query's predicates do not all share one partition attribute).
+    pub degraded: Option<String>,
+}
+
+impl Default for RunReport {
+    fn default() -> Self {
+        RunReport {
+            metrics: EngineMetrics::default(),
+            series: None,
+            agg_values: None,
+            end_time: VTime::ZERO,
+            wall_time: Duration::ZERO,
+            // Every run executes on at least one shard; `..Default::default()`
+            // constructions elsewhere inherit the single-threaded answer.
+            shards: 1,
+            degraded: None,
+        }
+    }
 }
 
 impl RunReport {
@@ -75,6 +115,33 @@ mod tests {
         let r = RunReport::default();
         assert_eq!(r.total_output(), 0);
         assert!(r.series.is_none());
+        assert_eq!(r.shards, 1, "runs execute on at least one shard");
+        assert!(r.degraded.is_none());
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = EngineMetrics {
+            total_output: 1,
+            processed: 2,
+            shed_window: 3,
+            shed_queue: 4,
+            expired: 5,
+            epoch_rollovers: 6,
+            sketch_observe_ns: 7,
+            priority_rebuild_ns: 8,
+            score_ns: 9,
+            sign_cache_hits: 10,
+            sign_cache_misses: 11,
+        };
+        let mut m = a.clone();
+        m.merge(&a);
+        let json = serde_json::to_value(&m);
+        let single = serde_json::to_value(&a);
+        for (key, v) in json.as_object().unwrap() {
+            let one = single[key.as_str()].as_u64().unwrap();
+            assert_eq!(v.as_u64().unwrap(), 2 * one, "{key} must be summed");
+        }
     }
 
     #[test]

@@ -1,0 +1,451 @@
+//! Hash-partitioned parallel execution of the shedding join.
+//!
+//! [`ShardedJoinEngine`] analyzes the query's equi-predicate graph
+//! ([`JoinQuery::partitioning`]): when every predicate lies in one
+//! attribute-equivalence class, arrivals can be hash-partitioned by that
+//! attribute's value across `S` worker threads, each owning an independent
+//! [`ShedJoinEngine`] with `1/S` of the memory budget — two tuples with
+//! different partition keys can never join, so the union of the per-shard
+//! outputs equals the single-engine output exactly (at full memory it is
+//! byte-identical; under shedding each shard shrinks its own partition).
+//! Queries that join through more than one attribute class degrade to one
+//! shard, with the reason surfaced on the [`RunReport`].
+//!
+//! ## Tuple-based windows
+//!
+//! Tuple-count windows expire by *arrivals seen on the stream*, which a
+//! shard only partially observes. The coordinator therefore broadcasts an
+//! arrival *tick* to every non-home shard
+//! ([`ShedJoinEngine::note_foreign_arrival`]); channel FIFO ordering
+//! guarantees each worker sees the tick before any later tuple, so expiry
+//! boundaries match the single-engine run exactly. Time-based windows need
+//! no ticks (expiry depends only on timestamps).
+//!
+//! ## Determinism
+//!
+//! The coordinator mints globally-ordered sequence numbers, routes by a
+//! fixed hash of the key value, and derives each worker's engine seed from
+//! the master seed — so a run is a pure function of (query, policy,
+//! config, trace). With [`Backpressure::Block`] (the default) nothing is
+//! ever dropped at the channels and replays are exact;
+//! [`Backpressure::Shed`] instead drops batches when a worker falls
+//! behind, counting them in [`ShardedRunReport::shed_channel`] (live-mode
+//! semantics: tuple-window accounting then drifts by the dropped ticks).
+
+use crate::engine::{EngineConfig, MemoryMode, ShedJoinEngine};
+use crate::ingest::{Arrival, CountSink, VecSink};
+use crate::report::{EngineMetrics, RunReport};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use mstream_shed_policies::ShedPolicy;
+use mstream_types::{
+    Error, JoinQuery, Partitioning, Result, SeqNo, StreamId, Tuple, VDur, VTime, WindowSpec,
+};
+use mstream_workload::Trace;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What the coordinator does when a worker's channel is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Wait for the worker (lossless; keeps replays exact).
+    #[default]
+    Block,
+    /// Drop the batch and count it (live-mode load shedding at the
+    /// source, as in the paper's overloaded-operator regime).
+    Shed,
+}
+
+/// Tuning for sharded execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Requested worker count (the engine may degrade to 1; see
+    /// [`ShardedJoinEngine::degraded`]).
+    pub shards: usize,
+    /// Bounded channel depth per worker, in *batches*.
+    pub channel_capacity: usize,
+    /// Arrivals buffered per worker before a batch is sent.
+    pub batch_size: usize,
+    /// Full-channel behavior.
+    pub backpressure: Backpressure,
+    /// Collect every join result row (owned tuples in stream order) for
+    /// the merged report. Needed for differential testing; off for
+    /// throughput runs.
+    pub collect_rows: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            channel_capacity: 64,
+            batch_size: 64,
+            backpressure: Backpressure::Block,
+            collect_rows: false,
+        }
+    }
+}
+
+/// The merged outcome of a sharded run.
+#[derive(Clone, Debug)]
+pub struct ShardedRunReport {
+    /// Combined counters and run metadata (per-shard metrics summed;
+    /// `shards` / `degraded` describe how the run actually executed).
+    pub combined: RunReport,
+    /// Each worker's own counters, indexed by shard.
+    pub per_shard: Vec<EngineMetrics>,
+    /// Tuples dropped at the shard channels under [`Backpressure::Shed`].
+    pub shed_channel: u64,
+    /// Every join result row (tuples in stream order), merged across
+    /// shards and sorted by per-stream sequence numbers, when
+    /// [`ShardConfig::collect_rows`] was set.
+    pub rows: Option<Vec<Vec<Tuple>>>,
+}
+
+/// One message element on a worker channel.
+enum Item {
+    /// A tuple routed to this shard for processing.
+    Tuple(Tuple),
+    /// An arrival on `StreamId` that another shard is processing (advances
+    /// tuple-window expiry here).
+    Tick(StreamId),
+}
+
+struct WorkerOut {
+    metrics: EngineMetrics,
+    rows: Option<Vec<Vec<Tuple>>>,
+    end_time: VTime,
+}
+
+/// A shard-parallel front for [`ShedJoinEngine`]: route arrivals with
+/// [`ShardedJoinEngine::ingest`], then collect the merged report with
+/// [`ShardedJoinEngine::finish`].
+pub struct ShardedJoinEngine {
+    shards: usize,
+    degraded: Option<String>,
+    key_attrs: Option<Vec<usize>>,
+    needs_ticks: bool,
+    batch_size: usize,
+    backpressure: Backpressure,
+    collect_rows: bool,
+    senders: Vec<Sender<Vec<Item>>>,
+    buffers: Vec<Vec<Item>>,
+    handles: Vec<JoinHandle<WorkerOut>>,
+    next_seq: SeqNo,
+    shed_channel: u64,
+    started: Instant,
+}
+
+impl ShardedJoinEngine {
+    /// Spawns the worker threads for `query` with per-worker copies of
+    /// `policy`. `config.memory` is the *total* budget; each worker gets
+    /// `1/S` of it. Prefer [`crate::EngineBuilder::build_sharded`].
+    pub fn new(
+        query: JoinQuery,
+        policy: Box<dyn ShedPolicy>,
+        config: EngineConfig,
+        shard: ShardConfig,
+    ) -> Result<Self> {
+        if shard.shards == 0 {
+            return Err(Error::InvalidConfig("shard count must be >= 1".into()));
+        }
+        if shard.batch_size == 0 || shard.channel_capacity == 0 {
+            return Err(Error::InvalidConfig(
+                "shard batch size and channel capacity must be >= 1".into(),
+            ));
+        }
+        let (shards, degraded, key_attrs) = match (shard.shards, query.partitioning()) {
+            (1, p) => (1, None, p.key_attrs().map(<[usize]>::to_vec)),
+            (s, Partitioning::ByKey { key_attrs }) => (s, None, Some(key_attrs)),
+            (_, Partitioning::Single { reason }) => (1, Some(reason), None),
+        };
+        let needs_ticks = shards > 1
+            && query
+                .windows()
+                .iter()
+                .any(|w| matches!(w, WindowSpec::Tuples(_)));
+        let memory = split_memory(&config.memory, shards);
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let mut worker_config = config.clone();
+            worker_config.memory = memory.clone();
+            // A 1-shard run keeps the master seed so it is bit-identical to
+            // the single-threaded engine; multi-shard workers get
+            // independent derived streams.
+            if shards > 1 {
+                worker_config.seed = splitmix64(config.seed ^ (i as u64 + 1));
+            }
+            let engine = ShedJoinEngine::new(query.clone(), policy.clone(), worker_config)?;
+            let (tx, rx) = bounded(shard.channel_capacity);
+            let collect = shard.collect_rows;
+            handles.push(std::thread::spawn(move || worker_loop(engine, rx, collect)));
+            senders.push(tx);
+        }
+        Ok(ShardedJoinEngine {
+            shards,
+            degraded,
+            key_attrs,
+            needs_ticks,
+            batch_size: shard.batch_size,
+            backpressure: shard.backpressure,
+            collect_rows: shard.collect_rows,
+            senders,
+            buffers: (0..shards).map(|_| Vec::new()).collect(),
+            handles,
+            next_seq: SeqNo(0),
+            shed_channel: 0,
+            started: Instant::now(),
+        })
+    }
+
+    /// Workers the engine actually runs on (1 when the query degraded).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Why a multi-shard request fell back to one shard, if it did.
+    pub fn degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// Routes one arrival to its home shard (and, for tuple-based windows,
+    /// broadcasts an expiry tick to the others). Channel errors surface at
+    /// [`ShardedJoinEngine::finish`], where the worker's panic is
+    /// reported.
+    pub fn ingest(&mut self, arrival: Arrival) {
+        let stream = arrival.stream;
+        let seq = self.next_seq;
+        self.next_seq = seq.next();
+        let tuple = Tuple::new(stream, arrival.ts, seq, arrival.values);
+        let home = self.route(&tuple);
+        self.push(home, Item::Tuple(tuple));
+        if self.needs_ticks {
+            for i in (0..self.shards).filter(|&i| i != home) {
+                self.push(i, Item::Tick(stream));
+            }
+        }
+    }
+
+    fn route(&self, tuple: &Tuple) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        let key_attrs = self.key_attrs.as_ref().expect("multi-shard implies keys");
+        let key = tuple.values[key_attrs[tuple.stream.index()]].raw();
+        (splitmix64(key) % self.shards as u64) as usize
+    }
+
+    fn push(&mut self, shard: usize, item: Item) {
+        self.buffers[shard].push(item);
+        if self.buffers[shard].len() >= self.batch_size {
+            self.flush(shard);
+        }
+    }
+
+    fn flush(&mut self, shard: usize) {
+        let batch = std::mem::take(&mut self.buffers[shard]);
+        if batch.is_empty() {
+            return;
+        }
+        match self.backpressure {
+            Backpressure::Block => {
+                if self.senders[shard].send(batch).is_err() {
+                    // The worker died; its panic is reported by `finish`.
+                }
+            }
+            Backpressure::Shed => {
+                if let Err(err) = self.senders[shard].try_send(batch) {
+                    let dropped = err
+                        .0
+                        .iter()
+                        .filter(|item| matches!(item, Item::Tuple(_)))
+                        .count();
+                    self.shed_channel += dropped as u64;
+                }
+            }
+        }
+    }
+
+    /// Flushes the remaining batches, waits for every worker, and merges
+    /// their metrics (and rows, when collected) into one report.
+    ///
+    /// Fails with [`Error::Shard`] if any worker panicked — under the
+    /// `audit` feature workers check engine invariants after every tuple.
+    pub fn finish(mut self) -> Result<ShardedRunReport> {
+        for shard in 0..self.shards {
+            self.flush(shard);
+        }
+        self.senders.clear(); // Dropping the senders ends the worker loops.
+        let handles = std::mem::take(&mut self.handles);
+        let mut combined = EngineMetrics::default();
+        let mut per_shard = Vec::with_capacity(self.shards);
+        let mut rows = self.collect_rows.then(Vec::new);
+        let mut end_time = VTime::ZERO;
+        let mut failure: Option<Error> = None;
+        for (i, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(out) => {
+                    combined.merge(&out.metrics);
+                    per_shard.push(out.metrics);
+                    if let (Some(all), Some(r)) = (rows.as_mut(), out.rows) {
+                        all.extend(r);
+                    }
+                    end_time = end_time.max(out.end_time);
+                }
+                Err(panic) => {
+                    failure.get_or_insert(Error::Shard(format!(
+                        "worker {i} panicked: {}",
+                        panic_message(&panic)
+                    )));
+                }
+            }
+        }
+        if let Some(err) = failure {
+            return Err(err);
+        }
+        if let Some(all) = rows.as_mut() {
+            // Seq-stamped merge: per-stream arrival sequence numbers are
+            // global (coordinator-minted), so this canonical order is
+            // directly comparable across shard counts and to the
+            // single-engine oracle.
+            all.sort_by_key(|row| row.iter().map(|t| t.seq).collect::<Vec<_>>());
+        }
+        let combined = RunReport {
+            metrics: combined,
+            end_time,
+            wall_time: self.started.elapsed(),
+            shards: self.shards,
+            degraded: self.degraded.clone(),
+            ..Default::default()
+        };
+        Ok(ShardedRunReport {
+            combined,
+            per_shard,
+            shed_channel: self.shed_channel,
+            rows,
+        })
+    }
+
+    /// Convenience driver: feeds `trace` at `arrival_rate` tuples/second
+    /// on the same virtual-time schedule as [`crate::sim::run_trace`],
+    /// then finishes.
+    pub fn run_trace(mut self, trace: &Trace, arrival_rate: f64) -> Result<ShardedRunReport> {
+        let dt = VDur::from_rate(arrival_rate);
+        for (i, item) in trace.items.iter().enumerate() {
+            let now = VTime::ZERO + dt.mul(i as u64);
+            self.ingest(Arrival::new(item.stream, item.values.clone(), now));
+        }
+        self.finish()
+    }
+}
+
+fn worker_loop(mut engine: ShedJoinEngine, rx: Receiver<Vec<Item>>, collect_rows: bool) -> WorkerOut {
+    let mut vec_sink = VecSink::default();
+    let mut count_sink = CountSink::default();
+    let mut end_time = VTime::ZERO;
+    while let Ok(batch) = rx.recv() {
+        for item in batch {
+            match item {
+                Item::Tick(stream) => engine.note_foreign_arrival(stream),
+                Item::Tuple(tuple) => {
+                    let now = tuple.ts;
+                    end_time = end_time.max(now);
+                    if collect_rows {
+                        engine.ingest_tuple(tuple, now, &mut vec_sink);
+                    } else {
+                        engine.ingest_tuple(tuple, now, &mut count_sink);
+                    }
+                    #[cfg(feature = "audit")]
+                    engine.check_invariants();
+                }
+            }
+        }
+    }
+    WorkerOut {
+        metrics: engine.metrics().clone(),
+        rows: collect_rows.then_some(vec_sink.rows),
+        end_time,
+    }
+}
+
+/// Splits a total memory budget evenly across `shards` workers (each
+/// window keeps at least one slot).
+fn split_memory(memory: &MemoryMode, shards: usize) -> MemoryMode {
+    if shards <= 1 {
+        return memory.clone();
+    }
+    match memory {
+        MemoryMode::PerWindow(c) => MemoryMode::PerWindow((c / shards).max(1)),
+        MemoryMode::PerWindowEach(cs) => {
+            MemoryMode::PerWindowEach(cs.iter().map(|c| (c / shards).max(1)).collect())
+        }
+        MemoryMode::GlobalPool(total) => MemoryMode::GlobalPool((total / shards).max(1)),
+    }
+}
+
+/// SplitMix64: the fixed avalanche hash used for both shard routing and
+/// per-worker seed derivation (stable across platforms and runs, unlike
+/// `std`'s `RandomState`).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_memory_is_even_with_floor_of_one() {
+        assert_eq!(
+            split_memory(&MemoryMode::PerWindow(64), 4),
+            MemoryMode::PerWindow(16)
+        );
+        assert_eq!(
+            split_memory(&MemoryMode::PerWindow(2), 8),
+            MemoryMode::PerWindow(1)
+        );
+        assert_eq!(
+            split_memory(&MemoryMode::PerWindowEach(vec![8, 4]), 2),
+            MemoryMode::PerWindowEach(vec![4, 2])
+        );
+        assert_eq!(
+            split_memory(&MemoryMode::GlobalPool(100), 3),
+            MemoryMode::GlobalPool(33)
+        );
+        // A single shard keeps the budget untouched.
+        assert_eq!(
+            split_memory(&MemoryMode::GlobalPool(100), 1),
+            MemoryMode::GlobalPool(100)
+        );
+    }
+
+    #[test]
+    fn splitmix_spreads_small_domains() {
+        // Join keys live in tiny discretized domains; the router must not
+        // collapse them onto one shard.
+        let shards = 4u64;
+        let hit: std::collections::HashSet<u64> =
+            (0..16u64).map(|v| splitmix64(v) % shards).collect();
+        assert!(hit.len() >= 3, "16 keys should reach >= 3 of 4 shards");
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        // Routing (and thus sharded replay) depends on these exact values.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+}

@@ -12,6 +12,7 @@
 //! (Figure 3).
 
 use crate::engine::ShedJoinEngine;
+use crate::ingest::{Arrival, FnSink};
 use crate::report::RunReport;
 use mstream_agg::{BucketSeries, HistBuckets};
 use mstream_join::ExactJoin;
@@ -82,15 +83,17 @@ pub fn run_trace(engine: &mut ShedJoinEngine, trace: &Trace, opts: &RunOptions) 
             // Underload: process at arrival instants.
             for (i, item) in trace.items.iter().enumerate() {
                 let now = VTime::ZERO + dt.mul(i as u64);
-                let tuple = engine.make_tuple(item.stream, item.values.clone(), now);
                 let aggs_ref = &mut aggs;
-                let produced = engine.process_tuple_with(tuple, now, |b| {
-                    if let (Some(buckets), Some((s, a))) = (aggs_ref.as_mut(), agg_attr) {
-                        buckets.add(now, b.value(s, a).raw());
-                    }
-                });
+                let outcome = engine.ingest(
+                    Arrival::new(item.stream, item.values.clone(), now),
+                    &mut FnSink(|b: &mstream_join::Bindings<'_>| {
+                        if let (Some(buckets), Some((s, a))) = (aggs_ref.as_mut(), agg_attr) {
+                            buckets.add(now, b.value(s, a).raw());
+                        }
+                    }),
+                );
                 if let Some(series) = series.as_mut() {
-                    series.add(now, produced);
+                    series.add(now, outcome.produced);
                 }
                 end_time = now;
             }
@@ -114,7 +117,7 @@ pub fn run_trace(engine: &mut ShedJoinEngine, trace: &Trace, opts: &RunOptions) 
                     agg_attr,
                     &mut end_time,
                 );
-                let tuple = engine.make_tuple(item.stream, item.values.clone(), t_arr);
+                let tuple = engine.mint(Arrival::new(item.stream, item.values.clone(), t_arr));
                 let score = engine.queue_score(&tuple, t_arr);
                 let victim_mode = engine.queue_victim();
                 let dropped = queue.offer(tuple, score, victim_mode, engine.rng_mut());
@@ -143,6 +146,7 @@ pub fn run_trace(engine: &mut ShedJoinEngine, trace: &Trace, opts: &RunOptions) 
         agg_values: aggs,
         end_time,
         wall_time: started.elapsed(),
+        ..Default::default()
     }
 }
 
@@ -168,13 +172,17 @@ fn drain_queue(
             }
         }
         let tuple = queue.pop_front().expect("peeked tuple present");
-        let produced = engine.process_tuple_with(tuple, start, |b| {
-            if let (Some(buckets), Some((s, a))) = (aggs.as_mut(), agg_attr) {
-                buckets.add(start, b.value(s, a).raw());
-            }
-        });
+        let outcome = engine.ingest_tuple(
+            tuple,
+            start,
+            &mut FnSink(|b: &mstream_join::Bindings<'_>| {
+                if let (Some(buckets), Some((s, a))) = (aggs.as_mut(), agg_attr) {
+                    buckets.add(start, b.value(s, a).raw());
+                }
+            }),
+        );
         if let Some(series) = series.as_mut() {
-            series.add(start, produced);
+            series.add(start, outcome.produced);
         }
         *server_free = start + svc;
         *end_time = start;

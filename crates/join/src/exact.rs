@@ -75,9 +75,10 @@ impl ExactJoin {
         self.total_output
     }
 
-    /// Resident tuples in `stream`'s window.
-    pub fn window_len(&self, stream: StreamId) -> usize {
-        self.stores[stream.index()].len()
+    /// Resident tuples in `stream`'s window, or `None` if `stream` is not
+    /// one of this query's streams.
+    pub fn window_len(&self, stream: StreamId) -> Option<usize> {
+        self.stores.get(stream.index()).map(|s| s.len())
     }
 }
 
@@ -134,7 +135,7 @@ mod tests {
         j.process(StreamId(2), v(8, 0), VTime::ZERO);
         // At t=10 the earlier tuples have expired: no matches.
         assert_eq!(j.process(StreamId(0), v(5, 1), VTime::from_secs(10)), 0);
-        assert_eq!(j.window_len(StreamId(1)), 0);
+        assert_eq!(j.window_len(StreamId(1)), Some(0));
     }
 
     #[test]
@@ -143,8 +144,8 @@ mod tests {
         for i in 0..5 {
             j.process(StreamId(0), v(i, i), VTime::ZERO);
         }
-        assert_eq!(j.window_len(StreamId(0)), 5);
-        assert_eq!(j.window_len(StreamId(1)), 0);
+        assert_eq!(j.window_len(StreamId(0)), Some(5));
+        assert_eq!(j.window_len(StreamId(1)), Some(0));
     }
 
     #[test]

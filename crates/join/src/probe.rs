@@ -63,6 +63,12 @@ impl<'a> Bindings<'a> {
     pub fn origin(&self) -> StreamId {
         self.origin
     }
+
+    /// Number of streams participating in the match (the query's stream
+    /// count).
+    pub fn n_streams(&self) -> usize {
+        self.slots.len()
+    }
 }
 
 /// Enumerates every combination of window tuples joining with

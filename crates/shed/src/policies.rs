@@ -35,6 +35,11 @@ pub trait ShedPolicy: Send {
     /// Short display name (matches the paper's legends).
     fn name(&self) -> &'static str;
 
+    /// A fresh boxed copy of this policy. Sharded execution gives every
+    /// worker its own instance, so policies carrying mutable state must
+    /// copy it (the built-ins are all stateless unit structs).
+    fn clone_box(&self) -> Box<dyn ShedPolicy>;
+
     /// What engine-maintained state this policy consumes.
     fn requirements(&self) -> Requirements;
 
@@ -79,6 +84,12 @@ pub trait ShedPolicy: Send {
     }
 }
 
+impl Clone for Box<dyn ShedPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 /// `MSketch` (paper §3.2, Max-Subset): evict the tuple with least
 /// sketch-estimated productivity `|T_{W_i={t}}|`, maximizing the output
 /// size of the approximate join.
@@ -86,6 +97,10 @@ pub trait ShedPolicy: Send {
 pub struct MSketch;
 
 impl ShedPolicy for MSketch {
+    fn clone_box(&self) -> Box<dyn ShedPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "MSketch"
     }
@@ -113,6 +128,10 @@ impl ShedPolicy for MSketch {
 pub struct MSketchRs;
 
 impl ShedPolicy for MSketchRs {
+    fn clone_box(&self) -> Box<dyn ShedPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "MSketch-RS"
     }
@@ -181,6 +200,10 @@ impl ShedPolicy for MSketchRs {
 pub struct Age;
 
 impl ShedPolicy for Age {
+    fn clone_box(&self) -> Box<dyn ShedPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "Age"
     }
@@ -206,6 +229,10 @@ impl ShedPolicy for Age {
 pub struct Life;
 
 impl ShedPolicy for Life {
+    fn clone_box(&self) -> Box<dyn ShedPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "Life"
     }
@@ -233,6 +260,10 @@ impl ShedPolicy for Life {
 pub struct Bjoin;
 
 impl ShedPolicy for Bjoin {
+    fn clone_box(&self) -> Box<dyn ShedPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "Bjoin"
     }
@@ -256,6 +287,10 @@ impl ShedPolicy for Bjoin {
 pub struct RandomLoad;
 
 impl ShedPolicy for RandomLoad {
+    fn clone_box(&self) -> Box<dyn ShedPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "Random"
     }
@@ -279,6 +314,10 @@ impl ShedPolicy for RandomLoad {
 pub struct Fifo;
 
 impl ShedPolicy for Fifo {
+    fn clone_box(&self) -> Box<dyn ShedPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "FIFO"
     }
@@ -306,6 +345,10 @@ impl ShedPolicy for Fifo {
 pub struct MSketchCurrentEpoch;
 
 impl ShedPolicy for MSketchCurrentEpoch {
+    fn clone_box(&self) -> Box<dyn ShedPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "MSketch-Current"
     }

@@ -114,11 +114,11 @@ mod tests {
         let buf = [2i64, 3, 5, 7, -1, 10];
         let mut out = [0.0f64; 2];
         column_products(&buf, 2, usize::MAX, &mut out);
-        assert_eq!(out, [2.0 * 5.0 * -1.0, 3.0 * 7.0 * 10.0]);
+        assert_eq!(out, [-(2.0 * 5.0), 3.0 * 7.0 * 10.0]);
         column_products(&buf, 2, 1, &mut out);
-        assert_eq!(out, [2.0 * -1.0, 3.0 * 10.0]);
+        assert_eq!(out, [-2.0, 3.0 * 10.0]);
         column_products(&buf, 2, 0, &mut out);
-        assert_eq!(out, [5.0 * -1.0, 7.0 * 10.0]);
+        assert_eq!(out, [-5.0, 7.0 * 10.0]);
     }
 
     #[test]

@@ -277,11 +277,11 @@ mod tests {
     fn draw_matches_legacy_rng_order() {
         let soa = families(77, 2, 9);
         let legacy = legacy_families(77, 2, 9);
-        for copy in 0..9 {
-            for pred in 0..2 {
+        for (copy, per_copy) in legacy.iter().enumerate() {
+            for (pred, expected) in per_copy.iter().enumerate() {
                 assert_eq!(
                     soa.family(pred, copy),
-                    legacy[copy][pred],
+                    *expected,
                     "copy {copy} pred {pred}"
                 );
             }

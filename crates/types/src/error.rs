@@ -40,6 +40,8 @@ pub enum Error {
     SelfJoinPredicate(usize),
     /// A configuration value was out of its valid range.
     InvalidConfig(String),
+    /// A sharded-execution worker failed (panicked or disconnected).
+    Shard(String),
 }
 
 impl fmt::Display for Error {
@@ -70,6 +72,7 @@ impl fmt::Display for Error {
                 write!(f, "predicate joins stream {s} with itself")
             }
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Shard(msg) => write!(f, "shard worker failure: {msg}"),
         }
     }
 }
@@ -104,6 +107,7 @@ mod tests {
             (Error::DisconnectedJoinGraph, "cross product"),
             (Error::SelfJoinPredicate(2), "stream 2"),
             (Error::InvalidConfig("bad".into()), "bad"),
+            (Error::Shard("worker 2 panicked".into()), "worker 2"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -27,7 +27,7 @@ pub mod tuple;
 pub mod value;
 
 pub use error::{Error, Result};
-pub use query::{EquiPredicate, JoinQuery, WindowSpec};
+pub use query::{EquiPredicate, JoinQuery, Partitioning, WindowSpec};
 pub use schema::{AttrRef, Catalog, StreamId, StreamSchema};
 pub use time::{VDur, VTime};
 pub use tuple::{SeqNo, Tuple};

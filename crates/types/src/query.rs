@@ -85,6 +85,51 @@ impl EquiPredicate {
     }
 }
 
+/// Whether (and how) a query's arrivals can be hash-partitioned across
+/// independent join workers with no cross-partition probes.
+///
+/// A query is key-partitionable exactly when every equi-predicate lies in a
+/// single attribute-equivalence class: all attributes a result row must
+/// agree on collapse to one join key, so routing each arrival by the value
+/// of its stream's class attribute sends every potential match partner to
+/// the same partition. The paper's chain query `R1.A1 = R2.A1 AND
+/// R2.A2 = R3.A1` is *not* partitionable (R2 joins through two distinct
+/// attributes), while `R1.A1 = R2.A1 AND R2.A1 = R3.A1` is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Partitioning {
+    /// All predicates share one attribute class; a tuple of stream `s`
+    /// routes by the value of attribute `key_attrs[s]`.
+    ByKey {
+        /// The partition attribute of each stream, indexed by stream.
+        key_attrs: Vec<usize>,
+    },
+    /// The predicate graph spans multiple attribute classes; any partition
+    /// of one class separates match partners joined through another, so
+    /// execution must stay on a single worker.
+    Single {
+        /// Human-readable explanation, surfaced in run reports.
+        reason: String,
+    },
+}
+
+impl Partitioning {
+    /// The per-stream partition attributes, when partitionable.
+    pub fn key_attrs(&self) -> Option<&[usize]> {
+        match self {
+            Partitioning::ByKey { key_attrs } => Some(key_attrs),
+            Partitioning::Single { .. } => None,
+        }
+    }
+
+    /// The degradation reason, when not partitionable.
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            Partitioning::ByKey { .. } => None,
+            Partitioning::Single { reason } => Some(reason),
+        }
+    }
+}
+
 /// A validated multi-way sliding-window equi-join query.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct JoinQuery {
@@ -242,6 +287,76 @@ impl JoinQuery {
                 WindowSpec::Tuples(_) => None,
             })
             .max()
+    }
+
+    /// Analyzes the equi-predicate graph for hash-partitionability.
+    ///
+    /// Runs union-find over `(stream, attribute)` nodes, merging the two
+    /// sides of every predicate. If all predicates land in one equivalence
+    /// class the query is [`Partitioning::ByKey`]; each stream's partition
+    /// attribute is its smallest attribute index in that class (connectivity
+    /// of the join graph guarantees every stream has one). Otherwise the
+    /// result is [`Partitioning::Single`] with the offending stream named.
+    pub fn partitioning(&self) -> Partitioning {
+        let arity: Vec<usize> = (0..self.n_streams())
+            .map(|s| self_arity(&self.catalog, StreamId(s)))
+            .collect();
+        // Flat node ids: (stream, attr) -> offsets[stream] + attr.
+        let mut offsets = vec![0usize; self.n_streams() + 1];
+        for s in 0..self.n_streams() {
+            offsets[s + 1] = offsets[s] + arity[s];
+        }
+        let mut parent: Vec<usize> = (0..offsets[self.n_streams()]).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        let node = |r: AttrRef| offsets[r.stream.index()] + r.attr;
+        for pred in &self.predicates {
+            let (a, b) = (node(pred.left), node(pred.right));
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra] = rb;
+        }
+        let class = find(&mut parent, node(self.predicates[0].left));
+        for pred in &self.predicates {
+            for side in [pred.left, pred.right] {
+                if find(&mut parent, node(side)) != class {
+                    // Name a stream joined through two classes for the
+                    // report; by connectivity at least one exists.
+                    let culprit = (0..self.n_streams())
+                        .find(|&s| {
+                            let roots: Vec<usize> = self.incidence[s]
+                                .iter()
+                                .map(|&(_, a)| find(&mut parent, offsets[s] + a))
+                                .collect();
+                            roots.windows(2).any(|w| w[0] != w[1])
+                        })
+                        .unwrap_or(side.stream.index());
+                    let name = self
+                        .catalog
+                        .schema(StreamId(culprit))
+                        .map(|sch| sch.name.clone())
+                        .unwrap_or_else(|| format!("stream {culprit}"));
+                    return Partitioning::Single {
+                        reason: format!(
+                            "predicates span multiple join-attribute classes \
+                             ({name} joins through two distinct attributes)"
+                        ),
+                    };
+                }
+            }
+        }
+        let key_attrs = (0..self.n_streams())
+            .map(|s| {
+                (0..arity[s])
+                    .find(|&a| find(&mut parent, offsets[s] + a) == class)
+                    .expect("connected join graph reaches every stream")
+            })
+            .collect();
+        Partitioning::ByKey { key_attrs }
     }
 
     /// The "lifetime horizon" of a tuple entering at sequence number `seq`:
@@ -421,6 +536,74 @@ mod tests {
             Some(SeqNo(10 + 50 * 3))
         );
         assert_eq!(q.tuple_window_horizon(StreamId(0), SeqNo(10)), None);
+    }
+
+    #[test]
+    fn paper_chain_is_not_partitionable() {
+        // R2 joins via A1 (pred 0) and A2 (pred 1): two attribute classes.
+        let p = paper_query().partitioning();
+        assert_eq!(p.key_attrs(), None);
+        let reason = p.reason().expect("degrade reason");
+        assert!(reason.contains("R2"), "{reason}");
+    }
+
+    #[test]
+    fn single_attribute_chain_partitions_by_key() {
+        let q = JoinQuery::from_names(
+            catalog3(),
+            &[("R1.A1", "R2.A1"), ("R2.A1", "R3.A1")],
+            WindowSpec::secs(10),
+        )
+        .unwrap();
+        assert_eq!(
+            q.partitioning(),
+            Partitioning::ByKey {
+                key_attrs: vec![0, 0, 0]
+            }
+        );
+    }
+
+    #[test]
+    fn mixed_attrs_in_one_class_still_partition() {
+        // R3 participates through A2 even though the others use A1; all
+        // predicates still collapse to one equivalence class.
+        let q = JoinQuery::from_names(
+            catalog3(),
+            &[("R1.A1", "R2.A1"), ("R2.A1", "R3.A2")],
+            WindowSpec::secs(10),
+        )
+        .unwrap();
+        assert_eq!(
+            q.partitioning(),
+            Partitioning::ByKey {
+                key_attrs: vec![0, 0, 1]
+            }
+        );
+    }
+
+    #[test]
+    fn pair_query_with_two_predicates_is_not_partitionable() {
+        let mut c = Catalog::new();
+        c.add_stream(StreamSchema::new("L", &["k", "v"]));
+        c.add_stream(StreamSchema::new("R", &["k", "v"]));
+        let q = JoinQuery::from_names(
+            c,
+            &[("L.k", "R.k"), ("L.v", "R.v")],
+            WindowSpec::secs(5),
+        )
+        .unwrap();
+        assert!(q.partitioning().reason().is_some());
+    }
+
+    #[test]
+    fn cyclic_single_class_partitions() {
+        let q = JoinQuery::from_names(
+            catalog3(),
+            &[("R1.A1", "R2.A1"), ("R2.A1", "R3.A1"), ("R3.A1", "R1.A1")],
+            WindowSpec::secs(10),
+        )
+        .unwrap();
+        assert!(q.partitioning().key_attrs().is_some());
     }
 
     #[test]

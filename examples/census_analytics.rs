@@ -60,7 +60,7 @@ fn main() {
         "policy", "sample", "avg rel. error", "quartile diff"
     );
     for name in ["MSketch-RS", "Random"] {
-        let mut engine = ShedJoinBuilder::new(query.clone())
+        let mut engine = EngineBuilder::new(query.clone())
             .boxed_policy(parse_policy(name).expect("builtin policy"))
             .capacity_per_window(capacity)
             .seed(11)

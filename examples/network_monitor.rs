@@ -87,7 +87,7 @@ fn main() {
         "policy", "correlated", "queue-shed", "window-shed", "processed"
     );
     for name in ["MSketch", "Bjoin", "Random", "FIFO"] {
-        let mut engine = ShedJoinBuilder::new(query.clone())
+        let mut engine = EngineBuilder::new(query.clone())
             .boxed_policy(parse_policy(name).expect("builtin policy"))
             .capacity_per_window(400)
             .seed(1)

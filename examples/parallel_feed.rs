@@ -1,151 +1,115 @@
-//! Concurrent sources feeding one shedding join operator.
+//! Parallel execution of one shedding join, now a library feature.
 //!
-//! The paper's model has `n` independent sources pushing into a single
-//! join operator through a bounded queue. This example realizes that
-//! architecture with real threads: three producer threads (one per stream)
-//! push tuples through a bounded crossbeam channel — the "input queue" —
-//! while the consumer thread runs the shedding engine; a parking_lot-
-//! protected metrics block is shared with a monitor that prints progress.
+//! Earlier revisions of this example hand-rolled threads and channels
+//! around a single-threaded engine. That pattern has been promoted into
+//! the library as [`ShardedJoinEngine`]: the coordinator analyzes the
+//! query's predicates, hash-partitions arrivals by the shared join
+//! attribute across worker threads (each running an independent
+//! `ShedJoinEngine` on `1/S` of the memory budget), and merges the
+//! per-shard reports.
 //!
-//! When the channel is full the producers *shed at the source* (drop the
-//! tuple and count it) rather than block — the back-pressure-free regime a
-//! DSMS operates in. The engine additionally sheds from its windows.
+//! Two runs are shown:
 //!
-//! Note: the library itself stays single-threaded and deterministic; this
-//! example shows how to embed it in a threaded pipeline. (The merge order
-//! of concurrent producers is inherently racy, so output counts here vary
-//! from run to run — that is the point of the demonstration.)
+//! 1. A *partitionable* query (all predicates on one attribute) fanned
+//!    out over four shards with `Backpressure::Shed` — when a worker's
+//!    channel saturates the coordinator sheds at the source, the
+//!    back-pressure-free regime a DSMS operates in.
+//! 2. The paper's chain query, whose middle stream joins through two
+//!    different attributes: it cannot be partitioned, so the engine
+//!    degrades to one shard and reports why.
 //!
 //! ```text
 //! cargo run --release -p mstream-core --example parallel_feed
 //! ```
 
-use crossbeam::channel;
 use mstream_core::prelude::*;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
 
-/// Shared pipeline counters.
-#[derive(Default)]
-struct PipelineStats {
-    produced: [AtomicU64; 3],
-    source_shed: [AtomicU64; 3],
-}
-
-fn main() {
+fn sensors_query(predicates: &[(&str, &str)]) -> JoinQuery {
     let mut catalog = Catalog::new();
     catalog.add_stream(StreamSchema::new("Sensors", &["region", "kind"]));
     catalog.add_stream(StreamSchema::new("Readings", &["region", "level"]));
-    catalog.add_stream(StreamSchema::new("Alarms", &["level", "severity"]));
-    let query = JoinQuery::from_names(
-        catalog,
-        &[
-            ("Sensors.region", "Readings.region"),
-            ("Readings.level", "Alarms.level"),
-        ],
-        WindowSpec::secs(30),
-    )
-    .expect("valid query");
+    catalog.add_stream(StreamSchema::new("Alarms", &["region", "severity"]));
+    JoinQuery::from_names(catalog, predicates, WindowSpec::secs(30)).expect("valid query")
+}
 
-    // The bounded "input queue" between sources and the operator.
-    let (tx, rx) = channel::bounded::<(StreamId, Vec<Value>)>(256);
-    let stats = Arc::new(PipelineStats::default());
-    let running = Arc::new(AtomicU64::new(1));
-
-    // Three producers, one per stream, each with its own rate and skew.
-    let mut producers = Vec::new();
-    for s in 0..3usize {
-        let tx = tx.clone();
-        let stats = Arc::clone(&stats);
-        let running = Arc::clone(&running);
-        producers.push(std::thread::spawn(move || {
-            let mut rng = StdRng::seed_from_u64(100 + s as u64);
-            while running.load(Ordering::Relaxed) == 1 {
-                let hot = rng.gen_bool(0.5);
-                let key = if hot { 7 } else { rng.gen_range(0..40) };
-                let values = vec![Value(key), Value(rng.gen_range(0..40))];
-                stats.produced[s].fetch_add(1, Ordering::Relaxed);
-                // Shed at the source instead of blocking the sensor.
-                if tx.try_send((StreamId(s), values)).is_err() {
-                    stats.source_shed[s].fetch_add(1, Ordering::Relaxed);
-                }
-                std::thread::sleep(Duration::from_micros(120));
-            }
-        }));
+fn feed(engine: &mut ShardedJoinEngine, arrivals: usize) {
+    let mut rng = StdRng::seed_from_u64(42);
+    for i in 0..arrivals {
+        // Half the traffic piles onto one hot region, the rest spreads out.
+        let hot = rng.gen_bool(0.5);
+        let region = if hot { 7 } else { rng.gen_range(0..40) };
+        let values = vec![Value(region), Value(rng.gen_range(0..40))];
+        let stream = StreamId(i % 3);
+        // Virtual time: ~300 arrivals per second across the three sources.
+        let now = VTime::from_micros(i as u64 * 3_333);
+        engine.ingest(Arrival::new(stream, values, now));
     }
-    drop(tx);
+}
 
-    // The consumer: the shedding join operator, deliberately slower than
-    // the producers so the channel saturates.
-    let engine_metrics = Arc::new(Mutex::new(EngineMetrics::default()));
-    let consumer = {
-        let engine_metrics = Arc::clone(&engine_metrics);
-        let running = Arc::clone(&running);
-        std::thread::spawn(move || {
-            let mut engine = ShedJoinBuilder::new(query)
-                .policy(MSketch)
-                .capacity_per_window(128)
-                .seed(9)
-                .build()
-                .expect("valid engine");
-            let started = Instant::now();
-            while let Ok((stream, values)) = rx.recv() {
-                // Virtual time tracks wall time in this live pipeline.
-                let now = VTime::from_micros(started.elapsed().as_micros() as u64);
-                engine.process_arrival(stream, values, now);
-                // Simulated per-tuple service cost.
-                std::thread::sleep(Duration::from_micros(400));
-                *engine_metrics.lock() = engine.metrics().clone();
-                if running.load(Ordering::Relaxed) == 0 {
-                    break;
-                }
-            }
-            engine.metrics().clone()
+fn main() {
+    // All three predicates share the `region` attribute class, so arrivals
+    // can be hash-partitioned by region across worker threads.
+    let partitionable = sensors_query(&[
+        ("Sensors.region", "Readings.region"),
+        ("Readings.region", "Alarms.region"),
+    ]);
+    println!("partitionable query: {:?}", partitionable.partitioning());
+
+    let mut engine = EngineBuilder::new(partitionable)
+        .policy(MSketch)
+        .capacity_per_window(128) // total budget; each shard gets 1/S
+        .seed(9)
+        .shard_config(ShardConfig {
+            shards: 4,
+            channel_capacity: 8,
+            batch_size: 16,
+            backpressure: Backpressure::Shed, // live mode: drop, don't block
+            collect_rows: false,
         })
-    };
-
-    // Monitor: print a progress line twice, then stop the pipeline.
-    for tick in 1..=2 {
-        std::thread::sleep(Duration::from_millis(600));
-        let m = engine_metrics.lock().clone();
-        let produced: u64 = stats.produced.iter().map(|c| c.load(Ordering::Relaxed)).sum();
-        let source_shed: u64 = stats
-            .source_shed
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .sum();
+        .build_sharded()
+        .expect("valid engine");
+    feed(&mut engine, 30_000);
+    let report = engine.finish().expect("workers exit cleanly");
+    println!(
+        "  {} shards  processed {:>6}  window-shed {:>6}  channel-shed {:>6}  results {:>8}",
+        report.combined.shards,
+        report.combined.metrics.processed,
+        report.combined.metrics.shed_window,
+        report.shed_channel,
+        report.combined.total_output(),
+    );
+    for (i, m) in report.per_shard.iter().enumerate() {
         println!(
-            "t+{:>4}ms  produced {:>6}  source-shed {:>6}  processed {:>5}  joined {:>7}",
-            tick * 600,
-            produced,
-            source_shed,
-            m.processed,
-            m.total_output
+            "    shard {i}: processed {:>6}  results {:>8}",
+            m.processed, m.total_output
         );
     }
-    running.store(0, Ordering::Relaxed);
-    for p in producers {
-        p.join().expect("producer exits cleanly");
-    }
-    let final_metrics = consumer.join().expect("consumer exits cleanly");
-    let produced: u64 = stats.produced.iter().map(|c| c.load(Ordering::Relaxed)).sum();
-    let source_shed: u64 = stats
-        .source_shed
-        .iter()
-        .map(|c| c.load(Ordering::Relaxed))
-        .sum();
-    println!("\nfinal: {produced} produced, {source_shed} shed at the sources,");
+
+    // The paper's chain shape joins Readings through two different
+    // attributes — no single partition key exists, so a 4-shard request
+    // degrades to one worker (and says so).
+    let chain = sensors_query(&[
+        ("Sensors.region", "Readings.region"),
+        ("Readings.level", "Alarms.region"),
+    ]);
+    let engine = EngineBuilder::new(chain)
+        .policy(MSketch)
+        .capacity_per_window(128)
+        .seed(9)
+        .shards(4)
+        .build_sharded()
+        .expect("valid engine");
+    let degraded = engine
+        .degraded()
+        .map(str::to_owned)
+        .expect("chain query cannot partition");
+    let report = engine
+        .run_trace(&Trace::default(), 300.0)
+        .expect("empty run still finishes");
     println!(
-        "       {} processed by the operator, {} shed from windows, {} results",
-        final_metrics.processed, final_metrics.shed_window, final_metrics.total_output
-    );
-    println!(
-        "\nThe operator survives a sustained overload: the channel sheds the \
-         excess at\nthe sources and MSketch keeps the join-relevant share of \
-         what gets through."
+        "\nchain query degraded to {} shard: {}",
+        report.combined.shards, degraded
     );
 }

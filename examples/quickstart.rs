@@ -43,7 +43,7 @@ fn main() {
     );
     let exact = run_exact_trace(&query, &trace, &RunOptions::default());
     for name in ["MSketch", "Bjoin", "Random", "FIFO"] {
-        let mut engine = ShedJoinBuilder::new(query.clone())
+        let mut engine = EngineBuilder::new(query.clone())
             .boxed_policy(parse_policy(name).expect("builtin policy"))
             .capacity_per_window(capacity)
             .seed(42)

@@ -98,7 +98,7 @@ fn main() {
     println!("\n1-NN income-class accuracy from a 400-point reservoir:");
     println!("{:<12} {:>10} {:>10}", "policy", "seen", "accuracy");
     for name in ["MSketch-RS", "FIFO"] {
-        let mut engine = ShedJoinBuilder::new(query.clone())
+        let mut engine = EngineBuilder::new(query.clone())
             .boxed_policy(parse_policy(name).expect("builtin policy"))
             .capacity_per_window(80)
             .seed(3)
@@ -108,17 +108,20 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(17);
         for (i, item) in trace.items.iter().enumerate() {
             let now = VTime::ZERO + dt.mul(i as u64);
-            let tuple = engine.make_tuple(item.stream, item.values.clone(), now);
-            engine.process_tuple_with(tuple, now, |b| {
-                reservoir.offer(
-                    Point {
-                        age: b.value(StreamId(1), 0).raw() as f64,
-                        education: b.value(StreamId(1), 2).raw() as f64,
-                        class: income_class(b.value(StreamId(1), 1).raw()),
-                    },
-                    &mut rng,
-                );
-            });
+            let arrival = Arrival::new(item.stream, item.values.clone(), now);
+            engine.ingest(
+                arrival,
+                &mut FnSink(|b: &Bindings<'_>| {
+                    reservoir.offer(
+                        Point {
+                            age: b.value(StreamId(1), 0).raw() as f64,
+                            education: b.value(StreamId(1), 2).raw() as f64,
+                            class: income_class(b.value(StreamId(1), 1).raw()),
+                        },
+                        &mut rng,
+                    );
+                }),
+            );
         }
         let sample = reservoir.items();
         let correct = truth

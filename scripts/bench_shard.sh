@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the shard-scaling throughput pass (sharded engine at S in {1,2,4,8}
+# on a key-partitionable query) and writes BENCH_shard.json at the repo
+# root.
+#
+# Usage: scripts/bench_shard.sh [--scale S]
+#
+# Artifact layout (BENCH_shard.json):
+#   {
+#     "shard_scaling": [ {"shards": 1, "seconds": ..., "output": ...,
+#                         "processed": ..., "shed_window": ...,
+#                         "speedup": ...}, ... ]
+#   }
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${2:-0.5}"
+if [ "${1:-}" = "--scale" ] && [ -n "${2:-}" ]; then SCALE="$2"; fi
+
+echo "== shard_scaling (scale $SCALE) =="
+cargo run --release -p mstream-bench --bin shard_scaling -- \
+  --scale "$SCALE" --json target/shard_scaling.json
+
+echo "== merging BENCH_shard.json =="
+python3 - <<'EOF'
+import json
+
+with open("target/shard_scaling.json") as f:
+    rows = json.load(f)
+
+with open("BENCH_shard.json", "w") as f:
+    json.dump({"shard_scaling": rows}, f, indent=2, sort_keys=True)
+print(f"wrote BENCH_shard.json ({len(rows)} shard counts)")
+EOF

@@ -8,5 +8,27 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 # Differential audit smoke: every policy vs the exact oracle over 50
-# fuzzed cases, with per-arrival structural invariant checks.
+# fuzzed cases, with per-arrival structural invariant checks (includes the
+# sharded-vs-oracle differential at the case's shard count).
 cargo run --release -p mstream-audit -- sweep --cases 50 --seed 7
+
+# Sharded-vs-single CLI differential smoke: the same key-partitionable
+# query and trace must produce the same output count at S in {1,2,4} when
+# nothing sheds (full memory, blocking channels).
+KEYED_QUERY='SELECT * FROM R1(A1, A2) [RANGE 30 SECONDS], R2(A1, A2), R3(A1, A2)
+             WHERE R1.A1 = R2.A1 AND R2.A1 = R3.A1'
+cargo run --release -p mstream-cli -- generate \
+  --workload regions --tuples 400 --out target/check_shard_trace.csv
+BASELINE=""
+for S in 1 2 4; do
+  OUT=$(cargo run --release -p mstream-cli -- run \
+    --query "$KEYED_QUERY" --trace target/check_shard_trace.csv \
+    --capacity 100000 --shards "$S" --json \
+    | python3 -c 'import json,sys; r=json.load(sys.stdin); print(r["output_tuples"], r["shards"], r["shed_window"], r["shed_channel"])')
+  read -r TUPLES GOT_S SHED_W SHED_C <<<"$OUT"
+  [ "$GOT_S" = "$S" ] || { echo "FAIL: requested $S shards, ran $GOT_S"; exit 1; }
+  [ "$SHED_W" = 0 ] && [ "$SHED_C" = 0 ] || { echo "FAIL: full-memory run shed ($SHED_W window, $SHED_C channel)"; exit 1; }
+  if [ -z "$BASELINE" ]; then BASELINE="$TUPLES"; fi
+  [ "$TUPLES" = "$BASELINE" ] || { echo "FAIL: S=$S produced $TUPLES tuples, S=1 produced $BASELINE"; exit 1; }
+  echo "shard smoke: S=$S -> $TUPLES output tuples (matches baseline)"
+done

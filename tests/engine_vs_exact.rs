@@ -39,7 +39,7 @@ fn every_policy_is_exact_with_enough_memory() {
     let exact = run_exact_trace(&chain3(60), &trace, &opts);
     assert!(exact.total_output() > 0, "trace should join");
     for name in ALL_POLICY_NAMES {
-        let mut engine = ShedJoinBuilder::new(chain3(60))
+        let mut engine = EngineBuilder::new(chain3(60))
             .boxed_policy(parse_policy(name).unwrap())
             .capacity_per_window(trace.len())
             .seed(5)
@@ -64,7 +64,7 @@ fn shed_output_never_exceeds_exact() {
     let exact = run_exact_trace(&chain3(40), &trace, &opts);
     for name in ALL_POLICY_NAMES {
         for capacity in [4usize, 32, 256] {
-            let mut engine = ShedJoinBuilder::new(chain3(40))
+            let mut engine = EngineBuilder::new(chain3(40))
                 .boxed_policy(parse_policy(name).unwrap())
                 .capacity_per_window(capacity)
                 .seed(6)
@@ -87,14 +87,14 @@ fn tuple_accounting_identity() {
     let opts = RunOptions::default();
     for name in ["MSketch", "Bjoin", "Random"] {
         let query = chain3(30);
-        let mut engine = ShedJoinBuilder::new(query.clone())
+        let mut engine = EngineBuilder::new(query.clone())
             .boxed_policy(parse_policy(name).unwrap())
             .capacity_per_window(48)
             .seed(7)
             .build()
             .unwrap();
         let report = run_trace(&mut engine, &trace, &opts);
-        let resident: usize = (0..3).map(|k| engine.window_len(StreamId(k))).sum();
+        let resident: usize = (0..3).map(|k| engine.window_len(StreamId(k)).unwrap()).sum();
         assert_eq!(
             report.metrics.processed,
             report.metrics.expired + report.metrics.shed_window + resident as u64,
@@ -110,7 +110,7 @@ fn determinism_per_seed() {
     let trace = random_trace(4, 800, 5);
     let opts = RunOptions::default();
     let run = |seed: u64| {
-        let mut engine = ShedJoinBuilder::new(chain3(50))
+        let mut engine = EngineBuilder::new(chain3(50))
             .boxed_policy(parse_policy("Random").unwrap())
             .capacity_per_window(24)
             .seed(seed)
@@ -137,7 +137,7 @@ fn end_to_end_on_region_workload() {
     .unwrap()
     .generate();
     let query = chain3(100);
-    let mut engine = ShedJoinBuilder::new(query.clone())
+    let mut engine = EngineBuilder::new(query.clone())
         .capacity_per_window(60)
         .seed(13)
         .build()

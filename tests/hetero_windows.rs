@@ -89,7 +89,7 @@ fn heterogeneous_windows_match_brute_force() {
     // Sketch policies need an explicit epoch for heterogeneous windows is
     // NOT required — all windows are time-based, the default epoch is the
     // longest window.
-    let mut engine = ShedJoinBuilder::new(hetero_query())
+    let mut engine = EngineBuilder::new(hetero_query())
         .capacity_per_window(100_000)
         .seed(1)
         .build()
@@ -102,23 +102,23 @@ fn heterogeneous_windows_match_brute_force() {
 fn heterogeneous_windows_shed_per_stream() {
     let trace = random_trace(32, 3000);
     // Small per-stream budgets proportional to each window's population.
-    let mut engine = ShedJoinBuilder::new(hetero_query())
+    let mut engine = EngineBuilder::new(hetero_query())
         .capacities(vec![8, 32, 64])
         .seed(2)
         .build()
         .unwrap();
     let report = run_trace(&mut engine, &trace, &RunOptions::default());
     assert!(report.metrics.shed_window > 0);
-    assert!(engine.window_len(StreamId(0)) <= 8);
-    assert!(engine.window_len(StreamId(1)) <= 32);
-    assert!(engine.window_len(StreamId(2)) <= 64);
+    assert!(engine.window_len(StreamId(0)).unwrap() <= 8);
+    assert!(engine.window_len(StreamId(1)).unwrap() <= 32);
+    assert!(engine.window_len(StreamId(2)).unwrap() <= 64);
     assert!(report.total_output() <= brute_force(&trace, 10.0));
 }
 
 #[test]
 fn shorter_windows_hold_fewer_tuples() {
     let trace = random_trace(33, 3000);
-    let mut engine = ShedJoinBuilder::new(hetero_query())
+    let mut engine = EngineBuilder::new(hetero_query())
         .capacity_per_window(100_000)
         .seed(3)
         .build()
@@ -126,8 +126,8 @@ fn shorter_windows_hold_fewer_tuples() {
     let _ = run_trace(&mut engine, &trace, &RunOptions::default());
     // Steady state: each window's population tracks its length
     // (rate/stream = 10/3 per second; windows 10/40/80s).
-    let l0 = engine.window_len(StreamId(0));
-    let l1 = engine.window_len(StreamId(1));
-    let l2 = engine.window_len(StreamId(2));
+    let l0 = engine.window_len(StreamId(0)).unwrap();
+    let l1 = engine.window_len(StreamId(1)).unwrap();
+    let l2 = engine.window_len(StreamId(2)).unwrap();
     assert!(l0 < l1 && l1 < l2, "{l0} < {l1} < {l2}");
 }

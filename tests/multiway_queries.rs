@@ -130,7 +130,7 @@ fn check_shape(
     let trace = random_trace(seed, n_streams, 400, 4);
     let expected = brute_force(&trace, preds, n_streams, window_secs, rate);
     // Unshedded engine must match brute force exactly.
-    let mut engine = ShedJoinBuilder::new(query.clone())
+    let mut engine = EngineBuilder::new(query.clone())
         .capacity_per_window(10_000)
         .seed(seed)
         .build()
@@ -146,7 +146,7 @@ fn check_shape(
     let got = run_trace(&mut engine, &trace, &opts).total_output();
     assert_eq!(got, expected, "{name}: engine vs brute force");
     // And a shedding run stays within the exact bound while still working.
-    let mut shed = ShedJoinBuilder::new(query)
+    let mut shed = EngineBuilder::new(query)
         .capacity_per_window(12)
         .seed(seed)
         .build()
@@ -220,7 +220,7 @@ fn all_policies_on_four_way_star() {
     let query = JoinQuery::uniform(catalog(4), preds, WindowSpec::secs(30)).unwrap();
     let trace = random_trace(16, 4, 1200, 3);
     for name in ALL_POLICY_NAMES {
-        let mut engine = ShedJoinBuilder::new(query.clone())
+        let mut engine = EngineBuilder::new(query.clone())
             .boxed_policy(parse_policy(name).unwrap())
             .capacity_per_window(16)
             .seed(17)
@@ -229,7 +229,7 @@ fn all_policies_on_four_way_star() {
         let report = run_trace(&mut engine, &trace, &RunOptions::default());
         assert!(report.metrics.processed == trace.len() as u64, "{name}");
         for k in 0..4 {
-            assert!(engine.window_len(StreamId(k)) <= 16, "{name}");
+            assert!(engine.window_len(StreamId(k)).unwrap() <= 16, "{name}");
         }
     }
 }

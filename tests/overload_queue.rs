@@ -34,7 +34,7 @@ fn overload_opts(factor: f64, queue: usize) -> RunOptions {
 }
 
 fn run_policy(name: &str, opts: &RunOptions) -> RunReport {
-    let mut engine = ShedJoinBuilder::new(chain3(100))
+    let mut engine = EngineBuilder::new(chain3(100))
         .boxed_policy(parse_policy(name).unwrap())
         .capacity_per_window(200)
         .seed(4)

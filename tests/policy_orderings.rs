@@ -25,7 +25,7 @@ fn high_skew_trace() -> Trace {
 }
 
 fn run_policy(query: &JoinQuery, name: &str, capacity: usize, trace: &Trace) -> u64 {
-    let mut engine = ShedJoinBuilder::new(query.clone())
+    let mut engine = EngineBuilder::new(query.clone())
         .boxed_policy(parse_policy(name).unwrap())
         .capacity_per_window(capacity)
         .bank(BankConfig {

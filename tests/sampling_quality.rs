@@ -52,7 +52,7 @@ fn compare(name: &str, capacity: usize) -> (SeriesComparison, u64) {
     let trace = census_trace();
     let opts = agg_opts(window);
     let exact = exact_reference();
-    let mut engine = ShedJoinBuilder::new(query)
+    let mut engine = EngineBuilder::new(query)
         .boxed_policy(parse_policy(name).unwrap())
         .capacity_per_window(capacity)
         .seed(8)

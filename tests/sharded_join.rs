@@ -1,0 +1,258 @@
+//! Differential acceptance tests for [`ShardedJoinEngine`].
+//!
+//! The contract under test (DESIGN.md "Sharded execution"):
+//!
+//! * On a partitionable query at full memory, the merged S-shard output is
+//!   identical to the single-engine output — same result rows, same
+//!   sequence numbers — for any S.
+//! * Under reduced memory, the sharded output is a sub-multiset of the
+//!   full-memory result (shedding only removes rows, never invents them).
+//! * A non-partitionable query degrades to 1 shard with the reason
+//!   surfaced, and then behaves bit-identically to the single engine.
+//! * Tuple-count windows stay exact across shards (the tick broadcast).
+//! * Same seed ⇒ same run, shard count and shedding notwithstanding.
+
+use mstream_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// All predicates on attribute 0 through one equivalence class — the
+/// canonical key-partitionable shape.
+fn keyed3(window: WindowSpec) -> JoinQuery {
+    let mut c = Catalog::new();
+    c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+    JoinQuery::from_names(
+        c,
+        &[("R1.A1", "R2.A1"), ("R2.A1", "R3.A1")],
+        window,
+    )
+    .unwrap()
+}
+
+/// The paper's chain: R2 joins through two different attributes, so no
+/// single partition key exists.
+fn chain3() -> JoinQuery {
+    let mut c = Catalog::new();
+    c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+    JoinQuery::from_names(
+        c,
+        &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+        WindowSpec::secs(40),
+    )
+    .unwrap()
+}
+
+/// Metrics with the wall-clock timing counters zeroed — everything else
+/// is deterministic and must match exactly across equivalent runs.
+fn det(m: &EngineMetrics) -> EngineMetrics {
+    EngineMetrics {
+        sketch_observe_ns: 0,
+        priority_rebuild_ns: 0,
+        score_ns: 0,
+        ..m.clone()
+    }
+}
+
+fn trace(n: usize, key_domain: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..n)
+        .map(|i| {
+            Arrival::new(
+                StreamId(rng.gen_range(0..3)),
+                vec![
+                    Value(rng.gen_range(0..key_domain)),
+                    Value(rng.gen_range(0..key_domain)),
+                ],
+                VTime::from_secs(i as u64 / 4),
+            )
+        })
+        .collect()
+}
+
+/// Canonical form of a result set: each row as its per-stream sequence
+/// numbers (globally minted, so directly comparable across executions).
+fn canon(rows: &[Vec<Tuple>]) -> Vec<Vec<SeqNo>> {
+    let mut out: Vec<Vec<SeqNo>> = rows
+        .iter()
+        .map(|row| row.iter().map(|t| t.seq).collect())
+        .collect();
+    out.sort();
+    out
+}
+
+/// Multiset inclusion over two canonicalized (sorted) row lists.
+fn is_sub_multiset(sub: &[Vec<SeqNo>], sup: &[Vec<SeqNo>]) -> bool {
+    let mut j = 0;
+    for row in sub {
+        while j < sup.len() && sup[j] < *row {
+            j += 1;
+        }
+        if j == sup.len() || sup[j] != *row {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+fn single_engine_rows(query: JoinQuery, capacity: usize, arrivals: &[Arrival]) -> (Vec<Vec<SeqNo>>, EngineMetrics) {
+    let mut engine = EngineBuilder::new(query)
+        .policy(MSketch)
+        .capacity_per_window(capacity)
+        .seed(5)
+        .build()
+        .unwrap();
+    let mut sink = VecSink::default();
+    for arrival in arrivals {
+        engine.ingest(arrival.clone(), &mut sink);
+    }
+    (canon(&sink.rows), engine.metrics().clone())
+}
+
+fn sharded_rows(
+    query: JoinQuery,
+    shards: usize,
+    capacity: usize,
+    arrivals: &[Arrival],
+) -> ShardedRunReport {
+    let mut engine = EngineBuilder::new(query)
+        .policy(MSketch)
+        .capacity_per_window(capacity)
+        .seed(5)
+        .shard_config(ShardConfig {
+            shards,
+            channel_capacity: 4,
+            batch_size: 7, // deliberately not a divisor of the trace length
+            backpressure: Backpressure::Block,
+            collect_rows: true,
+        })
+        .build_sharded()
+        .unwrap();
+    for arrival in arrivals {
+        engine.ingest(arrival.clone());
+    }
+    engine.finish().unwrap()
+}
+
+/// At full memory nothing is shed, so partitioning is lossless: the merged
+/// rows equal the single-engine rows exactly for S ∈ {1, 2, 4}.
+#[test]
+fn full_memory_sharded_output_matches_single_engine() {
+    let arrivals = trace(900, 12);
+    let (oracle, oracle_metrics) =
+        single_engine_rows(keyed3(WindowSpec::secs(25)), 100_000, &arrivals);
+    assert!(!oracle.is_empty(), "trace must produce joins");
+    for shards in [1, 2, 4] {
+        let report = sharded_rows(keyed3(WindowSpec::secs(25)), shards, 100_000, &arrivals);
+        assert_eq!(report.combined.shards, shards);
+        assert_eq!(report.combined.degraded, None);
+        assert_eq!(report.shed_channel, 0, "Block backpressure never drops");
+        let rows = canon(report.rows.as_ref().unwrap());
+        assert_eq!(rows, oracle, "S={shards} row set diverged from oracle");
+        assert_eq!(
+            report.combined.metrics.total_output, oracle_metrics.total_output,
+            "S={shards}"
+        );
+        assert_eq!(report.combined.metrics.shed_window, 0, "S={shards}");
+        assert_eq!(report.per_shard.len(), shards);
+        if shards > 1 {
+            assert!(
+                report.per_shard.iter().filter(|m| m.processed > 0).count() > 1,
+                "hash routing must actually spread the 12-key domain"
+            );
+        }
+    }
+}
+
+/// Under reduced memory each shard sheds within its own partition, so the
+/// merged result can only lose rows relative to the full-memory oracle.
+#[test]
+fn reduced_memory_sharded_output_is_sub_multiset_of_oracle() {
+    let arrivals = trace(900, 12);
+    let (oracle, _) = single_engine_rows(keyed3(WindowSpec::secs(25)), 100_000, &arrivals);
+    for shards in [2, 4] {
+        let report = sharded_rows(keyed3(WindowSpec::secs(25)), shards, 32, &arrivals);
+        assert!(
+            report.combined.metrics.shed_window > 0,
+            "capacity 32/{shards} must shed on this trace"
+        );
+        let rows = canon(report.rows.as_ref().unwrap());
+        assert!(rows.len() < oracle.len(), "shedding must cost some rows");
+        assert!(
+            is_sub_multiset(&rows, &oracle),
+            "S={shards}: shed run emitted a row the oracle never produced"
+        );
+    }
+}
+
+/// The chain query joins R2 through two different attributes: a 4-shard
+/// request degrades to 1 worker, says why, and — because a 1-shard run
+/// keeps the master seed — matches the single engine bit for bit even
+/// while shedding.
+#[test]
+fn non_partitionable_query_degrades_with_reason_and_stays_exact() {
+    let arrivals = trace(700, 6);
+    let mut engine = EngineBuilder::new(chain3())
+        .policy(MSketch)
+        .capacity_per_window(24)
+        .seed(5)
+        .shard_config(ShardConfig {
+            shards: 4,
+            collect_rows: true,
+            ..ShardConfig::default()
+        })
+        .build_sharded()
+        .unwrap();
+    assert_eq!(engine.shards(), 1);
+    let reason = engine.degraded().expect("chain query must degrade").to_owned();
+    assert!(!reason.is_empty());
+    for arrival in &arrivals {
+        engine.ingest(arrival.clone());
+    }
+    let report = engine.finish().unwrap();
+    assert_eq!(report.combined.shards, 1);
+    assert_eq!(report.combined.degraded.as_deref(), Some(reason.as_str()));
+
+    let (oracle, oracle_metrics) = single_engine_rows(chain3(), 24, &arrivals);
+    assert!(oracle_metrics.shed_window > 0, "this capacity must shed");
+    assert_eq!(canon(report.rows.as_ref().unwrap()), oracle);
+    assert_eq!(det(&report.combined.metrics), det(&oracle_metrics));
+}
+
+/// Tuple-count windows expire by arrivals-seen on the stream; the tick
+/// broadcast keeps every shard's count exact, so a multi-shard run still
+/// matches the single engine at full memory.
+#[test]
+fn tuple_windows_match_oracle_across_shards() {
+    let arrivals = trace(600, 8);
+    let (oracle, _) = single_engine_rows(keyed3(WindowSpec::Tuples(15)), 100_000, &arrivals);
+    assert!(!oracle.is_empty(), "trace must produce joins");
+    for shards in [2, 4] {
+        let report = sharded_rows(keyed3(WindowSpec::Tuples(15)), shards, 100_000, &arrivals);
+        let rows = canon(report.rows.as_ref().unwrap());
+        assert_eq!(rows, oracle, "S={shards}: tuple-window expiry drifted");
+    }
+}
+
+/// Sharded runs are a pure function of (query, config, trace): the same
+/// seed replays to the same rows and counters, including under shedding.
+#[test]
+fn same_seed_replays_identically() {
+    let arrivals = trace(800, 10);
+    let a = sharded_rows(keyed3(WindowSpec::secs(25)), 4, 32, &arrivals);
+    let b = sharded_rows(keyed3(WindowSpec::secs(25)), 4, 32, &arrivals);
+    assert!(a.combined.metrics.shed_window > 0, "must exercise shedding");
+    assert_eq!(det(&a.combined.metrics), det(&b.combined.metrics));
+    assert_eq!(
+        a.per_shard.iter().map(det).collect::<Vec<_>>(),
+        b.per_shard.iter().map(det).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        canon(a.rows.as_ref().unwrap()),
+        canon(b.rows.as_ref().unwrap())
+    );
+}

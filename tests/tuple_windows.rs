@@ -52,7 +52,7 @@ fn tuple_window_join_matches_brute_force() {
     for count in [5u64, 20, 64] {
         let trace = random_trace(count, 1200, 7);
         let expected = brute_force(&trace, count);
-        let mut engine = ShedJoinBuilder::new(pair_query(count))
+        let mut engine = EngineBuilder::new(pair_query(count))
             .capacity_per_window(10_000)
             .seed(1)
             .build()
@@ -70,7 +70,7 @@ fn tuple_windows_shed_under_pressure() {
     let trace = random_trace(9, 3000, 4);
     let exact = brute_force(&trace, count);
     for name in ["MSketch", "Bjoin", "FIFO"] {
-        let mut engine = ShedJoinBuilder::new(pair_query(count))
+        let mut engine = EngineBuilder::new(pair_query(count))
             .boxed_policy(parse_policy(name).unwrap())
             .capacity_per_window(20)
             .seed(2)
@@ -81,7 +81,7 @@ fn tuple_windows_shed_under_pressure() {
         assert!(report.total_output() <= exact, "{name} bounded by exact");
         assert!(report.total_output() > 0, "{name} still produces");
         for k in 0..2 {
-            assert!(engine.window_len(StreamId(k)) <= 20);
+            assert!(engine.window_len(StreamId(k)).unwrap() <= 20);
         }
     }
 }
@@ -93,7 +93,7 @@ fn fifo_at_window_capacity_is_exact() {
     let count = 30u64;
     let trace = random_trace(3, 1000, 5);
     let expected = brute_force(&trace, count);
-    let mut engine = ShedJoinBuilder::new(pair_query(count))
+    let mut engine = EngineBuilder::new(pair_query(count))
         .boxed_policy(parse_policy("FIFO").unwrap())
         .capacity_per_window(count as usize)
         .seed(3)
@@ -120,11 +120,11 @@ fn mixed_windows_need_explicit_epoch() {
     )
     .unwrap();
     // Sketch-based policy needs an epoch; mixed windows have no default.
-    assert!(ShedJoinBuilder::new(query.clone())
+    assert!(EngineBuilder::new(query.clone())
         .capacity_per_window(10)
         .build()
         .is_err());
-    assert!(ShedJoinBuilder::new(query)
+    assert!(EngineBuilder::new(query)
         .capacity_per_window(10)
         .epoch(EpochSpec::Time(VDur::from_secs(10)))
         .build()

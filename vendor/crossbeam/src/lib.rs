@@ -1,5 +1,6 @@
 //! Offline stand-in for `crossbeam`, covering only `channel::bounded`
-//! with `try_send` / `recv` as the workspace's example uses it. Backed by
+//! with `send` / `try_send` / `recv` as the workspace's sharded engine and
+//! examples use it. Backed by
 //! `std::sync::mpsc::sync_channel`, which has the same bounded,
 //! multi-producer single-consumer semantics for this use.
 
@@ -26,6 +27,10 @@ pub mod channel {
     #[derive(Debug)]
     pub struct TrySendError<T>(pub T);
 
+    /// Error from [`Sender::send`]: the receiver is gone.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
     /// Error from [`Receiver::recv`]: all senders dropped.
     #[derive(Debug)]
     pub struct RecvError;
@@ -39,6 +44,12 @@ pub mod channel {
                     TrySendError(v)
                 }
             })
+        }
+
+        /// Blocking send; waits while the buffer is full, fails only when
+        /// the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 
@@ -60,6 +71,24 @@ pub mod channel {
 #[cfg(test)]
 mod tests {
     use super::channel;
+
+    #[test]
+    fn blocking_send_waits_for_room() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let producer = std::thread::spawn(move || tx.send(2).is_ok());
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert!(producer.join().unwrap(), "send completes once drained");
+        drop(rx);
+    }
+
+    #[test]
+    fn blocking_send_fails_without_receiver() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
 
     #[test]
     fn bounded_try_send_and_drain() {
