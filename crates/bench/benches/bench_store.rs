@@ -1,11 +1,13 @@
 //! Microbenchmarks of the storage substrate: window-store insert/evict,
-//! index probes, and queue shedding.
+//! index probes, probe kernels, and queue shedding.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mstream_core::mstream_window::{QueueVictim, ShedQueue, WindowStore};
+use mstream_core::mstream_join::{probe_each, probe_each_recursive, ProbePlan};
+use mstream_core::mstream_window::{Arena, FlatIndex, QueueVictim, ShedQueue, Slot, WindowStore};
 use mstream_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 fn tup(seq: u64, ts: u64, a: u64, b: u64) -> Tuple {
     Tuple::new(
@@ -91,5 +93,99 @@ fn bench_queue(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_insert_evict, bench_probe, bench_rebuild, bench_queue);
+/// The iterative probe kernel against the retained recursive one on a
+/// 3-stream chain (middle origin — the star fast path plus a chain step
+/// from the ends), populated windows, random arrivals.
+fn bench_probe_kernel(c: &mut Criterion) {
+    let names = ["R1", "R2", "R3"];
+    let mut cat = Catalog::new();
+    for name in names {
+        cat.add_stream(StreamSchema::new(name, &["A1", "A2"]));
+    }
+    let q = JoinQuery::from_names(
+        cat,
+        &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
+        WindowSpec::secs(1 << 20),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut stores: Vec<WindowStore> = (0..3)
+        .map(|s| WindowStore::new(q.window(StreamId(s)), q.join_attrs(StreamId(s)), 2048))
+        .collect();
+    let mut seq = 0u64;
+    for (s, store) in stores.iter_mut().enumerate() {
+        for _ in 0..1024 {
+            let t = Tuple::new(
+                StreamId(s),
+                VTime::ZERO,
+                SeqNo(seq),
+                vec![Value(rng.gen_range(0..64)), Value(rng.gen_range(0..64))],
+            );
+            store.insert(t, 0.0);
+            seq += 1;
+        }
+    }
+    let mut group = c.benchmark_group("probe_kernel_chain3_mid");
+    for (label, recursive) in [("iterative", false), ("recursive", true)] {
+        let plan = ProbePlan::new(&q, StreamId(1));
+        let mut v = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                v = (v + 1) % 64;
+                let t = Tuple::new(StreamId(1), VTime::ZERO, SeqNo(seq), vec![Value(v), Value((v * 7) % 64)]);
+                let n = if recursive {
+                    probe_each_recursive(&plan, &t, &stores, |m| {
+                        black_box(m.origin());
+                    })
+                } else {
+                    probe_each(&plan, &t, &stores, |m| {
+                        black_box(m.origin());
+                    })
+                };
+                black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Raw single-key probe: the open-addressed `FlatIndex` against the
+/// `HashMap<Value, Vec<Slot>>` it replaced, same contents.
+fn bench_flat_index(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut arena: Arena<u64> = Arena::new();
+    let mut flat = FlatIndex::new();
+    let mut legacy: HashMap<Value, Vec<Slot>> = HashMap::new();
+    for i in 0..4096u64 {
+        let key = rng.gen_range(0..512);
+        let slot = arena.insert(i);
+        flat.insert(key, slot);
+        legacy.entry(Value(key)).or_default().push(slot);
+    }
+    let mut group = c.benchmark_group("index_probe_4096");
+    let mut v = 0u64;
+    group.bench_function("flat", |b| {
+        b.iter(|| {
+            v = (v + 1) % 512;
+            black_box(flat.probe(black_box(v)).len())
+        })
+    });
+    group.bench_function("hashmap", |b| {
+        b.iter(|| {
+            v = (v + 1) % 512;
+            black_box(legacy.get(&Value(black_box(v))).map_or(0, Vec::len))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert_evict,
+    bench_probe,
+    bench_rebuild,
+    bench_queue,
+    bench_probe_kernel,
+    bench_flat_index
+);
 criterion_main!(benches);

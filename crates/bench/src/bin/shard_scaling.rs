@@ -8,9 +8,14 @@
 //! no cross-shard probes, so throughput should scale until routing skew or
 //! channel overhead dominates.
 //!
+//! Each shard count gets one untimed warmup pass (thread spin-up, page
+//! faults, allocator steady state), then fresh-engine passes over the same
+//! trace until at least `--min-secs` (default 1) of measured wall time
+//! accumulates, so a point is never a single sub-second sample.
+//!
 //! ```text
 //! cargo run --release -p mstream-bench --bin shard_scaling
-//! cargo run --release -p mstream-bench --bin shard_scaling -- --scale 0.2 --json out.json
+//! cargo run --release -p mstream-bench --bin shard_scaling -- --scale 0.2 --min-secs 2 --json out.json
 //! ```
 
 use mstream_bench::{args, paper, table, Args};
@@ -34,23 +39,16 @@ fn keyed_query(window_secs: u64) -> JoinQuery {
 fn main() {
     let args = Args::from_env();
     let scale = args.scale_or(1.0);
+    let min_secs: f64 = args
+        .flag_value("--min-secs")
+        .map(|v| v.parse().expect("--min-secs takes a number"))
+        .unwrap_or(1.0);
     let query = keyed_query(paper::scaled_window(scale));
     let trace = paper::paper_regions(paper::Z_INTRA_RANGES[1], scale, args.seed).generate();
     let capacity = paper::memory_tuples(25, scale);
     let rate = 1000.0;
 
-    let header = vec![
-        "shards".to_string(),
-        "time (s)".to_string(),
-        "output".to_string(),
-        "tuples/s".to_string(),
-        "speedup".to_string(),
-    ];
-    let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
-    let mut base_secs = 0.0f64;
-    let mut times = Vec::new();
-    for shards in [1usize, 2, 4, 8] {
+    let run_pass = |shards: usize| {
         let engine = EngineBuilder::new(query.clone())
             .policy(MSketch)
             .capacity_per_window(capacity)
@@ -66,7 +64,45 @@ fn main() {
             .expect("valid engine");
         let report = engine.run_trace(&trace, rate).expect("workers exit cleanly");
         assert_eq!(report.combined.shards, shards, "query must partition");
-        let secs = report.combined.wall_time.as_secs_f64();
+        report
+    };
+
+    let header = vec![
+        "shards".to_string(),
+        "time (s)".to_string(),
+        "passes".to_string(),
+        "output".to_string(),
+        "tuples/s".to_string(),
+        "speedup".to_string(),
+    ];
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut base_secs = 0.0f64;
+    let mut times = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        // Untimed warmup: thread spin-up, page faults, allocator warm.
+        let warm = run_pass(shards);
+        // Timed passes until the point has accumulated `min_secs` of wall
+        // time; each pass is a fresh engine over the same trace.
+        let mut total_secs = 0.0f64;
+        let mut passes = 0u32;
+        let mut output = 0u64;
+        let mut processed = 0u64;
+        let mut shed_window = 0u64;
+        while total_secs < min_secs {
+            let report = run_pass(shards);
+            assert_eq!(
+                report.combined.total_output(),
+                warm.combined.total_output(),
+                "passes must be deterministic"
+            );
+            total_secs += report.combined.wall_time.as_secs_f64();
+            output = report.combined.total_output();
+            processed = report.combined.metrics.processed;
+            shed_window = report.combined.metrics.shed_window;
+            passes += 1;
+        }
+        let secs = total_secs / passes as f64;
         if shards == 1 {
             base_secs = secs;
         }
@@ -74,16 +110,20 @@ fn main() {
         rows.push(vec![
             shards.to_string(),
             format!("{secs:.3}"),
-            report.combined.total_output().to_string(),
-            table::fmt_num(report.combined.metrics.processed as f64 / secs),
+            passes.to_string(),
+            output.to_string(),
+            table::fmt_num(processed as f64 / secs),
             format!("{:.2}x", base_secs / secs),
         ]);
         json_rows.push(serde_json::json!({
             "shards": shards,
             "seconds": secs,
-            "output": report.combined.total_output(),
-            "processed": report.combined.metrics.processed,
-            "shed_window": report.combined.metrics.shed_window,
+            "passes": passes,
+            "measured_seconds": total_secs,
+            "arrivals": trace.len(),
+            "output": output,
+            "processed": processed,
+            "shed_window": shed_window,
             "speedup": base_secs / secs,
         }));
     }

@@ -9,7 +9,6 @@ use mstream_types::{Error, JoinQuery, Result, SeqNo, StreamId, Tuple, VTime, Val
 use mstream_window::{QueueVictim, Slot, WindowStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// How window memory is allocated across streams.
@@ -73,8 +72,37 @@ pub struct ShedJoinEngine {
     rng: StdRng,
     next_seq: SeqNo,
     metrics: EngineMetrics,
-    /// Scratch map reused across arrivals for per-slot produced counting.
-    slot_counts: HashMap<(usize, Slot), u64>,
+    /// Per-stream scratch reused across arrivals for per-slot produced
+    /// counting (coalesced heap rescoring).
+    produced_scratch: Vec<ProducedScratch>,
+}
+
+/// A sparse per-stream accumulator for produced-output deltas gathered
+/// during a probe and applied as **one** coalesced heap update per touched
+/// slot per arrival. `delta` is indexed by the dense arena slot index and
+/// is all-zeros between arrivals; `touched` records each nonzero slot
+/// exactly once, in first-match order. Replaces a `HashMap<(stream, Slot),
+/// u64>` scratch: no SipHash in the match callback and no `drain().collect()`
+/// allocation per arrival. Safe because window stores are not mutated while
+/// a probe runs, so a dense index maps to at most one live slot.
+#[derive(Default)]
+struct ProducedScratch {
+    delta: Vec<u64>,
+    touched: Vec<Slot>,
+}
+
+impl ProducedScratch {
+    #[inline]
+    fn add(&mut self, slot: Slot, n: u64) {
+        let i = slot.index();
+        if i >= self.delta.len() {
+            self.delta.resize(i + 1, 0);
+        }
+        if self.delta[i] == 0 {
+            self.touched.push(slot);
+        }
+        self.delta[i] += n;
+    }
 }
 
 impl ShedJoinEngine {
@@ -119,7 +147,7 @@ impl ShedJoinEngine {
             rng: StdRng::seed_from_u64(config.seed),
             next_seq: SeqNo(0),
             metrics: EngineMetrics::default(),
-            slot_counts: HashMap::new(),
+            produced_scratch: (0..n).map(|_| ProducedScratch::default()).collect(),
         })
     }
 
@@ -264,16 +292,14 @@ impl ShedJoinEngine {
         self.expire_all(now);
         // 3. Emit the join results produced by this tuple.
         let track = self.reqs.produced_counters;
-        let n = self.query.n_streams();
         let origin = stream.index();
-        self.slot_counts.clear();
-        let slot_counts = &mut self.slot_counts;
+        let scratch = &mut self.produced_scratch;
         let produced = probe_each(&self.plans[origin], &tuple, &self.stores, |b| {
             if track {
-                for k in 0..n {
+                for (k, s) in scratch.iter_mut().enumerate() {
                     if k != origin {
                         let slot = b.slot(StreamId(k)).expect("bound in match");
-                        *slot_counts.entry((k, slot)).or_insert(0) += 1;
+                        s.add(slot, 1);
                     }
                 }
             }
@@ -282,20 +308,27 @@ impl ShedJoinEngine {
         self.metrics.total_output += produced;
         self.metrics.processed += 1;
         // 4. Credit output to the participating window tuples and refresh
-        //    their priorities (the RS measure depends on produced counts).
-        //    Refreshes use the per-tuple state cached at the last full
-        //    scoring, keeping the paper's "productivity computed at most
-        //    twice per lifetime" discipline (and its cost profile).
+        //    their priorities (the RS measure depends on produced counts):
+        //    one coalesced heap update per touched slot, regardless of how
+        //    many matches it participated in. Refreshes use the per-tuple
+        //    state cached at the last full scoring, keeping the paper's
+        //    "productivity computed at most twice per lifetime" discipline
+        //    (and its cost profile). Heap updates commute — (score, seq-tie)
+        //    is a total order — so first-match application order yields the
+        //    same observable results as any other.
         if track && produced > 0 {
-            let updates: Vec<((usize, Slot), u64)> =
-                self.slot_counts.drain().collect();
-            for ((k, slot), cnt) in updates {
-                let Some(total) = self.stores[k].add_produced(slot, cnt) else {
-                    continue;
-                };
-                let state = self.stores[k].state(slot).expect("counted slot is live");
-                let score = clamp_score(self.policy.refresh_priority(state, total));
-                self.stores[k].update_priority(slot, score);
+            for k in 0..self.produced_scratch.len() {
+                let mut touched = std::mem::take(&mut self.produced_scratch[k].touched);
+                for slot in touched.drain(..) {
+                    let cnt = std::mem::take(&mut self.produced_scratch[k].delta[slot.index()]);
+                    let Some(total) = self.stores[k].add_produced(slot, cnt) else {
+                        continue;
+                    };
+                    let state = self.stores[k].state(slot).expect("counted slot is live");
+                    let score = clamp_score(self.policy.refresh_priority(state, total));
+                    self.stores[k].update_priority(slot, score);
+                }
+                self.produced_scratch[k].touched = touched;
             }
         }
         // 5. Score and store the arriving tuple, shedding if full.

@@ -43,4 +43,6 @@ pub mod probe;
 
 pub use exact::ExactJoin;
 pub use plan::{PlanStep, ProbePlan};
+#[doc(hidden)]
+pub use probe::probe_each_recursive;
 pub use probe::{probe_count, probe_each, Bindings};

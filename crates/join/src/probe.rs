@@ -1,6 +1,18 @@
 //! N-way probe execution against window stores.
+//!
+//! The probe kernel is iterative (an explicit frame stack instead of
+//! recursion) and hoists everything loop-invariant out of the candidate
+//! loops: each step's drive value and its residual-predicate left-hand
+//! values are computed once per frame, not re-derived through a
+//! `bound_value` call per candidate, and a candidate tuple is dereferenced
+//! only when the step actually has residual checks. The 2- and 3-stream
+//! shapes the benchmarks exercise get specialized fast paths (single-step,
+//! two-step star, two-step chain); plans with residual predicates or more
+//! steps run the general kernel. All variants enumerate matches in exactly
+//! the order of the original recursive kernel ([`probe_each_recursive`],
+//! kept for differential tests), so results are bit-identical.
 
-use crate::plan::ProbePlan;
+use crate::plan::{PlanStep, ProbePlan};
 use mstream_types::{StreamId, Tuple, Value};
 use mstream_window::{Slot, WindowStore};
 
@@ -84,6 +96,304 @@ pub fn probe_each<F: FnMut(&Bindings<'_>)>(
     mut on_match: F,
 ) -> u64 {
     debug_assert_eq!(plan.origin(), origin_tuple.stream);
+    let steps = plan.steps();
+    let origin = plan.origin();
+    let mut slots: Vec<Option<Slot>> = vec![None; stores.len()];
+    match steps {
+        [] => {
+            on_match(&Bindings {
+                origin,
+                origin_tuple,
+                slots: &slots,
+                stores,
+            });
+            1
+        }
+        [step] => probe_1(step, origin, origin_tuple, stores, &mut slots, &mut on_match),
+        [s0, s1] if s0.residual.is_empty() && s1.residual.is_empty() => {
+            probe_2(s0, s1, origin, origin_tuple, stores, &mut slots, &mut on_match)
+        }
+        _ => probe_n(steps, origin, origin_tuple, stores, &mut slots, &mut on_match),
+    }
+}
+
+/// Counts join combinations without inspecting them.
+pub fn probe_count(plan: &ProbePlan, origin_tuple: &Tuple, stores: &[WindowStore]) -> u64 {
+    probe_each(plan, origin_tuple, stores, |_| {})
+}
+
+/// Single probe step (2-stream query). The drive value comes straight off
+/// the arriving tuple; candidates need dereferencing only when residual
+/// predicates exist (and their left-hand values are hoisted — at step 0
+/// only the origin is bound).
+fn probe_1<F: FnMut(&Bindings<'_>)>(
+    step: &PlanStep,
+    origin: StreamId,
+    origin_tuple: &Tuple,
+    stores: &[WindowStore],
+    slots: &mut [Option<Slot>],
+    on_match: &mut F,
+) -> u64 {
+    debug_assert_eq!(step.drive_stream, origin, "step 0 is driven by the origin");
+    let store = &stores[step.stream.index()];
+    let cands = store.probe(step.probe_attr, origin_tuple.values[step.drive_attr]);
+    let si = step.stream.index();
+    let mut count = 0u64;
+    if step.residual.is_empty() {
+        let (head, tail) = cands.parts();
+        for part in [head, tail] {
+            for &slot in part {
+                slots[si] = Some(slot);
+                count += 1;
+                on_match(&Bindings {
+                    origin,
+                    origin_tuple,
+                    slots,
+                    stores,
+                });
+            }
+        }
+    } else {
+        // Residual left-hand sides are all origin attributes here: hoist.
+        let res: Vec<(Value, usize)> = step
+            .residual
+            .iter()
+            .map(|&(bs, ba, ca)| {
+                debug_assert_eq!(bs, origin);
+                (origin_tuple.values[ba], ca)
+            })
+            .collect();
+        for slot in cands.iter() {
+            let t = store.tuple(slot).expect("probed slot is live");
+            if res.iter().all(|&(v, ca)| t.values[ca] == v) {
+                slots[si] = Some(slot);
+                count += 1;
+                on_match(&Bindings {
+                    origin,
+                    origin_tuple,
+                    slots,
+                    stores,
+                });
+            }
+        }
+    }
+    slots[si] = None;
+    count
+}
+
+/// Two residual-free probe steps (3-stream acyclic query). Star shapes
+/// (both steps driven by the origin) hoist the second candidate list out of
+/// the outer loop entirely; chain shapes dereference the outer candidate
+/// once for its drive value and never touch the inner candidates' tuples.
+fn probe_2<F: FnMut(&Bindings<'_>)>(
+    s0: &PlanStep,
+    s1: &PlanStep,
+    origin: StreamId,
+    origin_tuple: &Tuple,
+    stores: &[WindowStore],
+    slots: &mut [Option<Slot>],
+    on_match: &mut F,
+) -> u64 {
+    debug_assert_eq!(s0.drive_stream, origin, "step 0 is driven by the origin");
+    let store0 = &stores[s0.stream.index()];
+    let store1 = &stores[s1.stream.index()];
+    let c0 = store0.probe(s0.probe_attr, origin_tuple.values[s0.drive_attr]);
+    let (i0, i1) = (s0.stream.index(), s1.stream.index());
+    let mut count = 0u64;
+    if s1.drive_stream == origin {
+        // Star: the inner candidate list does not depend on the outer slot.
+        let c1 = store1.probe(s1.probe_attr, origin_tuple.values[s1.drive_attr]);
+        if !c1.is_empty() {
+            for slot0 in c0.iter() {
+                slots[i0] = Some(slot0);
+                for slot1 in c1.iter() {
+                    slots[i1] = Some(slot1);
+                    count += 1;
+                    on_match(&Bindings {
+                        origin,
+                        origin_tuple,
+                        slots,
+                        stores,
+                    });
+                }
+            }
+        }
+    } else {
+        // Chain: the inner probe is keyed by the outer candidate's tuple.
+        debug_assert_eq!(s1.drive_stream, s0.stream, "drive stream bound at step 0");
+        for slot0 in c0.iter() {
+            let t0 = store0.tuple(slot0).expect("probed slot is live");
+            let c1 = store1.probe(s1.probe_attr, t0.values[s1.drive_attr]);
+            if c1.is_empty() {
+                continue;
+            }
+            slots[i0] = Some(slot0);
+            for slot1 in c1.iter() {
+                slots[i1] = Some(slot1);
+                count += 1;
+                on_match(&Bindings {
+                    origin,
+                    origin_tuple,
+                    slots,
+                    stores,
+                });
+            }
+        }
+    }
+    slots[i0] = None;
+    slots[i1] = None;
+    count
+}
+
+/// One suspended enumeration level of the general kernel: a step's
+/// candidate list (inline head + spill tail), the resume cursor, and where
+/// this step's hoisted residual values start in the shared scratch.
+struct Frame<'a> {
+    head: &'a [Slot],
+    tail: &'a [Slot],
+    cursor: usize,
+    res_base: usize,
+}
+
+impl<'a> Frame<'a> {
+    #[inline]
+    fn next(&mut self) -> Option<Slot> {
+        let c = self.cursor;
+        self.cursor += 1;
+        if c < self.head.len() {
+            Some(self.head[c])
+        } else {
+            self.tail.get(c - self.head.len()).copied()
+        }
+    }
+}
+
+/// The general iterative kernel: an explicit depth-first frame stack over
+/// the plan's steps. Entering a frame computes the step's drive value and
+/// hoists its residual left-hand values once; the candidate loop then only
+/// dereferences tuples for steps that actually carry residual checks.
+fn probe_n<F: FnMut(&Bindings<'_>)>(
+    steps: &[PlanStep],
+    origin: StreamId,
+    origin_tuple: &Tuple,
+    stores: &[WindowStore],
+    slots: &mut [Option<Slot>],
+    on_match: &mut F,
+) -> u64 {
+    let mut count = 0u64;
+    let mut frames: Vec<Frame<'_>> = Vec::with_capacity(steps.len());
+    // Hoisted residual `(left-hand value, candidate attr)` pairs for all
+    // active frames; `res_base` marks each frame's span.
+    let mut res: Vec<(Value, usize)> = Vec::new();
+    let enter = |step: &PlanStep,
+                 slots: &[Option<Slot>],
+                 res: &mut Vec<(Value, usize)>|
+     -> Frame<'_> {
+        let drive = bound_value(
+            origin,
+            origin_tuple,
+            stores,
+            slots,
+            step.drive_stream,
+            step.drive_attr,
+        );
+        let res_base = res.len();
+        for &(bs, ba, ca) in &step.residual {
+            res.push((
+                bound_value(origin, origin_tuple, stores, slots, bs, ba),
+                ca,
+            ));
+        }
+        let (head, tail) = stores[step.stream.index()]
+            .probe(step.probe_attr, drive)
+            .parts();
+        Frame {
+            head,
+            tail,
+            cursor: 0,
+            res_base,
+        }
+    };
+    frames.push(enter(&steps[0], slots, &mut res));
+    while let Some(depth) = frames.len().checked_sub(1) {
+        let step = &steps[depth];
+        let store = &stores[step.stream.index()];
+        if depth + 1 == steps.len() {
+            // Innermost level: every surviving candidate is a match — drain
+            // the whole frame in one tight loop (last frames are always
+            // fresh, so the cursor is at 0) instead of a stack round-trip
+            // per match.
+            let f = frames.last().expect("frame at current depth");
+            let rvals = &res[f.res_base..];
+            let si = step.stream.index();
+            for part in [f.head, f.tail] {
+                for &slot in part {
+                    if !rvals.is_empty() {
+                        let t = store.tuple(slot).expect("probed slot is live");
+                        if !rvals.iter().all(|&(v, ca)| t.values[ca] == v) {
+                            continue;
+                        }
+                    }
+                    slots[si] = Some(slot);
+                    count += 1;
+                    on_match(&Bindings {
+                        origin,
+                        origin_tuple,
+                        slots,
+                        stores,
+                    });
+                }
+            }
+            slots[si] = None;
+            let f = frames.pop().expect("frame at current depth");
+            res.truncate(f.res_base);
+            continue;
+        }
+        let chosen = {
+            let f = frames.last_mut().expect("frame at current depth");
+            let rvals = &res[f.res_base..];
+            let mut chosen = None;
+            while let Some(slot) = f.next() {
+                if rvals.is_empty() {
+                    chosen = Some(slot);
+                    break;
+                }
+                let t = store.tuple(slot).expect("probed slot is live");
+                if rvals.iter().all(|&(v, ca)| t.values[ca] == v) {
+                    chosen = Some(slot);
+                    break;
+                }
+            }
+            chosen
+        };
+        match chosen {
+            Some(slot) => {
+                slots[step.stream.index()] = Some(slot);
+                let f = enter(&steps[depth + 1], slots, &mut res);
+                frames.push(f);
+            }
+            None => {
+                slots[step.stream.index()] = None;
+                let f = frames.pop().expect("frame at current depth");
+                res.truncate(f.res_base);
+            }
+        }
+    }
+    count
+}
+
+/// The original recursive probe kernel, retained verbatim as a differential
+/// reference: the iterative kernel must visit the exact same matches in the
+/// exact same order (`tests/probe_equivalence.rs`, probe microbenches).
+/// Not part of the public API.
+#[doc(hidden)]
+pub fn probe_each_recursive<F: FnMut(&Bindings<'_>)>(
+    plan: &ProbePlan,
+    origin_tuple: &Tuple,
+    stores: &[WindowStore],
+    mut on_match: F,
+) -> u64 {
+    debug_assert_eq!(plan.origin(), origin_tuple.stream);
     let mut slots: Vec<Option<Slot>> = vec![None; stores.len()];
     let mut count = 0u64;
     recurse(
@@ -96,11 +406,6 @@ pub fn probe_each<F: FnMut(&Bindings<'_>)>(
         &mut on_match,
     );
     count
-}
-
-/// Counts join combinations without inspecting them.
-pub fn probe_count(plan: &ProbePlan, origin_tuple: &Tuple, stores: &[WindowStore]) -> u64 {
-    probe_each(plan, origin_tuple, stores, |_| {})
 }
 
 fn recurse<F: FnMut(&Bindings<'_>)>(
@@ -133,11 +438,8 @@ fn recurse<F: FnMut(&Bindings<'_>)>(
         step.drive_attr,
     );
     let store = &stores[step.stream.index()];
-    // probe() borrows the store only immutably, and the recursion never
-    // mutates the stores, so the candidate slice can be iterated in place —
-    // no per-branch allocation in the enumeration hot loop.
     let candidates = store.probe(step.probe_attr, drive_value);
-    for &slot in candidates {
+    for slot in candidates.iter() {
         let tuple = store.tuple(slot).expect("probed slot is live");
         let residual_ok = step.residual.iter().all(|&(bs, ba, ca)| {
             bound_value(plan.origin(), origin_tuple, stores, slots, bs, ba) == tuple.values[ca]
@@ -339,6 +641,35 @@ mod tests {
                 }
             }
             assert_eq!(got, expect, "origin {s}");
+        }
+    }
+
+    #[test]
+    fn iterative_matches_recursive_order() {
+        // The three dispatch shapes (chain-from-end = probe_2 chain,
+        // middle-origin = probe_2 star, triangle = probe_n with residuals)
+        // must all enumerate matches in the recursive kernel's order.
+        let q = chain3();
+        let mut stores = stores_for(&q);
+        let mut seq = 0;
+        for (s, store) in stores.iter_mut().enumerate() {
+            for i in 0..15u64 {
+                store.insert(tup(s, seq, (i * 5 + s as u64) % 4, (i * 3) % 4), 0.0);
+                seq += 1;
+            }
+        }
+        for plan in ProbePlan::all(&q) {
+            let t = tup(plan.origin().index(), 999, 2, 3);
+            let mut got = Vec::new();
+            let n1 = probe_each(&plan, &t, &stores, |b| {
+                got.push((0..3).map(|k| b.seq(StreamId(k))).collect::<Vec<_>>());
+            });
+            let mut want = Vec::new();
+            let n2 = probe_each_recursive(&plan, &t, &stores, |b| {
+                want.push((0..3).map(|k| b.seq(StreamId(k))).collect::<Vec<_>>());
+            });
+            assert_eq!(n1, n2);
+            assert_eq!(got, want, "match order diverged (origin {:?})", plan.origin());
         }
     }
 }

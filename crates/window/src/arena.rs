@@ -13,6 +13,14 @@ pub struct Slot {
 }
 
 impl Slot {
+    /// A sentinel that never refers to a live arena entry (the arena
+    /// refuses to grow past `u32::MAX` slots). Used by the flat join index
+    /// to fill unoccupied inline bucket cells; never handed out.
+    pub(crate) const DANGLING: Slot = Slot {
+        index: u32::MAX,
+        generation: u32::MAX,
+    };
+
     /// The raw slot index (dense, reusable; pair with generation to detect
     /// stale handles).
     #[inline]
@@ -92,7 +100,10 @@ impl<T> Arena<T> {
                 }
             }
             None => {
-                let idx = u32::try_from(self.entries.len()).expect("arena exceeds u32 slots");
+                let idx = u32::try_from(self.entries.len())
+                    .ok()
+                    .filter(|&i| i < u32::MAX)
+                    .expect("arena exceeds u32 slots");
                 self.entries.push(Entry::Occupied {
                     generation: 0,
                     value,

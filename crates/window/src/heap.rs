@@ -7,7 +7,6 @@
 //! O(log n).
 
 use crate::arena::Slot;
-use std::collections::HashMap;
 
 /// Heap priority: an `f64` score with a `u64` tiebreaker.
 ///
@@ -38,18 +37,46 @@ impl Prio {
 }
 
 /// A min-heap of `(Slot, priority)` with O(log n) arbitrary removal.
+///
+/// The slot→position map is a flat array indexed by the slot's dense arena
+/// index (`positions[i]` = heap position + 1, 0 = absent) rather than a
+/// `HashMap<Slot, usize>`: every sift step updates positions, so keeping
+/// the map hash-free takes SipHash out of the insert/evict/rescore hot
+/// path entirely. Stale handles are detected by comparing the stored slot
+/// (index *and* generation) at the recorded position; at most one
+/// generation of an arena index can be resident, which the arena-backed
+/// users (window stores, shed queues) guarantee structurally.
 #[derive(Default)]
 pub struct IndexedHeap {
     /// Heap-ordered array of (slot, priority).
     heap: Vec<(Slot, Prio)>,
-    /// slot -> current index in `heap`.
-    positions: HashMap<Slot, usize>,
+    /// `positions[slot.index()]` = position in `heap` + 1, or 0 if the
+    /// index is not resident.
+    positions: Vec<u32>,
 }
 
 impl IndexedHeap {
     /// An empty heap.
     pub fn new() -> Self {
         IndexedHeap::default()
+    }
+
+    /// The heap position of `slot`, generation-checked: a stale handle
+    /// whose arena index was reused maps to a cell holding the *new*
+    /// slot, which the comparison rejects.
+    #[inline]
+    fn position(&self, slot: Slot) -> Option<usize> {
+        let p = *self.positions.get(slot.index())?;
+        if p == 0 {
+            return None;
+        }
+        let pos = (p - 1) as usize;
+        (self.heap[pos].0 == slot).then_some(pos)
+    }
+
+    #[inline]
+    fn set_position(&mut self, slot: Slot, pos: usize) {
+        self.positions[slot.index()] = pos as u32 + 1;
     }
 
     /// Number of entries.
@@ -69,14 +96,15 @@ impl IndexedHeap {
     /// # Panics
     /// Panics if `slot` is already present or `score` is not finite.
     pub fn insert(&mut self, slot: Slot, score: f64, tie: u64) {
-        assert!(
-            !self.positions.contains_key(&slot),
-            "slot already in heap: {slot:?}"
-        );
+        let i = slot.index();
+        if i >= self.positions.len() {
+            self.positions.resize(i + 1, 0);
+        }
+        assert!(self.positions[i] == 0, "slot already in heap: {slot:?}");
         let prio = Prio::new(score, tie);
         let idx = self.heap.len();
         self.heap.push((slot, prio));
-        self.positions.insert(slot, idx);
+        self.set_position(slot, idx);
         self.sift_up(idx);
     }
 
@@ -97,7 +125,7 @@ impl IndexedHeap {
 
     /// Removes `slot` wherever it is; returns its score if present.
     pub fn remove(&mut self, slot: Slot) -> Option<f64> {
-        let idx = self.positions.get(&slot).copied()?;
+        let idx = self.position(slot)?;
         let score = self.heap[idx].1.score;
         self.remove_at(idx);
         Some(score)
@@ -105,7 +133,7 @@ impl IndexedHeap {
 
     /// Changes the score of `slot` (tiebreaker preserved); true if present.
     pub fn update(&mut self, slot: Slot, score: f64) -> bool {
-        let Some(&idx) = self.positions.get(&slot) else {
+        let Some(idx) = self.position(slot) else {
             return false;
         };
         let old = self.heap[idx].1;
@@ -121,20 +149,20 @@ impl IndexedHeap {
 
     /// Whether `slot` is in the heap.
     pub fn contains(&self, slot: Slot) -> bool {
-        self.positions.contains_key(&slot)
+        self.position(slot).is_some()
     }
 
     /// The score of `slot`, if present.
     pub fn score(&self, slot: Slot) -> Option<f64> {
-        self.positions
-            .get(&slot)
-            .map(|&idx| self.heap[idx].1.score)
+        self.position(slot).map(|idx| self.heap[idx].1.score)
     }
 
     /// Removes every entry.
     pub fn clear(&mut self) {
+        for i in 0..self.heap.len() {
+            self.positions[self.heap[i].0.index()] = 0;
+        }
         self.heap.clear();
-        self.positions.clear();
     }
 
     /// Iterates over all `(slot, score)` pairs in unspecified order.
@@ -147,10 +175,10 @@ impl IndexedHeap {
         let (removed_slot, _) = self.heap[idx];
         self.heap.swap(idx, last);
         self.heap.pop();
-        self.positions.remove(&removed_slot);
+        self.positions[removed_slot.index()] = 0;
         if idx <= last && idx < self.heap.len() {
             let moved = self.heap[idx].0;
-            self.positions.insert(moved, idx);
+            self.set_position(moved, idx);
             self.sift_down(idx);
             self.sift_up(idx);
         }
@@ -189,8 +217,8 @@ impl IndexedHeap {
 
     fn swap_entries(&mut self, a: usize, b: usize) {
         self.heap.swap(a, b);
-        self.positions.insert(self.heap[a].0, a);
-        self.positions.insert(self.heap[b].0, b);
+        self.set_position(self.heap[a].0, a);
+        self.set_position(self.heap[b].0, b);
     }
 
     /// Structural invariant check: heap order + position-map bijection.
@@ -204,13 +232,18 @@ impl IndexedHeap {
     /// duplicated entries).
     #[cfg(any(test, feature = "audit"))]
     pub fn check_invariants(&self) {
+        let resident = self.positions.iter().filter(|&&p| p != 0).count();
         assert_eq!(
             self.heap.len(),
-            self.positions.len(),
+            resident,
             "heap/position-map size mismatch"
         );
         for (i, &(slot, ref prio)) in self.heap.iter().enumerate() {
-            assert_eq!(self.positions[&slot], i, "position map stale for {slot:?}");
+            assert_eq!(
+                self.position(slot),
+                Some(i),
+                "position map stale for {slot:?}"
+            );
             if i > 0 {
                 let parent = &self.heap[(i - 1) / 2].1;
                 assert!(!prio.less(parent), "heap order violated at {i}");

@@ -2,26 +2,22 @@
 
 use crate::arena::{Arena, Slot};
 use crate::heap::IndexedHeap;
+use crate::index::{Candidates, FlatIndex};
 use mstream_types::{SeqNo, Tuple, VTime, Value, WindowSpec};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-/// One resident window tuple plus its index bookkeeping.
+/// One resident window tuple plus the bookkeeping that must travel with it.
+///
+/// Everything per-slot that the hot paths touch *without* the tuple —
+/// index positions, produced counters, cached policy state — lives in flat
+/// parallel arrays on [`WindowStore`] instead (struct-of-arrays), so the
+/// entry itself adds no heap allocation beyond the tuple's own values and
+/// probe/eviction loops never drag the full entry into cache.
 struct Entry {
     tuple: Tuple,
     /// This stream's arrival counter value when the tuple entered
     /// (drives tuple-based expiration).
     arrival_idx: u64,
-    /// `index_pos[a]` = position of this slot inside the bucket of indexed
-    /// attribute `a` (parallel to `WindowStore::join_attrs`), for O(1)
-    /// swap-removal.
-    index_pos: Vec<u32>,
-    /// Join-output tuples attributed to this tuple so far (used by the
-    /// random-sampling priority measure).
-    produced: u64,
-    /// Opaque per-tuple policy state (e.g. the cached expected-output
-    /// denominator of the random-sampling measure), refreshed whenever the
-    /// priority is recomputed from scratch.
-    state: f64,
 }
 
 /// What happened when a tuple was offered to a full window.
@@ -56,6 +52,11 @@ pub struct InsertOutcome {
 /// random draw for `Random`, and the arrival sequence number for `FIFO`
 /// (drop-oldest). The store itself is policy-agnostic: callers hand it a
 /// score per tuple and may rebuild all scores at tumbling-epoch rollovers.
+///
+/// Layout (see DESIGN.md §10): join indexes are open-addressed
+/// [`FlatIndex`] tables (no SipHash, no per-value `Vec`), and the per-slot
+/// sidecars `index_pos` / `produced` / `state` are flat arrays indexed by
+/// the slot's dense arena index.
 pub struct WindowStore {
     spec: WindowSpec,
     capacity: usize,
@@ -65,10 +66,21 @@ pub struct WindowStore {
     /// Arrival-ordered queue of slots for expiration (lazily cleaned).
     expiry: VecDeque<Slot>,
     /// `indexes[a]` maps a value of `join_attrs[a]` to the slots holding it.
-    indexes: Vec<HashMap<Value, Vec<Slot>>>,
+    indexes: Vec<FlatIndex>,
     heap: IndexedHeap,
     /// Arrivals observed on this stream (count includes shed tuples).
     arrivals_seen: u64,
+    /// `index_pos[slot.index() * join_attrs.len() + a]` = position of the
+    /// slot inside its bucket of indexed attribute `a`, for O(1)
+    /// swap-removal. Valid only while the slot is live.
+    index_pos: Vec<u32>,
+    /// Join-output tuples attributed to each live slot so far (used by the
+    /// random-sampling priority measure). Indexed by `slot.index()`.
+    produced: Vec<u64>,
+    /// Opaque per-tuple policy state (e.g. the cached expected-output
+    /// denominator of the random-sampling measure), refreshed whenever the
+    /// priority is recomputed from scratch. Indexed by `slot.index()`.
+    state: Vec<f64>,
 }
 
 impl WindowStore {
@@ -89,9 +101,12 @@ impl WindowStore {
             join_attrs,
             arena: Arena::with_capacity(reserve),
             expiry: VecDeque::with_capacity(reserve),
-            indexes: vec![HashMap::new(); n_idx],
+            indexes: (0..n_idx).map(|_| FlatIndex::new()).collect(),
             heap: IndexedHeap::new(),
             arrivals_seen: 0,
+            index_pos: Vec::with_capacity(reserve * n_idx),
+            produced: Vec::with_capacity(reserve),
+            state: Vec::with_capacity(reserve),
         }
     }
 
@@ -190,20 +205,20 @@ impl WindowStore {
         let tie = tuple.seq.0;
         let arrival_idx = self.arrivals_seen;
         let n_idx = self.join_attrs.len();
-        let slot = self.arena.insert(Entry {
-            tuple,
-            arrival_idx,
-            index_pos: vec![0; n_idx],
-            produced: 0,
-            state,
-        });
+        let slot = self.arena.insert(Entry { tuple, arrival_idx });
+        let i = slot.index();
+        if i >= self.produced.len() {
+            self.produced.resize(i + 1, 0);
+            self.state.resize(i + 1, 0.0);
+            self.index_pos.resize((i + 1) * n_idx, 0);
+        }
+        self.produced[i] = 0;
+        self.state[i] = state;
+        let entry = self.arena.get(slot).expect("just inserted");
         for a in 0..n_idx {
-            let value = self.arena.get(slot).expect("just inserted").tuple.values
-                [self.join_attrs[a]];
-            let bucket = self.indexes[a].entry(value).or_default();
-            let pos = bucket.len() as u32;
-            bucket.push(slot);
-            self.arena.get_mut(slot).expect("just inserted").index_pos[a] = pos;
+            let value = entry.tuple.values[self.join_attrs[a]];
+            let pos = self.indexes[a].insert(value.0, slot);
+            self.index_pos[i * n_idx + a] = pos;
         }
         self.expiry.push_back(slot);
         self.heap.insert(slot, score, tie);
@@ -213,20 +228,13 @@ impl WindowStore {
     /// Fully removes `slot` from arena, indexes and heap.
     fn remove_slot(&mut self, slot: Slot) -> Option<Tuple> {
         let entry = self.arena.remove(slot)?;
+        let i = slot.index();
+        let n_idx = self.join_attrs.len();
         for (a, &attr) in self.join_attrs.iter().enumerate() {
             let value = entry.tuple.values[attr];
-            let pos = entry.index_pos[a] as usize;
-            let bucket = self.indexes[a].get_mut(&value).expect("indexed value");
-            debug_assert_eq!(bucket[pos], slot);
-            bucket.swap_remove(pos);
-            if let Some(&moved) = bucket.get(pos) {
-                self.arena
-                    .get_mut(moved)
-                    .expect("bucket entries are live")
-                    .index_pos[a] = pos as u32;
-            }
-            if bucket.is_empty() {
-                self.indexes[a].remove(&value);
+            let pos = self.index_pos[i * n_idx + a];
+            if let Some(moved) = self.indexes[a].remove(value.0, pos, slot) {
+                self.index_pos[moved.index() * n_idx + a] = pos;
             }
         }
         self.heap.remove(slot);
@@ -246,20 +254,17 @@ impl WindowStore {
         self.heap.peek_min()
     }
 
-    /// Slots holding `value` on schema attribute `attr`.
+    /// Slots holding `value` on schema attribute `attr`, in bucket order.
     ///
     /// # Panics
     /// Panics if `attr` is not one of the indexed join attributes.
-    pub fn probe(&self, attr: usize, value: Value) -> &[Slot] {
+    pub fn probe(&self, attr: usize, value: Value) -> Candidates<'_> {
         let a = self
             .join_attrs
             .iter()
             .position(|&ja| ja == attr)
             .unwrap_or_else(|| panic!("attribute {attr} is not indexed"));
-        self.indexes[a]
-            .get(&value)
-            .map(|b| b.as_slice())
-            .unwrap_or(&[])
+        self.indexes[a].probe(value.0)
     }
 
     /// The tuple at `slot`, if live.
@@ -271,19 +276,22 @@ impl WindowStore {
     /// random-sampling priority). Returns the new total, or `None` if the
     /// slot is stale.
     pub fn add_produced(&mut self, slot: Slot, n: u64) -> Option<u64> {
-        let entry = self.arena.get_mut(slot)?;
-        entry.produced += n;
-        Some(entry.produced)
+        if !self.arena.contains(slot) {
+            return None;
+        }
+        let p = &mut self.produced[slot.index()];
+        *p += n;
+        Some(*p)
     }
 
     /// The produced-output counter of `slot`.
     pub fn produced(&self, slot: Slot) -> Option<u64> {
-        self.arena.get(slot).map(|e| e.produced)
+        self.arena.contains(slot).then(|| self.produced[slot.index()])
     }
 
     /// The cached policy state of `slot`.
     pub fn state(&self, slot: Slot) -> Option<f64> {
-        self.arena.get(slot).map(|e| e.state)
+        self.arena.contains(slot).then(|| self.state[slot.index()])
     }
 
     /// Updates the priority of a resident tuple; `false` if the slot is
@@ -301,20 +309,12 @@ impl WindowStore {
     /// "reset all the priority queues"). The callback sees the tuple and
     /// its produced-so-far counter and returns `(score, policy state)`.
     pub fn rebuild_priorities(&mut self, mut score: impl FnMut(&Tuple, u64) -> (f64, f64)) {
-        let updates: Vec<(Slot, f64, f64)> = self
-            .arena
-            .iter()
-            .map(|(slot, entry)| {
-                let (sc, st) = score(&entry.tuple, entry.produced);
-                (slot, sc, st)
-            })
-            .collect();
         self.heap.clear();
-        for (slot, sc, st) in updates {
-            let entry = self.arena.get_mut(slot).expect("live");
-            entry.state = st;
-            let tie = entry.tuple.seq.0;
-            self.heap.insert(slot, sc, tie);
+        for (slot, entry) in self.arena.iter() {
+            let i = slot.index();
+            let (sc, st) = score(&entry.tuple, self.produced[i]);
+            self.state[i] = st;
+            self.heap.insert(slot, sc, entry.tuple.seq.0);
         }
     }
 
@@ -333,26 +333,27 @@ impl WindowStore {
     #[doc(hidden)]
     pub fn check_consistency(&self) {
         assert_eq!(self.arena.len(), self.heap.len(), "arena vs heap size");
+        let n_idx = self.join_attrs.len();
         for (slot, entry) in self.arena.iter() {
             assert!(self.heap.contains(slot), "live slot missing from heap");
             for (a, &attr) in self.join_attrs.iter().enumerate() {
                 let value = entry.tuple.values[attr];
-                let bucket = self.indexes[a].get(&value).expect("bucket exists");
-                let pos = entry.index_pos[a] as usize;
-                assert_eq!(bucket[pos], slot, "index_pos desynchronized");
+                let pos = self.index_pos[slot.index() * n_idx + a] as usize;
+                let bucket = self.indexes[a].probe(value.0);
+                assert_eq!(bucket.get(pos), Some(slot), "index_pos desynchronized");
             }
         }
-        let indexed: usize = self.indexes.first().map_or(0, |idx| {
-            idx.values().map(|b| b.len()).sum()
-        });
         if !self.join_attrs.is_empty() {
+            let indexed = self.indexes[0].len();
             assert_eq!(indexed, self.arena.len(), "index vs arena size");
         }
     }
 
     /// Full structural audit: [`Self::check_consistency`] plus heap-order /
-    /// position-map invariants, the capacity bound, and agreement between
-    /// the lazily-cleaned expiry deque and the arena.
+    /// position-map invariants, the open-addressed indexes' internal
+    /// invariants *and* a cross-check of their contents against a reference
+    /// `HashMap` rebuilt from the arena, the capacity bound, and agreement
+    /// between the lazily-cleaned expiry deque and the arena.
     ///
     /// O(n log n); compiled only for tests and the `audit` feature, where
     /// the differential harness calls it after every arrival.
@@ -363,6 +364,7 @@ impl WindowStore {
     pub fn check_invariants(&self) {
         self.check_consistency();
         self.heap.check_invariants();
+        self.check_index_against_reference();
         assert!(
             self.arena.len() <= self.capacity,
             "window over capacity: {} > {}",
@@ -399,6 +401,38 @@ impl WindowStore {
             self.arena.len(),
             "live slot missing from expiry deque"
         );
+    }
+
+    /// Differential check of every open-addressed index against a reference
+    /// `HashMap<value, Vec<Slot>>` rebuilt from the arena: per-key slot
+    /// multisets must agree exactly and the index must hold no extra keys.
+    #[cfg(any(test, feature = "audit"))]
+    fn check_index_against_reference(&self) {
+        use std::collections::HashMap;
+        for (a, &attr) in self.join_attrs.iter().enumerate() {
+            self.indexes[a].check_invariants();
+            let mut reference: HashMap<u64, Vec<Slot>> = HashMap::new();
+            for (slot, entry) in self.arena.iter() {
+                reference
+                    .entry(entry.tuple.values[attr].0)
+                    .or_default()
+                    .push(slot);
+            }
+            assert_eq!(
+                self.indexes[a].n_keys(),
+                reference.len(),
+                "index {a}: distinct-key count diverges from reference"
+            );
+            for (key, want) in reference.iter_mut() {
+                let mut got: Vec<Slot> = self.indexes[a].probe(*key).iter().collect();
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(
+                    &got, want,
+                    "index {a} key {key}: slots diverge from reference"
+                );
+            }
+        }
     }
 }
 
@@ -516,7 +550,7 @@ mod tests {
         w.insert(tup(0, 0, 7, 1), 1.0);
         w.insert(tup(1, 0, 7, 2), 2.0); // evicts seq 0
         assert_eq!(w.probe(0, Value(7)).len(), 1);
-        let slot = w.probe(0, Value(7))[0];
+        let slot = w.probe(0, Value(7)).get(0).unwrap();
         assert_eq!(w.tuple(slot).unwrap().seq, SeqNo(1));
         w.check_consistency();
     }
@@ -531,6 +565,23 @@ mod tests {
         let (victim, _) = w.evict_min().unwrap();
         assert_eq!(victim.seq, SeqNo(0));
         assert_eq!(w.produced(slot), None, "stale after eviction");
+    }
+
+    #[test]
+    fn produced_counter_resets_on_slot_reuse() {
+        // A new tuple that recycles an evicted tuple's arena slot must not
+        // inherit its produced counter or policy state.
+        let mut w = time_store(1);
+        let s0 = w.insert_scored(tup(0, 0, 1, 1), 1.0, 9.0).slot.unwrap();
+        assert_eq!(w.add_produced(s0, 7), Some(7));
+        w.insert_scored(tup(1, 0, 2, 2), 2.0, 3.0); // evicts seq 0, freeing its slot
+        w.insert_scored(tup(2, 0, 3, 3), 3.0, 4.0); // evicts seq 1, recycles slot 0
+        let s2 = w.probe(0, Value(3)).get(0).unwrap();
+        assert_eq!(s2.index(), s0.index(), "arena slot recycled");
+        assert_eq!(w.produced(s2), Some(0));
+        assert_eq!(w.state(s2), Some(4.0));
+        assert_eq!(w.produced(s0), None, "stale handle still rejected");
+        w.check_invariants();
     }
 
     #[test]
@@ -603,7 +654,7 @@ mod tests {
                     }
                 }
                 prop_assert!(w.len() <= 8);
-                w.check_consistency();
+                w.check_invariants();
             }
         }
     }

@@ -1,0 +1,71 @@
+//! Differential test of the open-addressed [`FlatIndex`] against the data
+//! structure it replaced: `HashMap<u64, Vec<Slot>>` with append-insert and
+//! swap-remove buckets. Probe order must match the model **exactly** —
+//! that bit-identical bucket order is what keeps every engine result
+//! unchanged by the index rewrite (DESIGN.md §10).
+
+use mstream_window::{Arena, FlatIndex, Slot};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Drives the same operation sequence through the flat index and the
+/// legacy model, asserting positions, moved-slot reports and probe order
+/// agree after every step.
+fn run_ops(key_domain: u64, ops: Vec<(u8, u64, usize)>) {
+    let mut arena: Arena<u32> = Arena::new();
+    let mut idx = FlatIndex::new();
+    let mut model: HashMap<u64, Vec<Slot>> = HashMap::new();
+    let mut next = 0u32;
+    for (op, key, r) in ops {
+        let key = key % key_domain;
+        match op {
+            // Insert is weighted 2:1 so buckets grow deep enough to spill.
+            0 | 1 => {
+                let slot = arena.insert(next);
+                next += 1;
+                let pos = idx.insert(key, slot);
+                let bucket = model.entry(key).or_default();
+                prop_assert_eq!(pos as usize, bucket.len(), "append position");
+                bucket.push(slot);
+            }
+            _ => {
+                let Some(bucket) = model.get_mut(&key).filter(|b| !b.is_empty()) else {
+                    continue;
+                };
+                let pos = r % bucket.len();
+                let expected = bucket[pos];
+                let moved = idx.remove(key, pos as u32, expected);
+                bucket.swap_remove(pos);
+                let want_moved = bucket.get(pos).copied();
+                prop_assert_eq!(moved, want_moved, "swap-remove moved slot");
+                if bucket.is_empty() {
+                    model.remove(&key);
+                }
+                arena.remove(expected);
+            }
+        }
+        for k in 0..key_domain {
+            let got: Vec<Slot> = idx.probe(k).iter().collect();
+            let want = model.get(&k).cloned().unwrap_or_default();
+            prop_assert_eq!(got, want, "probe order diverged for key {}", k);
+        }
+    }
+    prop_assert_eq!(idx.len(), model.values().map(Vec::len).sum::<usize>());
+    prop_assert_eq!(idx.n_keys(), model.len());
+}
+
+proptest! {
+    /// Few keys, deep buckets: exercises inline→spill transitions, spill
+    /// growth/recycling and swap-remove across the inline/spill boundary.
+    #[test]
+    fn deep_buckets_match_model(ops in prop::collection::vec((0u8..3, 0u64..4, 0usize..64), 1..300)) {
+        run_ops(4, ops);
+    }
+
+    /// Many keys, shallow buckets: exercises table growth, tombstone churn
+    /// and key displacement under open addressing.
+    #[test]
+    fn many_keys_match_model(ops in prop::collection::vec((0u8..3, 0u64..64, 0usize..64), 1..300)) {
+        run_ops(64, ops);
+    }
+}

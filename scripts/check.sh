@@ -32,3 +32,11 @@ for S in 1 2 4; do
   [ "$TUPLES" = "$BASELINE" ] || { echo "FAIL: S=$S produced $TUPLES tuples, S=1 produced $BASELINE"; exit 1; }
   echo "shard smoke: S=$S -> $TUPLES output tuples (matches baseline)"
 done
+
+# Hot-path equivalence smoke: the open-addressed index vs the HashMap
+# model, and the iterative probe kernel vs the retained recursive one
+# (property tests), then a quick probe/eviction microbench pass whose
+# correctness assertions compare flat vs legacy-replica results.
+cargo test -q -p mstream-window --test index_equivalence
+cargo test -q -p mstream-join --test probe_equivalence
+cargo run --release -p mstream-bench --bin probe_micro -- --quick
