@@ -70,8 +70,18 @@ pub fn generate_case(seed: u64) -> Case {
         catalog.add_stream(StreamSchema::new(format!("R{}", k + 1), &["A1", "A2"]));
     }
 
+    // Every eighth seed pins the case class the sharded tick path depends
+    // on — an all-tuple-window, key-partitionable query — so every sweep
+    // is guaranteed real multi-shard runs with coalesced expiry ticks
+    // (otherwise keyed × all-tuples is a ~12% coincidence per case).
+    let pinned_tuple_shard = seed % 8 == 0;
+
     // Window flavour: all-time, all-tuple, or heterogeneous per stream.
-    let flavour = rng.gen_range(0..3u8);
+    let flavour = if pinned_tuple_shard {
+        1
+    } else {
+        rng.gen_range(0..3u8)
+    };
     let windows: Vec<WindowSpec> = (0..n)
         .map(|_| {
             let time = match flavour {
@@ -93,7 +103,7 @@ pub fn generate_case(seed: u64) -> Case {
     // are random on both sides, except that ~35% of cases pin every
     // predicate to attribute 0 — a guaranteed key-partitionable shape, so
     // the sharded differential regularly exercises real multi-shard runs.
-    let keyed = rng.gen_bool(0.35);
+    let keyed = pinned_tuple_shard || rng.gen_bool(0.35);
     let attr = |rng: &mut StdRng| if keyed { 0 } else { rng.gen_range(0..2usize) };
     let mut predicates = Vec::new();
     for k in 0..n - 1 {
@@ -159,5 +169,33 @@ pub fn generate_case(seed: u64) -> Case {
         reduced,
         shards: if rng.gen_bool(0.5) { 2 } else { 4 },
         arrivals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstream_types::Partitioning;
+
+    /// The pinned case class: every eighth seed must produce an
+    /// all-tuple-window, key-partitionable query, so sweeps always cover
+    /// the sharded coalesced-tick path with real multi-shard runs.
+    #[test]
+    fn every_eighth_seed_pins_sharded_tuple_windows() {
+        for seed in [0u64, 8, 16, 64, 800, 4096] {
+            let case = generate_case(seed);
+            assert!(
+                case.query
+                    .windows()
+                    .iter()
+                    .all(|w| matches!(w, WindowSpec::Tuples(_))),
+                "seed {seed}: pinned class must use tuple windows only"
+            );
+            assert!(
+                matches!(case.query.partitioning(), Partitioning::ByKey { .. }),
+                "seed {seed}: pinned class must partition by key"
+            );
+            assert!(case.shards >= 2, "pinned class runs multi-shard");
+        }
     }
 }

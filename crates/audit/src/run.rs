@@ -8,7 +8,7 @@ use mstream_core::EngineBuilder;
 use mstream_join::{Bindings, ExactJoin};
 use mstream_shed_policies::{parse_policy, ALL_POLICY_NAMES};
 use mstream_sketch::BankConfig;
-use mstream_types::{Partitioning, SeqNo, StreamId, Tuple, VTime, Value};
+use mstream_types::{Partitioning, Row, SeqNo, StreamId, Tuple, VTime, Value};
 use mstream_window::{QueueVictim, ShedQueue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -248,6 +248,7 @@ fn drive_sharded(
             batch_size: 3, // deliberately small: exercises mid-trace flushes
             backpressure: Backpressure::Block,
             collect_rows: true,
+            route_only: false,
         })
         .build_sharded()
         .map_err(|e| fail(format!("sharded construction failed: {e:?}"), FailureKind::InvariantPanic))?;
@@ -346,7 +347,7 @@ fn queue_audit(case: &Case, arrivals: &[Arrival]) -> Result<(), Failure> {
                 StreamId(a.stream),
                 VTime::from_micros(a.at_micros),
                 SeqNo(i as u64),
-                a.values.iter().map(|&v| Value(v)).collect(),
+                a.values.iter().map(|&v| Value(v)).collect::<Row>(),
             );
             let mode = match rng.gen_range(0..3u8) {
                 0 => QueueVictim::MinPriority,

@@ -3,7 +3,7 @@
 //!
 //! Not a figure from the paper — the ICDE'07 operator is single-threaded —
 //! but the measurement behind the sharded-execution design note in
-//! DESIGN.md: when every predicate rides one attribute class, hash
+//! DESIGN.md (§11): when every predicate rides one attribute class, hash
 //! partitioning splits both the work and the memory budget `S` ways with
 //! no cross-shard probes, so throughput should scale until routing skew or
 //! channel overhead dominates.
@@ -13,13 +13,54 @@
 //! trace until at least `--min-secs` (default 1) of measured wall time
 //! accumulates, so a point is never a single sub-second sample.
 //!
+//! Every pass also samples the process-wide allocation counter over the
+//! second half of the trace (after the batch-buffer pool has primed) and
+//! reports routing imbalance (max shard load over the mean). With
+//! `--route-only`, workers drain batches without joining, isolating the
+//! data-plane cost — mint + route + channel round-trip — where steady
+//! state must allocate **zero** times per arrival for inline arities.
+//!
 //! ```text
 //! cargo run --release -p mstream-bench --bin shard_scaling
+//! cargo run --release -p mstream-bench --bin shard_scaling -- --route-only
 //! cargo run --release -p mstream-bench --bin shard_scaling -- --scale 0.2 --min-secs 2 --json out.json
 //! ```
 
 use mstream_bench::{args, paper, table, Args};
 use mstream_core::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapped with a process-wide allocation counter, so
+/// the bench can demonstrate the data plane's zero-allocation steady
+/// state without external tooling.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// The paper's 3-relation shape with both predicates through `A1` — one
 /// attribute-equivalence class, so the query partitions by key.
@@ -36,9 +77,28 @@ fn keyed_query(window_secs: u64) -> JoinQuery {
     .expect("valid query")
 }
 
+struct Pass {
+    report: ShardedRunReport,
+    /// Allocation calls observed process-wide over the trace's second
+    /// half (buffer pool primed; includes worker-thread join work unless
+    /// `--route-only`).
+    steady_allocs: u64,
+}
+
+/// Largest shard load divided by the mean load (1.0 = perfectly even).
+fn imbalance(routed: &[u64]) -> f64 {
+    let total: u64 = routed.iter().sum();
+    if total == 0 || routed.is_empty() {
+        return 1.0;
+    }
+    let mean = total as f64 / routed.len() as f64;
+    routed.iter().copied().max().unwrap_or(0) as f64 / mean
+}
+
 fn main() {
     let args = Args::from_env();
     let scale = args.scale_or(1.0);
+    let route_only = args.has_flag("--route-only");
     let min_secs: f64 = args
         .flag_value("--min-secs")
         .map(|v| v.parse().expect("--min-secs takes a number"))
@@ -48,8 +108,8 @@ fn main() {
     let capacity = paper::memory_tuples(25, scale);
     let rate = 1000.0;
 
-    let run_pass = |shards: usize| {
-        let engine = EngineBuilder::new(query.clone())
+    let run_pass = |shards: usize| -> Pass {
+        let mut engine = EngineBuilder::new(query.clone())
             .policy(MSketch)
             .capacity_per_window(capacity)
             .seed(args.seed)
@@ -59,12 +119,30 @@ fn main() {
                 batch_size: 256,
                 backpressure: Backpressure::Block,
                 collect_rows: false,
+                route_only,
             })
             .build_sharded()
             .expect("valid engine");
-        let report = engine.run_trace(&trace, rate).expect("workers exit cleanly");
-        assert_eq!(report.combined.shards, shards, "query must partition");
-        report
+        assert_eq!(engine.shards(), shards, "query must partition");
+        // Feed the trace on run_trace's virtual-time schedule, snapshotting
+        // the allocation counter at the halfway point: by then the batch
+        // buffers are recycling, so the second half is the steady state.
+        let half = trace.len() / 2;
+        let dt = VDur::from_rate(rate);
+        let mut before = 0u64;
+        for (i, item) in trace.items.iter().enumerate() {
+            if i == half {
+                before = ALLOC_CALLS.load(Ordering::Relaxed);
+            }
+            let now = VTime::ZERO + dt.mul(i as u64);
+            engine.ingest(Arrival::new(item.stream, item.values.clone(), now));
+        }
+        let steady_allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+        let report = engine.finish().expect("workers exit cleanly");
+        Pass {
+            report,
+            steady_allocs,
+        }
     };
 
     let header = vec![
@@ -73,6 +151,8 @@ fn main() {
         "passes".to_string(),
         "output".to_string(),
         "tuples/s".to_string(),
+        "imbalance".to_string(),
+        "steady allocs".to_string(),
         "speedup".to_string(),
     ];
     let mut rows = Vec::new();
@@ -89,17 +169,24 @@ fn main() {
         let mut output = 0u64;
         let mut processed = 0u64;
         let mut shed_window = 0u64;
+        let mut steady_allocs = u64::MAX;
+        let mut skew = 1.0f64;
         while total_secs < min_secs {
-            let report = run_pass(shards);
+            let pass = run_pass(shards);
             assert_eq!(
-                report.combined.total_output(),
-                warm.combined.total_output(),
+                pass.report.combined.total_output(),
+                warm.report.combined.total_output(),
                 "passes must be deterministic"
             );
-            total_secs += report.combined.wall_time.as_secs_f64();
-            output = report.combined.total_output();
-            processed = report.combined.metrics.processed;
-            shed_window = report.combined.metrics.shed_window;
+            total_secs += pass.report.combined.wall_time.as_secs_f64();
+            output = pass.report.combined.total_output();
+            processed = pass.report.combined.metrics.processed;
+            shed_window = pass.report.combined.metrics.shed_window;
+            // Keep the *minimum* steady-state count: any single pass with
+            // zero allocations proves the plane itself allocates nothing
+            // (other passes can be polluted by OS/runtime noise).
+            steady_allocs = steady_allocs.min(pass.steady_allocs);
+            skew = imbalance(&pass.report.routed);
             passes += 1;
         }
         let secs = total_secs / passes as f64;
@@ -107,12 +194,19 @@ fn main() {
             base_secs = secs;
         }
         times.push(secs);
+        let throughput = if route_only {
+            trace.len() as f64 / secs
+        } else {
+            processed as f64 / secs
+        };
         rows.push(vec![
             shards.to_string(),
             format!("{secs:.3}"),
             passes.to_string(),
             output.to_string(),
-            table::fmt_num(processed as f64 / secs),
+            table::fmt_num(throughput),
+            format!("{skew:.2}"),
+            steady_allocs.to_string(),
             format!("{:.2}x", base_secs / secs),
         ]);
         json_rows.push(serde_json::json!({
@@ -124,17 +218,30 @@ fn main() {
             "output": output,
             "processed": processed,
             "shed_window": shed_window,
+            "imbalance": skew,
+            "steady_allocs": steady_allocs,
+            "route_only": route_only,
             "speedup": base_secs / secs,
         }));
     }
-    table::print_table(
-        &format!("Shard scaling: keyed 3-way join, 25% memory ({capacity} tuples total)"),
-        &header,
-        &rows,
-    );
-    table::print_shape(
-        "multi-shard beats single-shard wall time (2 or 4 workers faster than 1)",
-        times[1] < times[0] || times[2] < times[0],
-    );
+    let title = if route_only {
+        format!("Shard scaling (route-only data plane): keyed 3-way join trace, {} arrivals", trace.len())
+    } else {
+        format!("Shard scaling: keyed 3-way join, 25% memory ({capacity} tuples total)")
+    };
+    table::print_table(&title, &header, &rows);
+    if route_only {
+        table::print_shape(
+            "steady-state data plane allocates nothing (some pass saw 0 allocs per arrival)",
+            json_rows
+                .iter()
+                .any(|r| r["steady_allocs"].as_u64() == Some(0)),
+        );
+    } else {
+        table::print_shape(
+            "multi-shard beats single-shard wall time (2 or 4 workers faster than 1)",
+            times[1] < times[0] || times[2] < times[0],
+        );
+    }
     args::maybe_dump_json(&args.json, &json_rows);
 }

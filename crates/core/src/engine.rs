@@ -5,7 +5,7 @@ use crate::report::EngineMetrics;
 use mstream_join::{probe_each, Bindings, ProbePlan};
 use mstream_shed_policies::{clamp_score, PriorityCtx, Requirements, ShedPolicy};
 use mstream_sketch::{BankConfig, EpochSpec, TumblingFreq, TumblingSketches};
-use mstream_types::{Error, JoinQuery, Result, SeqNo, StreamId, Tuple, VTime, Value, WindowSpec};
+use mstream_types::{Error, JoinQuery, Result, Row, SeqNo, StreamId, Tuple, VTime, WindowSpec};
 use mstream_window::{QueueVictim, Slot, WindowStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -230,7 +230,7 @@ impl ShedJoinEngine {
 
     /// Mints the next tuple (assigns the arrival sequence number).
     #[deprecated(since = "0.3.0", note = "use `mint(Arrival)` instead")]
-    pub fn make_tuple(&mut self, stream: StreamId, values: Vec<Value>, ts: VTime) -> Tuple {
+    pub fn make_tuple(&mut self, stream: StreamId, values: impl Into<Row>, ts: VTime) -> Tuple {
         self.mint(Arrival::new(stream, values, ts))
     }
 
@@ -238,7 +238,7 @@ impl ShedJoinEngine {
     /// processed) at `now` and runs it through the operator. Returns the
     /// number of join results it produced.
     #[deprecated(since = "0.3.0", note = "use `ingest(Arrival, &mut CountSink)` instead")]
-    pub fn process_arrival(&mut self, stream: StreamId, values: Vec<Value>, now: VTime) -> u64 {
+    pub fn process_arrival(&mut self, stream: StreamId, values: impl Into<Row>, now: VTime) -> u64 {
         self.ingest(Arrival::new(stream, values, now), &mut CountSink::default())
             .produced
     }
@@ -354,6 +354,13 @@ impl ShedJoinEngine {
     /// stream, not just the ones routed to this engine.
     pub fn note_foreign_arrival(&mut self, stream: StreamId) {
         self.stores[stream.index()].note_arrival();
+    }
+
+    /// Bulk form of [`ShedJoinEngine::note_foreign_arrival`]: notes `n`
+    /// foreign arrivals on `stream` in one call (a coalesced tick summary
+    /// from the shard coordinator).
+    pub fn note_foreign_arrivals(&mut self, stream: StreamId, n: u64) {
+        self.stores[stream.index()].note_arrivals(n);
     }
 
     /// Priority a policy assigns `tuple` if it were queued right now.
@@ -589,7 +596,7 @@ pub(crate) fn default_epoch(query: &JoinQuery) -> Result<EpochSpec> {
 mod tests {
     use super::*;
     use mstream_shed_policies::{Bjoin, Fifo, MSketch, MSketchRs, RandomLoad};
-    use mstream_types::{Catalog, StreamSchema, VDur};
+    use mstream_types::{Catalog, StreamSchema, VDur, Value};
 
     fn chain3(window_secs: u64) -> JoinQuery {
         let mut c = Catalog::new();

@@ -22,7 +22,7 @@
 //!   aggregation, forwarding, printing).
 
 use mstream_join::Bindings;
-use mstream_types::{StreamId, Tuple, VTime, Value};
+use mstream_types::{Row, StreamId, Tuple, VTime};
 
 /// One raw stream event, before the engine assigns it a sequence number.
 ///
@@ -34,16 +34,21 @@ use mstream_types::{StreamId, Tuple, VTime, Value};
 pub struct Arrival {
     /// Source stream.
     pub stream: StreamId,
-    /// Attribute values, matching the stream's schema arity.
-    pub values: Vec<Value>,
+    /// Attribute values, matching the stream's schema arity (stored
+    /// inline for arities up to [`mstream_types::ROW_INLINE`]).
+    pub values: Row,
     /// Arrival instant in virtual time.
     pub ts: VTime,
 }
 
 impl Arrival {
     /// Convenience constructor.
-    pub fn new(stream: StreamId, values: Vec<Value>, ts: VTime) -> Self {
-        Arrival { stream, values, ts }
+    pub fn new(stream: StreamId, values: impl Into<Row>, ts: VTime) -> Self {
+        Arrival {
+            stream,
+            values: values.into(),
+            ts,
+        }
     }
 }
 
@@ -115,6 +120,7 @@ impl<F: FnMut(&Bindings<'_>)> EmitSink for FnSink<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mstream_types::Value;
 
     #[test]
     fn arrival_constructor_round_trips() {

@@ -11,15 +11,29 @@
 //! Queries that join through more than one attribute class degrade to one
 //! shard, with the reason surfaced on the [`RunReport`].
 //!
+//! ## Data plane
+//!
+//! The coordinator buffers routed tuples into per-shard batches
+//! (`Vec<Item>`) and sends full batches over bounded channels. Batch
+//! buffers are *recycled*: each worker drains a batch in place and sends
+//! the empty allocation back on a per-worker return channel, so
+//! steady-state ingest allocates nothing — combined with the inline
+//! [`mstream_types::Row`] tuple payload, routing a tuple of arity ≤
+//! [`mstream_types::ROW_INLINE`] touches the heap zero times.
+//!
 //! ## Tuple-based windows
 //!
 //! Tuple-count windows expire by *arrivals seen on the stream*, which a
-//! shard only partially observes. The coordinator therefore broadcasts an
-//! arrival *tick* to every non-home shard
-//! ([`ShedJoinEngine::note_foreign_arrival`]); channel FIFO ordering
-//! guarantees each worker sees the tick before any later tuple, so expiry
-//! boundaries match the single-engine run exactly. Time-based windows need
-//! no ticks (expiry depends only on timestamps).
+//! shard only partially observes. The coordinator accumulates the arrivals
+//! routed elsewhere as per-shard pending tick counters and flushes them as
+//! one coalesced [`Item::Ticks`] summary immediately before the next tuple
+//! delivered to that shard (O(1) channel items per batch instead of O(S)
+//! per arrival). Ticks only advance each stream's arrival counter
+//! ([`ShedJoinEngine::note_foreign_arrivals`]) and expiry is evaluated
+//! when the *next stored tuple* is processed, so a summary applied just
+//! before that tuple is observationally identical to the per-arrival
+//! interleaving — expiry boundaries match the single-engine run exactly.
+//! Time-based windows need no ticks (expiry depends only on timestamps).
 //!
 //! ## Determinism
 //!
@@ -29,18 +43,25 @@
 //! config, trace). With [`Backpressure::Block`] (the default) nothing is
 //! ever dropped at the channels and replays are exact;
 //! [`Backpressure::Shed`] instead drops batches when a worker falls
-//! behind, counting them in [`ShardedRunReport::shed_channel`] (live-mode
-//! semantics: tuple-window accounting then drifts by the dropped ticks).
+//! behind, counting them in [`ShardedRunReport::shed_channel`]. A dropped
+//! batch's coalesced tick summaries are re-queued into the pending
+//! counters (tick counts commute, and the dropped batch is always the
+//! newest traffic for that shard), so tuple-window accounting only drifts
+//! by the dropped *tuples* themselves — live-mode semantics matching the
+//! single engine's queue shedding, where a dropped tuple never ages any
+//! window.
 
 use crate::engine::{EngineConfig, MemoryMode, ShedJoinEngine};
 use crate::ingest::{Arrival, CountSink, VecSink};
 use crate::report::{EngineMetrics, RunReport};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use mstream_shed_policies::ShedPolicy;
+use mstream_sketch::BankConfig;
 use mstream_types::{
     Error, JoinQuery, Partitioning, Result, SeqNo, StreamId, Tuple, VDur, VTime, WindowSpec,
 };
 use mstream_workload::Trace;
+use std::cmp::Ordering;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -71,6 +92,11 @@ pub struct ShardConfig {
     /// the merged report. Needed for differential testing; off for
     /// throughput runs.
     pub collect_rows: bool,
+    /// Diagnostic mode: workers drain and recycle batches without running
+    /// the join, isolating the data-plane cost (mint + route + channel
+    /// round-trip). Output counters stay zero; used by the `shard_scaling
+    /// --route-only` bench to demonstrate allocation-free ingest.
+    pub route_only: bool,
 }
 
 impl Default for ShardConfig {
@@ -81,6 +107,7 @@ impl Default for ShardConfig {
             batch_size: 64,
             backpressure: Backpressure::Block,
             collect_rows: false,
+            route_only: false,
         }
     }
 }
@@ -95,23 +122,42 @@ pub struct ShardedRunReport {
     pub per_shard: Vec<EngineMetrics>,
     /// Tuples dropped at the shard channels under [`Backpressure::Shed`].
     pub shed_channel: u64,
+    /// Arrivals the coordinator routed to each shard (before any channel
+    /// shedding) — the router's load balance.
+    pub routed: Vec<u64>,
     /// Every join result row (tuples in stream order), merged across
     /// shards and sorted by per-stream sequence numbers, when
     /// [`ShardConfig::collect_rows`] was set.
     pub rows: Option<Vec<Vec<Tuple>>>,
 }
 
+/// Streams covered by one [`Item::Ticks`] summary (wider schemas send
+/// several chained blocks).
+const TICK_LANES: usize = 8;
+
+/// Coalesced foreign-arrival counts for the contiguous stream range
+/// `[base, base + n)`: `counts[k]` arrivals on stream `base + k` were
+/// routed to other shards since this shard's previous batch traffic.
+#[derive(Clone, Copy, Debug)]
+struct TickBlock {
+    base: u8,
+    n: u8,
+    counts: [u32; TICK_LANES],
+}
+
 /// One message element on a worker channel.
 enum Item {
     /// A tuple routed to this shard for processing.
     Tuple(Tuple),
-    /// An arrival on `StreamId` that another shard is processing (advances
-    /// tuple-window expiry here).
-    Tick(StreamId),
+    /// Arrivals other shards are processing (advances tuple-window expiry
+    /// here). Always delivered before the tuples that follow them.
+    Ticks(TickBlock),
 }
 
 struct WorkerOut {
     metrics: EngineMetrics,
+    /// Result rows sorted by per-stream seq on the worker thread, so the
+    /// coordinator's merge is a k-way interleave, not a global sort.
     rows: Option<Vec<Vec<Tuple>>>,
     end_time: VTime,
 }
@@ -121,6 +167,7 @@ struct WorkerOut {
 /// [`ShardedJoinEngine::finish`].
 pub struct ShardedJoinEngine {
     shards: usize,
+    n_streams: usize,
     degraded: Option<String>,
     key_attrs: Option<Vec<usize>>,
     needs_ticks: bool,
@@ -128,7 +175,18 @@ pub struct ShardedJoinEngine {
     backpressure: Backpressure,
     collect_rows: bool,
     senders: Vec<Sender<Vec<Item>>>,
+    /// Per-worker return path carrying drained batch allocations back for
+    /// reuse (steady-state ingest then allocates no batch buffers).
+    returns: Vec<Receiver<Vec<Item>>>,
     buffers: Vec<Vec<Item>>,
+    /// Pending foreign-arrival ticks, flat-indexed `[shard * n_streams +
+    /// stream]`; drained into an [`Item::Ticks`] summary right before the
+    /// next tuple pushed to that shard.
+    pending_ticks: Vec<u64>,
+    /// Per-shard dirty flags for `pending_ticks`, keeping the hot-path
+    /// check O(1).
+    pending_any: Vec<bool>,
+    routed: Vec<u64>,
     handles: Vec<JoinHandle<WorkerOut>>,
     next_seq: SeqNo,
     shed_channel: u64,
@@ -158,17 +216,21 @@ impl ShardedJoinEngine {
             (s, Partitioning::ByKey { key_attrs }) => (s, None, Some(key_attrs)),
             (_, Partitioning::Single { reason }) => (1, Some(reason), None),
         };
+        let n_streams = query.n_streams();
         let needs_ticks = shards > 1
             && query
                 .windows()
                 .iter()
                 .any(|w| matches!(w, WindowSpec::Tuples(_)));
         let memory = split_memory(&config.memory, shards);
+        let bank = split_bank(&config.bank, shards);
         let mut senders = Vec::with_capacity(shards);
+        let mut returns = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
             let mut worker_config = config.clone();
             worker_config.memory = memory.clone();
+            worker_config.bank = bank;
             // A 1-shard run keeps the master seed so it is bit-identical to
             // the single-threaded engine; multi-shard workers get
             // independent derived streams.
@@ -177,20 +239,36 @@ impl ShardedJoinEngine {
             }
             let engine = ShedJoinEngine::new(query.clone(), policy.clone(), worker_config)?;
             let (tx, rx) = bounded(shard.channel_capacity);
-            let collect = shard.collect_rows;
-            handles.push(std::thread::spawn(move || worker_loop(engine, rx, collect)));
+            // The return channel holds every buffer that can be in flight
+            // (channel depth + the one being drained + the one being
+            // filled), so workers never block returning one.
+            let (ret_tx, ret_rx) = bounded(shard.channel_capacity + 2);
+            let mode = WorkerMode {
+                collect_rows: shard.collect_rows,
+                route_only: shard.route_only,
+            };
+            handles.push(std::thread::spawn(move || {
+                worker_loop(engine, rx, ret_tx, mode)
+            }));
             senders.push(tx);
+            returns.push(ret_rx);
         }
+        let batch_size = shard.batch_size;
         Ok(ShardedJoinEngine {
             shards,
+            n_streams,
             degraded,
             key_attrs,
             needs_ticks,
-            batch_size: shard.batch_size,
+            batch_size,
             backpressure: shard.backpressure,
             collect_rows: shard.collect_rows,
             senders,
-            buffers: (0..shards).map(|_| Vec::new()).collect(),
+            returns,
+            buffers: (0..shards).map(|_| Vec::with_capacity(batch_size)).collect(),
+            pending_ticks: vec![0; shards * n_streams],
+            pending_any: vec![false; shards],
+            routed: vec![0; shards],
             handles,
             next_seq: SeqNo(0),
             shed_channel: 0,
@@ -208,22 +286,31 @@ impl ShardedJoinEngine {
         self.degraded.as_deref()
     }
 
-    /// Routes one arrival to its home shard (and, for tuple-based windows,
-    /// broadcasts an expiry tick to the others). Channel errors surface at
-    /// [`ShardedJoinEngine::finish`], where the worker's panic is
-    /// reported.
+    /// Routes one arrival to its home shard. For tuple-based windows the
+    /// arrival is also recorded as a pending expiry tick for every other
+    /// shard, delivered as a coalesced summary ahead of that shard's next
+    /// tuple. Channel errors surface at [`ShardedJoinEngine::finish`],
+    /// where the worker's panic is reported.
     pub fn ingest(&mut self, arrival: Arrival) {
         let stream = arrival.stream;
         let seq = self.next_seq;
         self.next_seq = seq.next();
         let tuple = Tuple::new(stream, arrival.ts, seq, arrival.values);
         let home = self.route(&tuple);
-        self.push(home, Item::Tuple(tuple));
+        self.routed[home] += 1;
         if self.needs_ticks {
-            for i in (0..self.shards).filter(|&i| i != home) {
-                self.push(i, Item::Tick(stream));
+            let s = stream.index();
+            for shard in 0..self.shards {
+                if shard != home {
+                    self.pending_ticks[shard * self.n_streams + s] += 1;
+                    self.pending_any[shard] = true;
+                }
+            }
+            if self.pending_any[home] {
+                self.flush_pending_ticks(home);
             }
         }
+        self.push(home, Item::Tuple(tuple));
     }
 
     fn route(&self, tuple: &Tuple) -> usize {
@@ -235,6 +322,37 @@ impl ShardedJoinEngine {
         (splitmix64(key) % self.shards as u64) as usize
     }
 
+    /// Drains `shard`'s pending tick counters into [`Item::Ticks`]
+    /// summaries on its batch buffer (chunked [`TICK_LANES`] streams at a
+    /// time; counts above `u32::MAX` chain extra blocks).
+    fn flush_pending_ticks(&mut self, shard: usize) {
+        for base in (0..self.n_streams).step_by(TICK_LANES) {
+            let n = TICK_LANES.min(self.n_streams - base);
+            loop {
+                let mut block = TickBlock {
+                    base: base as u8,
+                    n: n as u8,
+                    counts: [0; TICK_LANES],
+                };
+                let mut any = false;
+                for lane in 0..n {
+                    let slot = &mut self.pending_ticks[shard * self.n_streams + base + lane];
+                    let take = (*slot).min(u32::MAX as u64);
+                    if take > 0 {
+                        block.counts[lane] = take as u32;
+                        *slot -= take;
+                        any = true;
+                    }
+                }
+                if !any {
+                    break;
+                }
+                self.push(shard, Item::Ticks(block));
+            }
+        }
+        self.pending_any[shard] = false;
+    }
+
     fn push(&mut self, shard: usize, item: Item) {
         self.buffers[shard].push(item);
         if self.buffers[shard].len() >= self.batch_size {
@@ -242,25 +360,71 @@ impl ShardedJoinEngine {
         }
     }
 
+    /// Takes a recycled batch buffer off `shard`'s return channel, falling
+    /// back to a fresh allocation only when every buffer is still in
+    /// flight (startup, or a worker busy draining).
+    fn recycled_buffer(&mut self, shard: usize) -> Vec<Item> {
+        self.returns[shard]
+            .try_recv()
+            .unwrap_or_else(|_| Vec::with_capacity(self.batch_size))
+    }
+
     fn flush(&mut self, shard: usize) {
-        let batch = std::mem::take(&mut self.buffers[shard]);
-        if batch.is_empty() {
+        if self.buffers[shard].is_empty() {
             return;
         }
+        // `Vec::new()` is allocation-free; the slot is refilled below with
+        // either a recycled buffer or (under Shed) the rejected batch.
+        let batch = std::mem::take(&mut self.buffers[shard]);
         match self.backpressure {
             Backpressure::Block => {
                 if self.senders[shard].send(batch).is_err() {
                     // The worker died; its panic is reported by `finish`.
                 }
+                self.buffers[shard] = self.recycled_buffer(shard);
             }
-            Backpressure::Shed => {
-                if let Err(err) = self.senders[shard].try_send(batch) {
-                    let dropped = err
-                        .0
-                        .iter()
-                        .filter(|item| matches!(item, Item::Tuple(_)))
-                        .count();
-                    self.shed_channel += dropped as u64;
+            Backpressure::Shed => match self.senders[shard].try_send(batch) {
+                Ok(()) => self.buffers[shard] = self.recycled_buffer(shard),
+                Err(err) => {
+                    let mut batch = err.into_inner();
+                    self.account_rejected(shard, &batch);
+                    // The rejected batch's allocation becomes the shard's
+                    // next buffer — shedding allocates nothing either.
+                    batch.clear();
+                    self.buffers[shard] = batch;
+                }
+            },
+        }
+    }
+
+    /// Books a batch the full channel rejected: tuples count as
+    /// channel-shed, but tick summaries are pure counters and are
+    /// re-queued as pending so a full channel never silently skews
+    /// tuple-window expiry. A shed tuple also re-queues as a tick for its
+    /// own shard — `ingest` already ticked every *other* shard for that
+    /// arrival, so the home shard must count it too or its tuple windows
+    /// would expire late and emit rows no unshedded run produces. The
+    /// rejected batch is the newest traffic for this shard, so the counts
+    /// re-merge in order.
+    fn account_rejected(&mut self, shard: usize, batch: &[Item]) {
+        for item in batch {
+            match item {
+                Item::Tuple(tuple) => {
+                    self.shed_channel += 1;
+                    if self.needs_ticks {
+                        self.pending_ticks[shard * self.n_streams + tuple.stream.index()] += 1;
+                        self.pending_any[shard] = true;
+                    }
+                }
+                Item::Ticks(block) => {
+                    for lane in 0..block.n as usize {
+                        let count = block.counts[lane];
+                        if count > 0 {
+                            let stream = block.base as usize + lane;
+                            self.pending_ticks[shard * self.n_streams + stream] += count as u64;
+                            self.pending_any[shard] = true;
+                        }
+                    }
                 }
             }
         }
@@ -273,13 +437,19 @@ impl ShardedJoinEngine {
     /// `audit` feature workers check engine invariants after every tuple.
     pub fn finish(mut self) -> Result<ShardedRunReport> {
         for shard in 0..self.shards {
+            // Trailing ticks (arrivals after a shard's last tuple) cannot
+            // change its output, but delivering them keeps the final
+            // arrival counters exact on every shard.
+            if self.needs_ticks && self.pending_any[shard] {
+                self.flush_pending_ticks(shard);
+            }
             self.flush(shard);
         }
         self.senders.clear(); // Dropping the senders ends the worker loops.
         let handles = std::mem::take(&mut self.handles);
         let mut combined = EngineMetrics::default();
         let mut per_shard = Vec::with_capacity(self.shards);
-        let mut rows = self.collect_rows.then(Vec::new);
+        let mut worker_rows = self.collect_rows.then(Vec::new);
         let mut end_time = VTime::ZERO;
         let mut failure: Option<Error> = None;
         for (i, handle) in handles.into_iter().enumerate() {
@@ -287,8 +457,8 @@ impl ShardedJoinEngine {
                 Ok(out) => {
                     combined.merge(&out.metrics);
                     per_shard.push(out.metrics);
-                    if let (Some(all), Some(r)) = (rows.as_mut(), out.rows) {
-                        all.extend(r);
+                    if let (Some(all), Some(r)) = (worker_rows.as_mut(), out.rows) {
+                        all.push(r);
                     }
                     end_time = end_time.max(out.end_time);
                 }
@@ -303,13 +473,11 @@ impl ShardedJoinEngine {
         if let Some(err) = failure {
             return Err(err);
         }
-        if let Some(all) = rows.as_mut() {
-            // Seq-stamped merge: per-stream arrival sequence numbers are
-            // global (coordinator-minted), so this canonical order is
-            // directly comparable across shard counts and to the
-            // single-engine oracle.
-            all.sort_by_key(|row| row.iter().map(|t| t.seq).collect::<Vec<_>>());
-        }
+        // Seq-stamped merge: per-stream arrival sequence numbers are
+        // global (coordinator-minted), so this canonical order is directly
+        // comparable across shard counts and to the single-engine oracle.
+        // Each worker pre-sorted its rows, so this is a k-way interleave.
+        let rows = worker_rows.map(merge_sorted_rows);
         let combined = RunReport {
             metrics: combined,
             end_time,
@@ -322,13 +490,16 @@ impl ShardedJoinEngine {
             combined,
             per_shard,
             shed_channel: self.shed_channel,
+            routed: self.routed,
             rows,
         })
     }
 
     /// Convenience driver: feeds `trace` at `arrival_rate` tuples/second
     /// on the same virtual-time schedule as [`crate::sim::run_trace`],
-    /// then finishes.
+    /// then finishes. Cloning `item.values` is a plain copy for inline
+    /// arities (≤ [`mstream_types::ROW_INLINE`]), so replaying a trace
+    /// allocates nothing per arrival.
     pub fn run_trace(mut self, trace: &Trace, arrival_rate: f64) -> Result<ShardedRunReport> {
         let dt = VDur::from_rate(arrival_rate);
         for (i, item) in trace.items.iter().enumerate() {
@@ -339,31 +510,100 @@ impl ShardedJoinEngine {
     }
 }
 
-fn worker_loop(mut engine: ShedJoinEngine, rx: Receiver<Vec<Item>>, collect_rows: bool) -> WorkerOut {
+/// Compares result rows by their per-stream sequence numbers, the
+/// canonical output order. Keys are unique (each join combination is
+/// emitted exactly once, on exactly one shard), so unstable sorting and
+/// arbitrary merge tie-breaks reproduce one well-defined order.
+fn row_seq_cmp(a: &[Tuple], b: &[Tuple]) -> Ordering {
+    a.iter().map(|t| t.seq).cmp(b.iter().map(|t| t.seq))
+}
+
+/// K-way merges per-worker row lists, each already sorted by
+/// [`row_seq_cmp`], into one sorted list without per-row key allocation.
+fn merge_sorted_rows(mut per_worker: Vec<Vec<Vec<Tuple>>>) -> Vec<Vec<Tuple>> {
+    per_worker.retain(|rows| !rows.is_empty());
+    if per_worker.len() <= 1 {
+        return per_worker.pop().unwrap_or_default();
+    }
+    let total = per_worker.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for rows in &mut per_worker {
+        rows.reverse(); // Next-smallest row is now an O(1) pop from the back.
+    }
+    while !per_worker.is_empty() {
+        let mut best = 0;
+        for i in 1..per_worker.len() {
+            let candidate = per_worker[i].last().expect("empty lists are removed");
+            let current = per_worker[best].last().expect("empty lists are removed");
+            if row_seq_cmp(candidate, current) == Ordering::Less {
+                best = i;
+            }
+        }
+        out.push(per_worker[best].pop().expect("best list is non-empty"));
+        if per_worker[best].is_empty() {
+            per_worker.swap_remove(best);
+        }
+    }
+    out
+}
+
+#[derive(Clone, Copy)]
+struct WorkerMode {
+    collect_rows: bool,
+    route_only: bool,
+}
+
+fn worker_loop(
+    mut engine: ShedJoinEngine,
+    rx: Receiver<Vec<Item>>,
+    ret_tx: Sender<Vec<Item>>,
+    mode: WorkerMode,
+) -> WorkerOut {
     let mut vec_sink = VecSink::default();
     let mut count_sink = CountSink::default();
     let mut end_time = VTime::ZERO;
-    while let Ok(batch) = rx.recv() {
-        for item in batch {
-            match item {
-                Item::Tick(stream) => engine.note_foreign_arrival(stream),
-                Item::Tuple(tuple) => {
-                    let now = tuple.ts;
-                    end_time = end_time.max(now);
-                    if collect_rows {
-                        engine.ingest_tuple(tuple, now, &mut vec_sink);
-                    } else {
-                        engine.ingest_tuple(tuple, now, &mut count_sink);
+    while let Ok(mut batch) = rx.recv() {
+        if mode.route_only {
+            batch.clear();
+        } else {
+            for item in batch.drain(..) {
+                match item {
+                    Item::Ticks(block) => {
+                        for lane in 0..block.n as usize {
+                            let count = block.counts[lane];
+                            if count > 0 {
+                                let stream = StreamId(block.base as usize + lane);
+                                engine.note_foreign_arrivals(stream, count as u64);
+                            }
+                        }
                     }
-                    #[cfg(feature = "audit")]
-                    engine.check_invariants();
+                    Item::Tuple(tuple) => {
+                        let now = tuple.ts;
+                        end_time = end_time.max(now);
+                        if mode.collect_rows {
+                            engine.ingest_tuple(tuple, now, &mut vec_sink);
+                        } else {
+                            engine.ingest_tuple(tuple, now, &mut count_sink);
+                        }
+                        #[cfg(feature = "audit")]
+                        engine.check_invariants();
+                    }
                 }
             }
         }
+        // Hand the drained allocation back for reuse. The return channel
+        // is sized to hold every in-flight buffer, so a failure only
+        // means the coordinator is gone — then the buffer just drops.
+        let _ = ret_tx.try_send(batch);
     }
+    let rows = mode.collect_rows.then(|| {
+        let mut rows = vec_sink.rows;
+        rows.sort_unstable_by(|a, b| row_seq_cmp(a, b));
+        rows
+    });
     WorkerOut {
         metrics: engine.metrics().clone(),
-        rows: collect_rows.then_some(vec_sink.rows),
+        rows,
         end_time,
     }
 }
@@ -380,6 +620,24 @@ fn split_memory(memory: &MemoryMode, shards: usize) -> MemoryMode {
             MemoryMode::PerWindowEach(cs.iter().map(|c| (c / shards).max(1)).collect())
         }
         MemoryMode::GlobalPool(total) => MemoryMode::GlobalPool((total / shards).max(1)),
+    }
+}
+
+/// Splits the estimation budget the way [`split_memory`] splits the
+/// window budget: per-shard banks keep the full median structure (`s2`
+/// groups) but average `s1/S` copies per group (floor 1), so the total
+/// sketch memory stays constant as shards are added. Each shard estimates
+/// only its own key partition — a strictly smaller join — so the divided
+/// budget funds `S` independent, narrower estimators instead of `S`
+/// replicas of the full-width one. A 1-shard run keeps the master bank
+/// untouched (bit-identical to the single engine).
+fn split_bank(bank: &BankConfig, shards: usize) -> BankConfig {
+    if shards <= 1 {
+        return *bank;
+    }
+    BankConfig {
+        s1: (bank.s1 / shards).max(1),
+        ..*bank
     }
 }
 
@@ -406,6 +664,21 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn split_bank_divides_means_keeps_median_groups() {
+        let bank = BankConfig {
+            s1: 1000,
+            s2: 3,
+            seed: 9,
+        };
+        assert_eq!(split_bank(&bank, 1), bank, "S=1 keeps the master bank");
+        let quarter = split_bank(&bank, 4);
+        assert_eq!(quarter.s1, 250);
+        assert_eq!(quarter.s2, 3, "median robustness is not divided");
+        assert_eq!(quarter.seed, 9, "sign families stay seed-stable");
+        assert_eq!(split_bank(&bank, 4000).s1, 1, "floor of one copy");
+    }
 
     #[test]
     fn split_memory_is_even_with_floor_of_one() {
@@ -447,5 +720,133 @@ mod tests {
         // Routing (and thus sharded replay) depends on these exact values.
         assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
         assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+
+    fn row(seqs: &[u64]) -> Vec<Tuple> {
+        seqs.iter()
+            .enumerate()
+            .map(|(k, &s)| Tuple::new(StreamId(k), VTime::ZERO, SeqNo(s), mstream_types::Row::new()))
+            .collect()
+    }
+
+    fn seqs(rows: &[Vec<Tuple>]) -> Vec<Vec<u64>> {
+        rows.iter()
+            .map(|r| r.iter().map(|t| t.seq.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn merge_interleaves_sorted_worker_lists() {
+        let a = vec![row(&[0, 1]), row(&[2, 5]), row(&[9, 0])];
+        let b = vec![row(&[1, 7]), row(&[3, 3])];
+        let c = vec![];
+        let merged = merge_sorted_rows(vec![a, b, c]);
+        assert_eq!(
+            seqs(&merged),
+            vec![
+                vec![0, 1],
+                vec![1, 7],
+                vec![2, 5],
+                vec![3, 3],
+                vec![9, 0]
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_matches_global_sort_on_shuffled_input() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        // Unique 2-seq keys split across 4 "workers", each locally sorted.
+        let mut keys: Vec<[u64; 2]> = (0..200u64).map(|i| [i / 20, i % 20]).collect();
+        for i in (1..keys.len()).rev() {
+            keys.swap(i, rng.gen_range(0..=i));
+        }
+        let mut workers: Vec<Vec<Vec<Tuple>>> = (0..4).map(|_| Vec::new()).collect();
+        for (i, k) in keys.iter().enumerate() {
+            workers[i % 4].push(row(&k[..]));
+        }
+        for w in &mut workers {
+            w.sort_unstable_by(|a, b| row_seq_cmp(a, b));
+        }
+        let mut expect: Vec<Vec<Tuple>> = workers.iter().flatten().cloned().collect();
+        expect.sort_by_key(|r| r.iter().map(|t| t.seq).collect::<Vec<_>>());
+        let merged = merge_sorted_rows(workers);
+        assert_eq!(seqs(&merged), seqs(&expect));
+    }
+
+    #[test]
+    fn tick_blocks_chunk_wide_schemas() {
+        // 10 streams -> lanes split across two blocks at the chunk size.
+        assert_eq!(TICK_LANES, 8, "chunking tests assume 8 lanes");
+        let bases: Vec<usize> = (0..10).step_by(TICK_LANES).collect();
+        assert_eq!(bases, vec![0, 8]);
+    }
+
+    /// A full channel must count rejected tuples as channel-shed but give
+    /// rejected tick summaries back to the pending counters — dropping
+    /// them would silently skew tuple-window expiry on the starved shard.
+    #[test]
+    fn rejected_batches_requeue_tick_summaries() {
+        use mstream_types::{Catalog, JoinQuery, WindowSpec};
+        let mut c = Catalog::new();
+        c.add_stream(mstream_types::StreamSchema::new("R1", &["A1"]));
+        c.add_stream(mstream_types::StreamSchema::new("R2", &["A1"]));
+        let query = JoinQuery::from_names(
+            c,
+            &[("R1.A1", "R2.A1")],
+            WindowSpec::Tuples(4),
+        )
+        .unwrap();
+        let mut engine = ShardedJoinEngine::new(
+            query,
+            mstream_shed_policies::Fifo.clone_box(),
+            EngineConfig::default(),
+            ShardConfig {
+                shards: 2,
+                backpressure: Backpressure::Shed,
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+        let batch = vec![
+            Item::Ticks(TickBlock {
+                base: 0,
+                n: 2,
+                counts: {
+                    let mut c = [0u32; TICK_LANES];
+                    c[0] = 3;
+                    c[1] = 1;
+                    c
+                },
+            }),
+            Item::Tuple(Tuple::new(
+                StreamId(0),
+                VTime::ZERO,
+                SeqNo(0),
+                mstream_types::Row::new(),
+            )),
+            Item::Tuple(Tuple::new(
+                StreamId(1),
+                VTime::ZERO,
+                SeqNo(1),
+                mstream_types::Row::new(),
+            )),
+        ];
+        engine.account_rejected(1, &batch);
+        assert_eq!(engine.shed_channel, 2, "only tuples count as shed");
+        // Tick summary counts re-merge, and each shed tuple ticks its own
+        // shard (the other shards were already ticked at ingest).
+        assert_eq!(engine.pending_ticks[1 * 2 + 0], 3 + 1, "stream 0 re-queued");
+        assert_eq!(engine.pending_ticks[1 * 2 + 1], 1 + 1, "stream 1 re-queued");
+        assert_eq!(engine.pending_ticks[0], 0, "other shard untouched");
+        assert!(engine.pending_any[1], "re-queued counts marked dirty");
+        assert!(!engine.pending_any[0]);
+        // Re-queued counts drain into the next summary for that shard.
+        engine.flush_pending_ticks(1);
+        assert_eq!(engine.pending_ticks[1 * 2 + 0], 0);
+        assert!(!engine.pending_any[1]);
+        engine.finish().unwrap();
     }
 }

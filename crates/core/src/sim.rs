@@ -71,6 +71,10 @@ impl Default for RunOptions {
 }
 
 /// Runs `trace` through a shedding engine under the given model.
+///
+/// Each arrival clones `item.values`, which for inline arities (≤
+/// [`mstream_types::ROW_INLINE`]) is a plain [`mstream_types::Row`] copy —
+/// replaying a trace allocates nothing per item.
 pub fn run_trace(engine: &mut ShedJoinEngine, trace: &Trace, opts: &RunOptions) -> RunReport {
     let dt = VDur::from_rate(opts.sim.arrival_rate);
     let mut series = opts.output_bucket.map(BucketSeries::new);

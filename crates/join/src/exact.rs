@@ -2,7 +2,7 @@
 
 use crate::plan::ProbePlan;
 use crate::probe::{probe_each, Bindings};
-use mstream_types::{JoinQuery, SeqNo, StreamId, Tuple, VTime, Value};
+use mstream_types::{JoinQuery, Row, SeqNo, StreamId, Tuple, VTime};
 use mstream_window::WindowStore;
 
 /// A multi-way window join with no memory limit and no shedding.
@@ -49,7 +49,7 @@ impl ExactJoin {
     pub fn process_each<F: FnMut(&Bindings<'_>)>(
         &mut self,
         stream: StreamId,
-        values: Vec<Value>,
+        values: impl Into<Row>,
         now: VTime,
         on_match: F,
     ) -> u64 {
@@ -66,7 +66,7 @@ impl ExactJoin {
     }
 
     /// [`Self::process_each`] without inspecting matches.
-    pub fn process(&mut self, stream: StreamId, values: Vec<Value>, now: VTime) -> u64 {
+    pub fn process(&mut self, stream: StreamId, values: impl Into<Row>, now: VTime) -> u64 {
         self.process_each(stream, values, now, |_| {})
     }
 
@@ -85,7 +85,7 @@ impl ExactJoin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mstream_types::{Catalog, StreamSchema, VDur, WindowSpec};
+    use mstream_types::{Catalog, StreamSchema, VDur, Value, WindowSpec};
 
     fn chain3(window_secs: u64) -> JoinQuery {
         let mut c = Catalog::new();

@@ -196,6 +196,31 @@ impl TumblingSketches {
             self.ensure_cross_row(i);
             let row = &self.cross[i * copies..(i + 1) * copies];
             kernel::signed_copy(&self.words, row, &mut self.scratch);
+        } else if n == 3 {
+            // Two-partner mixed path (the paper's 3-stream shape): one
+            // fused, branch-free pass over both partner rows, bit-identical
+            // to the general fold below.
+            let (a, b) = match i {
+                0 => (1, 2),
+                1 => (0, 2),
+                _ => (0, 1),
+            };
+            let Self {
+                bank,
+                last,
+                has_last,
+                scratch,
+                words,
+                ..
+            } = self;
+            let row = |k: usize| -> &[i64] {
+                if has_last[k] {
+                    &last[k * copies..(k + 1) * copies]
+                } else {
+                    bank.counters_row(StreamId(k))
+                }
+            };
+            kernel::product2_signed(row(a), row(b), words, scratch);
         } else {
             // Mixed path (some stream still in its first epoch): multiply
             // per-stream rows in ascending order, choosing last-epoch or

@@ -8,6 +8,8 @@
 //! * [`VTime`] / [`VDur`] — virtual time, microsecond-granular, used by the
 //!   deterministic discrete-event simulation.
 //! * [`Tuple`] — a timestamped row of values tagged with its source stream.
+//! * [`Row`] — a tuple's attribute values, stored inline (no heap
+//!   allocation) for arities up to [`ROW_INLINE`].
 //! * [`StreamId`], [`AttrRef`], [`StreamSchema`], [`Catalog`] — naming.
 //! * [`JoinQuery`] — a conjunctive multi-way equi-join over sliding windows,
 //!   i.e. the query class the paper's load shedder targets.
@@ -21,6 +23,7 @@
 
 pub mod error;
 pub mod query;
+pub mod row;
 pub mod schema;
 pub mod time;
 pub mod tuple;
@@ -28,6 +31,7 @@ pub mod value;
 
 pub use error::{Error, Result};
 pub use query::{EquiPredicate, JoinQuery, Partitioning, WindowSpec};
+pub use row::{Row, ROW_INLINE};
 pub use schema::{AttrRef, Catalog, StreamId, StreamSchema};
 pub use time::{VDur, VTime};
 pub use tuple::{SeqNo, Tuple};

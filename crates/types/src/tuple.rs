@@ -1,5 +1,6 @@
 //! Stream tuples.
 
+use crate::row::Row;
 use crate::schema::StreamId;
 use crate::time::VTime;
 use crate::value::Value;
@@ -40,18 +41,19 @@ pub struct Tuple {
     pub ts: VTime,
     /// Global arrival sequence number (assigned by the source/driver).
     pub seq: SeqNo,
-    /// Attribute values, positionally matching the stream's schema.
-    pub values: Vec<Value>,
+    /// Attribute values, positionally matching the stream's schema
+    /// (stored inline for arities up to [`crate::ROW_INLINE`]).
+    pub values: Row,
 }
 
 impl Tuple {
     /// Builds a tuple from raw parts.
-    pub fn new(stream: StreamId, ts: VTime, seq: SeqNo, values: Vec<Value>) -> Self {
+    pub fn new(stream: StreamId, ts: VTime, seq: SeqNo, values: impl Into<Row>) -> Self {
         Tuple {
             stream,
             ts,
             seq,
-            values,
+            values: values.into(),
         }
     }
 

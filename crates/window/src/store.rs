@@ -142,6 +142,15 @@ impl WindowStore {
         self.arrivals_seen += 1;
     }
 
+    /// Notes `n` arrivals at once — the bulk form of
+    /// [`WindowStore::note_arrival`], used by sharded execution to apply a
+    /// coalesced foreign-arrival tick summary. Ticks only advance the
+    /// counter (expiry is evaluated on the next stored arrival), so `n`
+    /// single ticks and one bulk tick are observationally identical.
+    pub fn note_arrivals(&mut self, n: u64) {
+        self.arrivals_seen += n;
+    }
+
     /// Removes all expired tuples as of `now`, returning them oldest-first.
     ///
     /// Time-based windows expire tuples with `ts + p <= now`; tuple-based

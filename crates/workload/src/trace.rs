@@ -1,6 +1,6 @@
 //! Replayable arrival traces.
 
-use mstream_types::{StreamId, Value};
+use mstream_types::{Row, StreamId, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -14,8 +14,9 @@ use std::collections::HashMap;
 pub struct TraceItem {
     /// Destination stream.
     pub stream: StreamId,
-    /// Attribute values in schema order.
-    pub values: Vec<Value>,
+    /// Attribute values in schema order (inline for arities up to
+    /// [`mstream_types::ROW_INLINE`], so replay clones are free).
+    pub values: Row,
 }
 
 /// A deterministic arrival sequence, plus the positions where the
@@ -45,8 +46,11 @@ impl Trace {
     }
 
     /// Appends an arrival.
-    pub fn push(&mut self, stream: StreamId, values: Vec<Value>) {
-        self.items.push(TraceItem { stream, values });
+    pub fn push(&mut self, stream: StreamId, values: impl Into<Row>) {
+        self.items.push(TraceItem {
+            stream,
+            values: values.into(),
+        });
     }
 
     /// Marks the *next* pushed item as the start of a new distribution.

@@ -67,6 +67,7 @@ fn main() {
             batch_size: 16,
             backpressure: Backpressure::Shed, // live mode: drop, don't block
             collect_rows: false,
+            route_only: false,
         })
         .build_sharded()
         .expect("valid engine");

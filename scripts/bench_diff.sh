@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Compares two BENCH_shard.json snapshots and fails on wall-time
+# regressions, so a data-plane change can be gated on "no shard count
+# got more than 10% slower".
+#
+# Usage: scripts/bench_diff.sh OLD.json NEW.json [--tolerance PCT]
+#
+# Prints a per-shard-count table (old/new seconds, delta, speedups,
+# steady allocs) and exits nonzero if any shard count present in both
+# snapshots regressed by more than the tolerance (default 10%).
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 OLD.json NEW.json [--tolerance PCT]" >&2
+  exit 2
+fi
+OLD="$1"
+NEW="$2"
+TOL="10"
+if [ "${3:-}" = "--tolerance" ] && [ -n "${4:-}" ]; then TOL="$4"; fi
+
+OLD="$OLD" NEW="$NEW" TOL="$TOL" python3 - <<'EOF'
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    # Accept either the merged artifact ({"shard_scaling": [...]}) or the
+    # raw --json row list written by the shard_scaling binary.
+    rows = doc["shard_scaling"] if isinstance(doc, dict) else doc
+    return {int(r["shards"]): r for r in rows}
+
+
+old_path, new_path = os.environ["OLD"], os.environ["NEW"]
+tol = float(os.environ["TOL"]) / 100.0
+old, new = load(old_path), load(new_path)
+
+shared = sorted(set(old) & set(new))
+if not shared:
+    sys.exit(f"FAIL: no shard counts in common between {old_path} and {new_path}")
+for s in sorted(set(old) ^ set(new)):
+    side = new_path if s in new else old_path
+    print(f"note: S={s} only present in {side}, skipped")
+
+header = f"{'S':>3}  {'old s':>9}  {'new s':>9}  {'delta':>8}  {'old spd':>8}  {'new spd':>8}  {'allocs':>7}"
+print(header)
+print("-" * len(header))
+regressed = []
+for s in shared:
+    o, n = old[s], new[s]
+    delta = (n["seconds"] - o["seconds"]) / o["seconds"]
+    allocs = n.get("steady_allocs", "-")
+    print(
+        f"{s:>3}  {o['seconds']:>9.5f}  {n['seconds']:>9.5f}  {delta:>+7.1%} "
+        f" {o.get('speedup', 1.0):>8.2f}  {n.get('speedup', 1.0):>8.2f}  {allocs:>7}"
+    )
+    if delta > tol:
+        regressed.append((s, delta))
+
+if regressed:
+    worst = ", ".join(f"S={s} {d:+.1%}" for s, d in regressed)
+    sys.exit(f"FAIL: wall-time regression beyond {tol:.0%}: {worst}")
+print(f"OK: no shard count regressed by more than {tol:.0%}")
+EOF

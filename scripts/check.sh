@@ -40,3 +40,24 @@ done
 cargo test -q -p mstream-window --test index_equivalence
 cargo test -q -p mstream-join --test probe_equivalence
 cargo run --release -p mstream-bench --bin probe_micro -- --quick
+
+# Sharded data-plane determinism suite (DESIGN.md §11): coalesced-tick
+# equivalence vs the per-arrival oracle, S=1 bit-identity under shedding,
+# buffer-recycling stress at channel capacity 1, and Shed-backpressure
+# arrival accounting.
+cargo test -q --test sharded_join
+
+# Route-only data-plane smoke: mint + route + channel round-trip with the
+# join disabled must reach a zero-allocation steady state at some S.
+cargo run --release -p mstream-bench --bin shard_scaling -- \
+  --route-only --scale 0.2 --json target/check_route_only.json
+python3 - <<'EOF'
+import json
+rows = json.load(open("target/check_route_only.json"))
+assert rows, "route-only smoke produced no rows"
+assert all(r["route_only"] for r in rows), "rows not marked route_only"
+best = min(r["steady_allocs"] for r in rows)
+if best != 0:
+    raise SystemExit(f"FAIL: route-only steady state allocates ({best} allocs)")
+print(f"route-only smoke: steady_allocs min={best} over S={[r['shards'] for r in rows]}")
+EOF

@@ -113,29 +113,44 @@ fn single_engine_rows(query: JoinQuery, capacity: usize, arrivals: &[Arrival]) -
     (canon(&sink.rows), engine.metrics().clone())
 }
 
-fn sharded_rows(
+fn sharded_rows_with(
     query: JoinQuery,
-    shards: usize,
     capacity: usize,
     arrivals: &[Arrival],
+    config: ShardConfig,
 ) -> ShardedRunReport {
     let mut engine = EngineBuilder::new(query)
         .policy(MSketch)
         .capacity_per_window(capacity)
         .seed(5)
-        .shard_config(ShardConfig {
-            shards,
-            channel_capacity: 4,
-            batch_size: 7, // deliberately not a divisor of the trace length
-            backpressure: Backpressure::Block,
-            collect_rows: true,
-        })
+        .shard_config(config)
         .build_sharded()
         .unwrap();
     for arrival in arrivals {
         engine.ingest(arrival.clone());
     }
     engine.finish().unwrap()
+}
+
+fn sharded_rows(
+    query: JoinQuery,
+    shards: usize,
+    capacity: usize,
+    arrivals: &[Arrival],
+) -> ShardedRunReport {
+    sharded_rows_with(
+        query,
+        capacity,
+        arrivals,
+        ShardConfig {
+            shards,
+            channel_capacity: 4,
+            batch_size: 7, // deliberately not a divisor of the trace length
+            backpressure: Backpressure::Block,
+            collect_rows: true,
+            route_only: false,
+        },
+    )
 }
 
 /// At full memory nothing is shed, so partitioning is lossless: the merged
@@ -236,6 +251,109 @@ fn tuple_windows_match_oracle_across_shards() {
         let rows = canon(report.rows.as_ref().unwrap());
         assert_eq!(rows, oracle, "S={shards}: tuple-window expiry drifted");
     }
+}
+
+/// Deep tick coalescing — a large batch size lets many foreign arrivals
+/// collapse into one [`Item::Ticks`] summary before the next home tuple —
+/// must be observationally identical to per-arrival tick delivery: ticks
+/// only advance a stream's arrivals-seen counter, and expiry is evaluated
+/// against that counter when the next tuple is stored, so summing the
+/// advances commutes with interleaving them.
+#[test]
+fn coalesced_tick_summaries_match_per_arrival_semantics() {
+    let arrivals = trace(600, 8);
+    let (oracle, _) = single_engine_rows(keyed3(WindowSpec::Tuples(15)), 100_000, &arrivals);
+    assert!(!oracle.is_empty(), "trace must produce joins");
+    for shards in [2, 4] {
+        let report = sharded_rows_with(
+            keyed3(WindowSpec::Tuples(15)),
+            100_000,
+            &arrivals,
+            ShardConfig {
+                shards,
+                channel_capacity: 4,
+                batch_size: 64, // deep coalescing: many ticks per summary
+                backpressure: Backpressure::Block,
+                collect_rows: true,
+                route_only: false,
+            },
+        );
+        let rows = canon(report.rows.as_ref().unwrap());
+        assert_eq!(rows, oracle, "S={shards}: coalesced ticks drifted");
+    }
+}
+
+/// A 1-shard run keeps the master seed, so it must match the single
+/// engine bit for bit — rows, sequence numbers, and every deterministic
+/// counter — even while actively shedding with `Row`-backed tuples.
+#[test]
+fn single_shard_bit_identity_survives_shedding() {
+    let arrivals = trace(800, 10);
+    let (oracle, oracle_metrics) = single_engine_rows(keyed3(WindowSpec::secs(25)), 32, &arrivals);
+    assert!(oracle_metrics.shed_window > 0, "capacity 32 must shed");
+    let report = sharded_rows(keyed3(WindowSpec::secs(25)), 1, 32, &arrivals);
+    assert_eq!(canon(report.rows.as_ref().unwrap()), oracle);
+    assert_eq!(det(&report.combined.metrics), det(&oracle_metrics));
+}
+
+/// Capacity-1 channels force maximum contention on the buffer-recycling
+/// protocol: every send blocks until the worker drains and returns the
+/// previous batch. The output must still match the oracle exactly and
+/// replay identically.
+#[test]
+fn buffer_recycling_survives_capacity_one_stress() {
+    let arrivals = trace(600, 8);
+    let stress = ShardConfig {
+        shards: 4,
+        channel_capacity: 1,
+        batch_size: 1, // one item per batch: maximum recycling churn
+        backpressure: Backpressure::Block,
+        collect_rows: true,
+        route_only: false,
+    };
+    let (oracle, _) = single_engine_rows(keyed3(WindowSpec::Tuples(15)), 100_000, &arrivals);
+    let a = sharded_rows_with(keyed3(WindowSpec::Tuples(15)), 100_000, &arrivals, stress.clone());
+    assert_eq!(canon(a.rows.as_ref().unwrap()), oracle);
+    let b = sharded_rows_with(keyed3(WindowSpec::Tuples(15)), 100_000, &arrivals, stress);
+    assert_eq!(
+        canon(a.rows.as_ref().unwrap()),
+        canon(b.rows.as_ref().unwrap())
+    );
+    assert_eq!(det(&a.combined.metrics), det(&b.combined.metrics));
+}
+
+/// Under `Backpressure::Shed` with a starved channel, every arrival is
+/// accounted for — processed by some worker or counted as channel-shed —
+/// and the emitted rows are still a sub-multiset of the oracle (rejected
+/// tick summaries are re-queued, never dropped, so expiry stays exact for
+/// the tuples that do get through).
+#[test]
+fn shed_backpressure_accounts_every_arrival() {
+    let arrivals = trace(600, 8);
+    let (oracle, _) = single_engine_rows(keyed3(WindowSpec::Tuples(15)), 100_000, &arrivals);
+    let report = sharded_rows_with(
+        keyed3(WindowSpec::Tuples(15)),
+        100_000,
+        &arrivals,
+        ShardConfig {
+            shards: 4,
+            channel_capacity: 1,
+            batch_size: 1,
+            backpressure: Backpressure::Shed,
+            collect_rows: true,
+            route_only: false,
+        },
+    );
+    assert_eq!(
+        report.combined.metrics.processed + report.shed_channel,
+        arrivals.len() as u64,
+        "every arrival is processed or counted as channel-shed"
+    );
+    let rows = canon(report.rows.as_ref().unwrap());
+    assert!(
+        is_sub_multiset(&rows, &oracle),
+        "channel shedding emitted a row the oracle never produced"
+    );
 }
 
 /// Sharded runs are a pure function of (query, config, trace): the same

@@ -1,6 +1,6 @@
 //! Offline stand-in for `crossbeam`, covering only `channel::bounded`
-//! with `send` / `try_send` / `recv` as the workspace's sharded engine and
-//! examples use it. Backed by
+//! with `send` / `try_send` / `recv` / `try_recv` as the workspace's
+//! sharded engine and examples use it. Backed by
 //! `std::sync::mpsc::sync_channel`, which has the same bounded,
 //! multi-producer single-consumer semantics for this use.
 
@@ -31,9 +31,21 @@ pub mod channel {
     #[derive(Debug)]
     pub struct SendError<T>(pub T);
 
+    impl<T> TrySendError<T> {
+        /// Recovers the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            self.0
+        }
+    }
+
     /// Error from [`Receiver::recv`]: all senders dropped.
     #[derive(Debug)]
     pub struct RecvError;
+
+    /// Error from [`Receiver::try_recv`]: nothing buffered right now, or
+    /// every sender dropped.
+    #[derive(Debug)]
+    pub struct TryRecvError;
 
     impl<T> Sender<T> {
         /// Non-blocking send; fails when the buffer is full or the
@@ -58,6 +70,11 @@ pub mod channel {
         /// buffer has drained.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; fails when nothing is buffered.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|_| TryRecvError)
         }
     }
 
@@ -102,5 +119,17 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), 1);
         assert_eq!(rx.recv().unwrap(), 2);
         assert!(rx.recv().is_err(), "disconnected after senders dropped");
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        assert!(rx.try_recv().is_err(), "empty channel");
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 7);
+        assert!(tx.try_send(1).err().map(|e| e.into_inner()).is_none());
+        drop(tx);
+        assert!(rx.try_recv().is_ok(), "buffered value survives sender drop");
+        assert!(rx.try_recv().is_err(), "then disconnected");
     }
 }
