@@ -47,8 +47,13 @@ pub struct Case {
     /// Memory discipline for the reduced-memory run.
     pub reduced: ReducedMemory,
     /// Worker count for the sharded differential runs (2 or 4). Cases
-    /// whose query cannot partition exercise the degrade path instead.
+    /// whose query cannot partition exercise the broadcast path instead.
     pub shards: usize,
+    /// Whether this case pins the Zipf-hot-key class: a key-partitionable
+    /// query whose join key concentrates ~60% of arrivals on one value,
+    /// forcing the skew router's promote/split/demote machinery into the
+    /// differential (every `seed % 8 == 4`).
+    pub zipf_hot: bool,
     /// The arrival trace.
     pub arrivals: Vec<Arrival>,
 }
@@ -75,6 +80,12 @@ pub fn generate_case(seed: u64) -> Case {
     // is guaranteed real multi-shard runs with coalesced expiry ticks
     // (otherwise keyed × all-tuples is a ~12% coincidence per case).
     let pinned_tuple_shard = seed % 8 == 0;
+
+    // Every eighth seed (offset 4, disjoint from the tuple-shard class)
+    // pins the Zipf-hot-key class: keyed shape + one join-key value
+    // carrying ~60% of arrivals, so every sweep drives the skew router's
+    // heavy-hitter splitting through the exactness differential.
+    let zipf_hot = seed % 8 == 4;
 
     // Window flavour: all-time, all-tuple, or heterogeneous per stream.
     let flavour = if pinned_tuple_shard {
@@ -103,7 +114,7 @@ pub fn generate_case(seed: u64) -> Case {
     // are random on both sides, except that ~35% of cases pin every
     // predicate to attribute 0 — a guaranteed key-partitionable shape, so
     // the sharded differential regularly exercises real multi-shard runs.
-    let keyed = pinned_tuple_shard || rng.gen_bool(0.35);
+    let keyed = pinned_tuple_shard || zipf_hot || rng.gen_bool(0.35);
     let attr = |rng: &mut StdRng| if keyed { 0 } else { rng.gen_range(0..2usize) };
     let mut predicates = Vec::new();
     for k in 0..n - 1 {
@@ -146,9 +157,16 @@ pub fn generate_case(seed: u64) -> Case {
             if !rng.gen_bool(0.25) {
                 clock += rng.gen_range(1..2_000_000u64);
             }
+            // Zipf-hot cases concentrate ~60% of join-key values (attr 0,
+            // the partition key of every keyed shape) on value 0.
+            let key = if zipf_hot && rng.gen_bool(0.6) {
+                0
+            } else {
+                rng.gen_range(0..domain)
+            };
             Arrival {
                 stream: rng.gen_range(0..n),
-                values: vec![rng.gen_range(0..domain), rng.gen_range(0..domain)],
+                values: vec![key, rng.gen_range(0..domain)],
                 at_micros: clock,
             }
         })
@@ -168,6 +186,7 @@ pub fn generate_case(seed: u64) -> Case {
         epoch,
         reduced,
         shards: if rng.gen_bool(0.5) { 2 } else { 4 },
+        zipf_hot,
         arrivals,
     }
 }
@@ -197,5 +216,34 @@ mod tests {
             );
             assert!(case.shards >= 2, "pinned class runs multi-shard");
         }
+    }
+
+    /// The Zipf-hot-key case class: every `seed % 8 == 4` must produce a
+    /// key-partitionable query whose join key (attribute 0) concentrates
+    /// well over its uniform share on one hot value, so sweeps always run
+    /// the skew router's splitting machinery through the differential.
+    #[test]
+    fn every_eighth_seed_offset_four_pins_zipf_hot_keys() {
+        for seed in [4u64, 12, 20, 68, 804, 4100] {
+            let case = generate_case(seed);
+            assert!(case.zipf_hot, "seed {seed}: class flag must be set");
+            assert!(
+                matches!(case.query.partitioning(), Partitioning::ByKey { .. }),
+                "seed {seed}: zipf-hot class must partition by key"
+            );
+            assert!(case.shards >= 2, "zipf-hot class runs multi-shard");
+            let hot = case
+                .arrivals
+                .iter()
+                .filter(|a| a.values[0] == 0)
+                .count();
+            assert!(
+                hot * 2 > case.arrivals.len(),
+                "seed {seed}: hot key carries {hot}/{} arrivals — not skewed",
+                case.arrivals.len()
+            );
+        }
+        let uniform = generate_case(3);
+        assert!(!uniform.zipf_hot, "other seeds stay unpinned");
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::gen::{Arrival, Case, ReducedMemory};
 use mstream_core::ingest::FnSink;
-use mstream_core::shard::{Backpressure, ShardConfig};
+use mstream_core::shard::{Backpressure, HotKeyConfig, ShardConfig};
 use mstream_core::EngineBuilder;
 use mstream_join::{Bindings, ExactJoin};
 use mstream_shed_policies::{parse_policy, ALL_POLICY_NAMES};
@@ -221,8 +221,11 @@ fn configured_builder(
 
 /// Drives the trace through a [`mstream_core::ShardedJoinEngine`] at the
 /// case's shard count, checks the partitioning contract (real fan-out on
-/// partitionable queries, clean degrade with a reason otherwise, no drops
-/// under blocking backpressure), and returns the merged canonical rows.
+/// partitionable queries, broadcast execution at full width otherwise, no
+/// drops under blocking backpressure), and returns the merged canonical
+/// rows. The hot-key detector runs with an aggressive decision cadence so
+/// even these short traces promote and split heavy hitters (the Zipf-hot
+/// case class guarantees skewed inputs every sweep).
 fn drive_sharded(
     case: &Case,
     arrivals: &[Arrival],
@@ -249,6 +252,15 @@ fn drive_sharded(
             backpressure: Backpressure::Block,
             collect_rows: true,
             route_only: false,
+            hot_keys: HotKeyConfig {
+                enabled: true,
+                capacity: 8,
+                tracker_capacity: 64,
+                epoch_arrivals: 24,
+                promote_permille: 200,
+                demote_permille: 100,
+            },
+            broadcast: true,
         })
         .build_sharded()
         .map_err(|e| fail(format!("sharded construction failed: {e:?}"), FailureKind::InvariantPanic))?;
@@ -268,10 +280,11 @@ fn drive_sharded(
             }
         }
         Partitioning::Single { .. } => {
-            if engine.shards() != 1 || engine.degraded().is_none() {
+            if engine.shards() != case.shards || engine.degraded().is_some() {
                 return Err(fail(
                     format!(
-                        "non-partitionable query must degrade to 1 shard with a reason; got {} shards, degraded: {:?}",
+                        "non-partitionable query must run broadcast at {} shards; got {} shards, degraded: {:?}",
+                        case.shards,
                         engine.shards(),
                         engine.degraded()
                     ),

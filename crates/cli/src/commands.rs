@@ -90,8 +90,9 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `mstream run --shards N`: hash-partitioned parallel execution. The
 /// capacity flag is still the *total* memory budget; each worker gets
-/// `1/S` of it. Non-partitionable queries degrade to one shard and the
-/// report says why.
+/// `1/S` of it. Non-partitionable queries run in broadcast mode at the
+/// requested width (replicated windows, more total memory); with
+/// `--no-broadcast` they degrade to one shard and the report says why.
 #[allow(clippy::too_many_arguments)]
 fn run_sharded(
     flags: &Flags,
@@ -109,6 +110,7 @@ fn run_sharded(
         .capacity_per_window(capacity)
         .seed(flags.num("--seed", 42)?)
         .shards(shards)
+        .broadcast(!flags.has("--no-broadcast"))
         .build_sharded()
         .map_err(|e| CliError::input(e.to_string()))?;
     let report = engine
@@ -132,9 +134,14 @@ fn run_sharded(
             "shards_requested": shards,
             "shards": report.combined.shards,
             "degraded": report.combined.degraded,
+            "broadcast": report.broadcast,
+            "hot_promoted": report.hot_promoted,
+            "routed": report.routed,
+            "resident": report.resident,
             "arrivals": trace.len(),
             "output_tuples": report.combined.total_output(),
             "processed": report.combined.metrics.processed,
+            "replicated": report.combined.metrics.replicated,
             "shed_window": report.combined.metrics.shed_window,
             "shed_channel": report.shed_channel,
             "expired": report.combined.metrics.expired,
@@ -148,6 +155,11 @@ fn run_sharded(
         writeln!(out, "memory total:    {capacity} tuples across {shards} requested shards")?;
         match &report.combined.degraded {
             Some(reason) => writeln!(out, "shards:          1 (degraded: {reason})")?,
+            None if report.broadcast => writeln!(
+                out,
+                "shards:          {} (broadcast: replicated windows, dominant stream partitioned)",
+                report.combined.shards
+            )?,
             None => writeln!(out, "shards:          {}", report.combined.shards)?,
         }
         writeln!(out, "arrivals:        {}", trace.len())?;
@@ -456,11 +468,35 @@ mod tests {
         assert_eq!(v["per_shard"].as_array().unwrap().len(), 4);
         assert_eq!(v["shed_channel"], 0);
 
-        // The chain query cannot partition: degrade with a reason.
+        // The chain query cannot key-partition: it now runs wide in
+        // broadcast mode, matching the single-shard output exactly.
         let chain = "SELECT * FROM R1(A1, A2) [RANGE 30 SECONDS], R2(A1, A2), R3(A1, A2) \
                      WHERE R1.A1 = R2.A1 AND R2.A2 = R3.A1";
+        let single = run_cli(&[
+            "run", "--query", chain, "--trace", trace_path, "--shards", "1", "--json",
+        ])
+        .unwrap();
+        let s: serde_json::Value = serde_json::from_str(&single).unwrap();
         let json = run_cli(&[
             "run", "--query", chain, "--trace", trace_path, "--shards", "4", "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["shards"], 4);
+        assert_eq!(v["degraded"], serde_json::Value::Null);
+        assert_eq!(v["broadcast"], true);
+        assert!(v["replicated"].as_u64().unwrap() > 0, "{v:?}");
+        assert_eq!(v["output_tuples"], s["output_tuples"], "broadcast is exact");
+        let text = run_cli(&[
+            "run", "--query", chain, "--trace", trace_path, "--shards", "4",
+        ])
+        .unwrap();
+        assert!(text.contains("broadcast"), "{text}");
+
+        // --no-broadcast restores the degrade-to-one-shard behavior.
+        let json = run_cli(&[
+            "run", "--query", chain, "--trace", trace_path, "--shards", "4",
+            "--no-broadcast", "--json",
         ])
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
@@ -468,6 +504,7 @@ mod tests {
         assert!(v["degraded"].as_str().is_some(), "{v:?}");
         let text = run_cli(&[
             "run", "--query", chain, "--trace", trace_path, "--shards", "4",
+            "--no-broadcast",
         ])
         .unwrap();
         assert!(text.contains("degraded:"), "{text}");

@@ -63,8 +63,11 @@ RUN OPTIONS:
     --queue <n>          input-queue capacity under overload (default 100)
     --seed <n>           engine seed (default 42)
     --shards <n>         hash-partition across n worker threads when the query's
-                         predicates allow (degrades to 1 with a reason otherwise);
+                         predicates allow; non-partitionable queries run broadcast
+                         (replicated windows, dominant stream partitioned);
                          --capacity stays the total budget; excludes --service
+    --no-broadcast       degrade non-partitionable queries to 1 shard (with a
+                         reason) instead of running them broadcast
     --json               print the report as JSON instead of text
 
 GENERATE OPTIONS:

@@ -128,6 +128,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Tunes (or disables) the skew-adaptive hot-key splitter used by
+    /// key-partitioned sharded execution (DESIGN.md §12).
+    pub fn hot_keys(mut self, hot_keys: crate::shard::HotKeyConfig) -> Self {
+        self.shard.hot_keys = hot_keys;
+        self
+    }
+
+    /// Enables or disables broadcast execution for queries that have no
+    /// single partition key (default: enabled). With broadcast off, such
+    /// queries degrade to one shard and report why.
+    pub fn broadcast(mut self, broadcast: bool) -> Self {
+        self.shard.broadcast = broadcast;
+        self
+    }
+
     /// Validates everything the engine constructors assume: memory
     /// capacities, sketch bank sizing, epoch derivability for the chosen
     /// policy, and the shard count.

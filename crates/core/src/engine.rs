@@ -1,6 +1,6 @@
 //! The shedding multi-way join engine (paper §4, Algorithm 1).
 
-use crate::ingest::{Arrival, CountSink, EmitSink, FnSink, IngestOutcome};
+use crate::ingest::{Arrival, CountSink, EmitSink, FnSink, IngestOutcome, IngestRole};
 use crate::report::EngineMetrics;
 use mstream_join::{probe_each, Bindings, ProbePlan};
 use mstream_shed_policies::{clamp_score, PriorityCtx, Requirements, ShedPolicy};
@@ -172,6 +172,12 @@ impl ShedJoinEngine {
         self.stores.get(stream.index()).map(WindowStore::len)
     }
 
+    /// Total resident tuples across every window (per-shard occupancy in a
+    /// sharded run).
+    pub fn total_resident(&self) -> usize {
+        self.stores.iter().map(WindowStore::len).sum()
+    }
+
     /// Structural audit of the whole operator: every window store's
     /// arena/index/heap/expiry agreement, the tumbling sketches' epoch and
     /// frozen-cross-product coherence, and the mode-aware memory bound
@@ -265,6 +271,27 @@ impl ShedJoinEngine {
         now: VTime,
         sink: &mut impl EmitSink,
     ) -> IngestOutcome {
+        self.ingest_tuple_as(tuple, now, sink, IngestRole::FULL)
+    }
+
+    /// Role-parameterized form of [`ShedJoinEngine::ingest_tuple`], the
+    /// primitive behind replicated delivery in the sharded engine.
+    ///
+    /// Every role observes sketches, expires windows, scores and stores the
+    /// tuple — so replicated copies keep estimation state and tuple-window
+    /// expiry counters advancing identically on every shard. The role only
+    /// gates the *probe* (whether this delivery emits join results) and the
+    /// *accounting* (whether it counts as the arrival's one `processed`
+    /// delivery or as a `replicated` copy). `IngestRole::FULL` is exactly
+    /// the classic path: `ingest_tuple` delegates here unconditionally, so
+    /// an unsharded engine and an S=1 sharded engine execute the same code.
+    pub fn ingest_tuple_as(
+        &mut self,
+        tuple: Tuple,
+        now: VTime,
+        sink: &mut impl EmitSink,
+        role: IngestRole,
+    ) -> IngestOutcome {
         let stream = tuple.stream;
         // 1. Fold into the current tumbling estimation state (AGMS sketches
         //    and/or exact arrival-frequency tables); on epoch rollover,
@@ -290,23 +317,33 @@ impl ShedJoinEngine {
         }
         // 2. Delete expired tuples from every window.
         self.expire_all(now);
-        // 3. Emit the join results produced by this tuple.
+        // 3. Emit the join results produced by this tuple. Store-only
+        //    replicas skip the probe entirely: their arrival's results are
+        //    emitted by the one shard that received the FULL delivery.
         let track = self.reqs.produced_counters;
         let origin = stream.index();
-        let scratch = &mut self.produced_scratch;
-        let produced = probe_each(&self.plans[origin], &tuple, &self.stores, |b| {
-            if track {
-                for (k, s) in scratch.iter_mut().enumerate() {
-                    if k != origin {
-                        let slot = b.slot(StreamId(k)).expect("bound in match");
-                        s.add(slot, 1);
+        let produced = if role.probe {
+            let scratch = &mut self.produced_scratch;
+            probe_each(&self.plans[origin], &tuple, &self.stores, |b| {
+                if track {
+                    for (k, s) in scratch.iter_mut().enumerate() {
+                        if k != origin {
+                            let slot = b.slot(StreamId(k)).expect("bound in match");
+                            s.add(slot, 1);
+                        }
                     }
                 }
-            }
-            sink.emit(b);
-        });
+                sink.emit(b);
+            })
+        } else {
+            0
+        };
         self.metrics.total_output += produced;
-        self.metrics.processed += 1;
+        if role.count_processed {
+            self.metrics.processed += 1;
+        } else {
+            self.metrics.replicated += 1;
+        }
         // 4. Credit output to the participating window tuples and refresh
         //    their priorities (the RS measure depends on produced counts):
         //    one coalesced heap update per touched slot, regardless of how

@@ -79,9 +79,9 @@ pub use builder::EngineBuilder;
 #[allow(deprecated)]
 pub use builder::ShedJoinBuilder;
 pub use engine::{EngineConfig, MemoryMode, ShedJoinEngine};
-pub use ingest::{Arrival, CountSink, EmitSink, FnSink, IngestOutcome, VecSink};
+pub use ingest::{Arrival, CountSink, EmitSink, FnSink, IngestOutcome, IngestRole, VecSink};
 pub use report::{EngineMetrics, RunReport};
-pub use shard::{Backpressure, ShardConfig, ShardedJoinEngine, ShardedRunReport};
+pub use shard::{Backpressure, HotKeyConfig, ShardConfig, ShardedJoinEngine, ShardedRunReport};
 pub use sim::{run_exact_trace, run_trace, RunOptions, SimConfig};
 
 // Re-export the substrate crates under their own names…
@@ -99,9 +99,9 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use crate::builder::ShedJoinBuilder;
     pub use crate::engine::{EngineConfig, MemoryMode, ShedJoinEngine};
-    pub use crate::ingest::{Arrival, CountSink, EmitSink, FnSink, IngestOutcome, VecSink};
+    pub use crate::ingest::{Arrival, CountSink, EmitSink, FnSink, IngestOutcome, IngestRole, VecSink};
     pub use crate::report::{EngineMetrics, RunReport};
-    pub use crate::shard::{Backpressure, ShardConfig, ShardedJoinEngine, ShardedRunReport};
+    pub use crate::shard::{Backpressure, HotKeyConfig, ShardConfig, ShardedJoinEngine, ShardedRunReport};
     pub use crate::sim::{run_exact_trace, run_trace, RunOptions, SimConfig};
     pub use mstream_agg::{quartiles, Reservoir, SeriesComparison};
     pub use mstream_join::{Bindings, ExactJoin};

@@ -12,6 +12,11 @@ pub struct EngineMetrics {
     pub total_output: u64,
     /// Tuples run through the join operator.
     pub processed: u64,
+    /// Replicated deliveries ingested in addition to an arrival's one
+    /// `processed` delivery (hot-key build copies, broadcast-stream
+    /// copies); 0 for unsharded runs.
+    #[serde(default)]
+    pub replicated: u64,
     /// Tuples dismissed from windows before expiry (shed).
     pub shed_window: u64,
     /// Tuples dropped from the input queue (shed).
@@ -45,6 +50,7 @@ impl EngineMetrics {
     pub fn merge(&mut self, other: &EngineMetrics) {
         self.total_output += other.total_output;
         self.processed += other.processed;
+        self.replicated += other.replicated;
         self.shed_window += other.shed_window;
         self.shed_queue += other.shed_queue;
         self.expired += other.expired;
@@ -124,6 +130,7 @@ mod tests {
         let a = EngineMetrics {
             total_output: 1,
             processed: 2,
+            replicated: 12,
             shed_window: 3,
             shed_queue: 4,
             expired: 5,

@@ -595,6 +595,74 @@ mod tests {
         assert!(q.partitioning().reason().is_some());
     }
 
+    /// Enumerates every non-shardable query shape alongside the exact
+    /// degrade-reason string it reports: (1) the paper's chain (middle
+    /// stream bridges two attribute classes), (2) a pair query with two
+    /// independent predicates, (3) a star whose hub fans out through
+    /// distinct attributes, (4) a four-stream double chain whose interior
+    /// streams each bridge classes (the lowest-indexed culprit is named).
+    /// The sharded engine surfaces these strings verbatim (when broadcast
+    /// mode is off), so their wording is pinned here.
+    #[test]
+    fn degrade_reasons_enumerate_non_shardable_shapes() {
+        let reason = |q: &JoinQuery| q.partitioning().reason().unwrap().to_owned();
+
+        let chain = paper_query();
+        assert_eq!(
+            reason(&chain),
+            "predicates span multiple join-attribute classes \
+             (R2 joins through two distinct attributes)"
+        );
+
+        let mut pair_cat = Catalog::new();
+        pair_cat.add_stream(StreamSchema::new("L", &["k", "v"]));
+        pair_cat.add_stream(StreamSchema::new("R", &["k", "v"]));
+        let pair = JoinQuery::from_names(
+            pair_cat,
+            &[("L.k", "R.k"), ("L.v", "R.v")],
+            WindowSpec::secs(5),
+        )
+        .unwrap();
+        assert_eq!(
+            reason(&pair),
+            "predicates span multiple join-attribute classes \
+             (L joins through two distinct attributes)"
+        );
+
+        let mut star_cat = Catalog::new();
+        star_cat.add_stream(StreamSchema::new("Hub", &["a", "b"]));
+        star_cat.add_stream(StreamSchema::new("S1", &["k"]));
+        star_cat.add_stream(StreamSchema::new("S2", &["k"]));
+        let star = JoinQuery::from_names(
+            star_cat,
+            &[("Hub.a", "S1.k"), ("Hub.b", "S2.k")],
+            WindowSpec::secs(5),
+        )
+        .unwrap();
+        assert_eq!(
+            reason(&star),
+            "predicates span multiple join-attribute classes \
+             (Hub joins through two distinct attributes)"
+        );
+
+        let mut four_cat = Catalog::new();
+        for name in ["R1", "R2", "R3", "R4"] {
+            four_cat.add_stream(StreamSchema::new(name, &["A1", "A2"]));
+        }
+        let double_chain = JoinQuery::from_names(
+            four_cat,
+            &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1"), ("R3.A2", "R4.A1")],
+            WindowSpec::secs(5),
+        )
+        .unwrap();
+        assert_eq!(
+            reason(&double_chain),
+            "predicates span multiple join-attribute classes \
+             (R2 joins through two distinct attributes)",
+            "the lowest-indexed bridging stream is named"
+        );
+    }
+
     #[test]
     fn cyclic_single_class_partitions() {
         let q = JoinQuery::from_names(

@@ -8,15 +8,19 @@
 //! `ShedJoinEngine` on `1/S` of the memory budget), and merges the
 //! per-shard reports.
 //!
-//! Two runs are shown:
+//! Three runs are shown:
 //!
 //! 1. A *partitionable* query (all predicates on one attribute) fanned
 //!    out over four shards with `Backpressure::Shed` — when a worker's
 //!    channel saturates the coordinator sheds at the source, the
 //!    back-pressure-free regime a DSMS operates in.
 //! 2. The paper's chain query, whose middle stream joins through two
-//!    different attributes: it cannot be partitioned, so the engine
-//!    degrades to one shard and reports why.
+//!    different attributes: no partition key exists, so the engine runs
+//!    it in *broadcast mode* (DESIGN.md §12) — the dominant stream is
+//!    partitioned round-robin and the others are replicated to every
+//!    shard as build-only copies.
+//! 3. The same chain with broadcast disabled, which degrades to one
+//!    shard and reports why.
 //!
 //! ```text
 //! cargo run --release -p mstream-core --example parallel_feed
@@ -66,8 +70,7 @@ fn main() {
             channel_capacity: 8,
             batch_size: 16,
             backpressure: Backpressure::Shed, // live mode: drop, don't block
-            collect_rows: false,
-            route_only: false,
+            ..ShardConfig::default()
         })
         .build_sharded()
         .expect("valid engine");
@@ -89,28 +92,52 @@ fn main() {
     }
 
     // The paper's chain shape joins Readings through two different
-    // attributes — no single partition key exists, so a 4-shard request
-    // degrades to one worker (and says so).
+    // attributes — no single partition key exists. A 4-shard request
+    // still runs wide: broadcast mode partitions the dominant stream
+    // (Readings, incident to both predicates) round-robin and replicates
+    // the other streams to every shard as build-only copies, at the cost
+    // of window memory scaling with S for the replicated streams.
     let chain = sensors_query(&[
         ("Sensors.region", "Readings.region"),
         ("Readings.level", "Alarms.region"),
     ]);
-    let engine = EngineBuilder::new(chain)
+    let mut engine = EngineBuilder::new(chain.clone())
         .policy(MSketch)
         .capacity_per_window(128)
         .seed(9)
         .shards(4)
         .build_sharded()
         .expect("valid engine");
+    assert!(engine.degraded().is_none(), "broadcast mode runs wide");
+    feed(&mut engine, 30_000);
+    let report = engine.finish().expect("workers exit cleanly");
+    println!(
+        "\nchain query in broadcast mode: {} shards  processed {:>6}  replicated {:>6}  results {:>8}",
+        report.combined.shards,
+        report.combined.metrics.processed,
+        report.combined.metrics.replicated,
+        report.combined.total_output(),
+    );
+
+    // Opting out of broadcast (e.g. to cap memory at one window per
+    // stream) degrades the same query to one worker — and says why.
+    let engine = EngineBuilder::new(chain)
+        .policy(MSketch)
+        .capacity_per_window(128)
+        .seed(9)
+        .shards(4)
+        .broadcast(false)
+        .build_sharded()
+        .expect("valid engine");
     let degraded = engine
         .degraded()
         .map(str::to_owned)
-        .expect("chain query cannot partition");
+        .expect("chain query cannot partition by key");
     let report = engine
         .run_trace(&Trace::default(), 300.0)
         .expect("empty run still finishes");
     println!(
-        "\nchain query degraded to {} shard: {}",
+        "\nchain query with broadcast disabled degraded to {} shard: {}",
         report.combined.shards, degraded
     );
 }

@@ -5,6 +5,9 @@
 #
 # Usage: scripts/bench_diff.sh OLD.json NEW.json [--tolerance PCT]
 #
+# Both the uniform "shard_scaling" section and the Zipf hot-key
+# "shard_scaling_zipf" section are compared when present in both
+# snapshots (a section missing on either side is noted and skipped).
 # Prints a per-shard-count table (old/new seconds, delta, speedups,
 # steady allocs) and exits nonzero if any shard count present in both
 # snapshots regressed by more than the tolerance (default 10%).
@@ -28,40 +31,60 @@ import sys
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    # Accept either the merged artifact ({"shard_scaling": [...]}) or the
-    # raw --json row list written by the shard_scaling binary.
-    rows = doc["shard_scaling"] if isinstance(doc, dict) else doc
-    return {int(r["shards"]): r for r in rows}
+    # Accept either the merged artifact ({"shard_scaling": [...], ...}) or
+    # the raw --json row list written by the shard_scaling binary.
+    if isinstance(doc, dict):
+        sections = {k: v for k, v in doc.items() if k.startswith("shard_scaling")}
+    else:
+        sections = {"shard_scaling": doc}
+    return {
+        name: {int(r["shards"]): r for r in rows} for name, rows in sections.items()
+    }
 
 
 old_path, new_path = os.environ["OLD"], os.environ["NEW"]
 tol = float(os.environ["TOL"]) / 100.0
-old, new = load(old_path), load(new_path)
+old_doc, new_doc = load(old_path), load(new_path)
 
-shared = sorted(set(old) & set(new))
-if not shared:
-    sys.exit(f"FAIL: no shard counts in common between {old_path} and {new_path}")
-for s in sorted(set(old) ^ set(new)):
-    side = new_path if s in new else old_path
-    print(f"note: S={s} only present in {side}, skipped")
+shared_sections = sorted(set(old_doc) & set(new_doc))
+if not shared_sections:
+    sys.exit(f"FAIL: no shard_scaling sections in common between {old_path} and {new_path}")
+for name in sorted(set(old_doc) ^ set(new_doc)):
+    side = new_path if name in new_doc else old_path
+    print(f"note: section {name} only present in {side}, skipped")
 
-header = f"{'S':>3}  {'old s':>9}  {'new s':>9}  {'delta':>8}  {'old spd':>8}  {'new spd':>8}  {'allocs':>7}"
-print(header)
-print("-" * len(header))
 regressed = []
-for s in shared:
-    o, n = old[s], new[s]
-    delta = (n["seconds"] - o["seconds"]) / o["seconds"]
-    allocs = n.get("steady_allocs", "-")
-    print(
-        f"{s:>3}  {o['seconds']:>9.5f}  {n['seconds']:>9.5f}  {delta:>+7.1%} "
-        f" {o.get('speedup', 1.0):>8.2f}  {n.get('speedup', 1.0):>8.2f}  {allocs:>7}"
-    )
-    if delta > tol:
-        regressed.append((s, delta))
+compared = 0
+for name in shared_sections:
+    old, new = old_doc[name], new_doc[name]
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        print(f"note: {name}: no shard counts in common, skipped")
+        continue
+    for s in sorted(set(old) ^ set(new)):
+        side = new_path if s in new else old_path
+        print(f"note: {name}: S={s} only present in {side}, skipped")
 
+    print(f"[{name}]")
+    header = f"{'S':>3}  {'old s':>9}  {'new s':>9}  {'delta':>8}  {'old spd':>8}  {'new spd':>8}  {'allocs':>7}"
+    print(header)
+    print("-" * len(header))
+    for s in shared:
+        o, n = old[s], new[s]
+        delta = (n["seconds"] - o["seconds"]) / o["seconds"]
+        allocs = n.get("steady_allocs", "-")
+        print(
+            f"{s:>3}  {o['seconds']:>9.5f}  {n['seconds']:>9.5f}  {delta:>+7.1%} "
+            f" {o.get('speedup', 1.0):>8.2f}  {n.get('speedup', 1.0):>8.2f}  {allocs:>7}"
+        )
+        compared += 1
+        if delta > tol:
+            regressed.append((name, s, delta))
+
+if not compared:
+    sys.exit(f"FAIL: no shard counts in common between {old_path} and {new_path}")
 if regressed:
-    worst = ", ".join(f"S={s} {d:+.1%}" for s, d in regressed)
+    worst = ", ".join(f"{name} S={s} {d:+.1%}" for name, s, d in regressed)
     sys.exit(f"FAIL: wall-time regression beyond {tol:.0%}: {worst}")
-print(f"OK: no shard count regressed by more than {tol:.0%}")
+print(f"OK: no shard count regressed by more than {tol:.0%} ({compared} compared)")
 EOF

@@ -1,34 +1,67 @@
 #!/usr/bin/env bash
-# Runs the shard-scaling throughput pass (sharded engine at S in {1,2,4,8}
-# on a key-partitionable query) and writes BENCH_shard.json at the repo
-# root.
+# Runs the shard-scaling throughput passes and merges BENCH_shard.json at
+# the repo root:
+#   - uniform: the regions trace at S in {1,2,4,8} (DESIGN.md §11 row;
+#     wall-time speedup is the headline)
+#   - zipf:    a Zipf(2.0) hot-key trace at S in {1,2,4,8,16} (DESIGN.md
+#     §12 skew-adaptive routing row; probe imbalance is the headline)
 #
-# Usage: scripts/bench_shard.sh [--scale S]
+# Usage: scripts/bench_shard.sh [--scale S] [--zipf-only]
+#
+# --zipf-only re-measures only the shard_scaling_zipf section and keeps
+# the existing uniform rows untouched. Use it on hosts that cannot
+# reproduce the committed multi-core uniform wall-time baseline (the zipf
+# headline — imbalance and routing counters — is deterministic and
+# host-independent; see EXPERIMENTS.md).
 #
 # Artifact layout (BENCH_shard.json):
 #   {
-#     "shard_scaling": [ {"shards": 1, "seconds": ..., "output": ...,
-#                         "processed": ..., "shed_window": ...,
-#                         "speedup": ...}, ... ]
+#     "shard_scaling":      [ {"shards": 1, "seconds": ..., "output": ...,
+#                              "speedup": ..., ...}, ... ],
+#     "shard_scaling_zipf": [ {"shards": 1, "imbalance": ...,
+#                              "hot_promoted": ..., "cores": ...}, ... ]
 #   }
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCALE="${2:-0.5}"
-if [ "${1:-}" = "--scale" ] && [ -n "${2:-}" ]; then SCALE="$2"; fi
+SCALE="0.5"
+ZIPF_ONLY=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --scale) SCALE="$2"; shift 2 ;;
+    --zipf-only) ZIPF_ONLY=1; shift ;;
+    *) echo "usage: $0 [--scale S] [--zipf-only]" >&2; exit 2 ;;
+  esac
+done
 
-echo "== shard_scaling (scale $SCALE) =="
+if [ "$ZIPF_ONLY" = 0 ]; then
+  echo "== shard_scaling uniform (scale $SCALE) =="
+  cargo run --release -p mstream-bench --bin shard_scaling -- \
+    --scale "$SCALE" --json target/shard_scaling.json
+fi
+
+echo "== shard_scaling zipf (theta 2.0) =="
 cargo run --release -p mstream-bench --bin shard_scaling -- \
-  --scale "$SCALE" --json target/shard_scaling.json
+  --zipf 2.0 --shards 1,2,4,8,16 --json target/shard_scaling_zipf.json
 
 echo "== merging BENCH_shard.json =="
-python3 - <<'EOF'
+ZIPF_ONLY="$ZIPF_ONLY" python3 - <<'EOF'
 import json
+import os
 
-with open("target/shard_scaling.json") as f:
-    rows = json.load(f)
+doc = {}
+if os.environ["ZIPF_ONLY"] == "1":
+    with open("BENCH_shard.json") as f:
+        doc = json.load(f)
+else:
+    with open("target/shard_scaling.json") as f:
+        doc["shard_scaling"] = json.load(f)
+with open("target/shard_scaling_zipf.json") as f:
+    doc["shard_scaling_zipf"] = json.load(f)
 
 with open("BENCH_shard.json", "w") as f:
-    json.dump({"shard_scaling": rows}, f, indent=2, sort_keys=True)
-print(f"wrote BENCH_shard.json ({len(rows)} shard counts)")
+    json.dump(doc, f, indent=2, sort_keys=True)
+uniform = len(doc.get("shard_scaling", []))
+zipf = len(doc["shard_scaling_zipf"])
+print(f"wrote BENCH_shard.json ({uniform} uniform + {zipf} zipf shard counts)")
 EOF

@@ -47,6 +47,38 @@ cargo run --release -p mstream-bench --bin probe_micro -- --quick
 # arrival accounting.
 cargo test -q --test sharded_join
 
+# Skew-adaptive routing differential smoke (DESIGN.md §12): at provably
+# lossless memory (--mem-pct 100: every window can hold the whole trace on
+# every shard) the same trace must produce the identical output multiset
+# at S=1 and S=4 — for the uniform regions workload and for a Zipf
+# hot-key workload where the router demonstrably promotes and splits
+# heavy hitters with replicated build sides.
+cargo run --release -p mstream-bench --bin shard_scaling -- \
+  --scale 0.1 --mem-pct 100 --shards 1,4 --min-secs 0.05 \
+  --json target/check_skew_uniform.json
+cargo run --release -p mstream-bench --bin shard_scaling -- \
+  --zipf 2.0 --scale 0.1 --mem-pct 100 --shards 1,4 --min-secs 0.05 \
+  --json target/check_skew_zipf.json
+python3 - <<'EOF'
+import json
+for name, want_hot in [("uniform", False), ("zipf", True)]:
+    rows = json.load(open(f"target/check_skew_{name}.json"))
+    by_s = {r["shards"]: r for r in rows}
+    assert set(by_s) == {1, 4}, f"{name}: expected S in {{1,4}}, got {sorted(by_s)}"
+    outs = {s: r["output"] for s, r in by_s.items()}
+    if outs[1] != outs[4]:
+        raise SystemExit(f"FAIL: {name} S=4 output {outs[4]} != S=1 output {outs[1]}")
+    shed = {s: r["shed_window"] for s, r in by_s.items()}
+    if any(shed.values()):
+        raise SystemExit(f"FAIL: {name} lossless run shed windows: {shed}")
+    if want_hot and by_s[4]["hot_promoted"] == 0:
+        raise SystemExit("FAIL: zipf smoke never promoted a hot key")
+    if want_hot and by_s[4]["replicated"] == 0:
+        raise SystemExit("FAIL: zipf smoke never replicated a build side")
+    print(f"skewed-route smoke: {name} S=1 == S=4 ({outs[1]} rows, "
+          f"hot_promoted={by_s[4]['hot_promoted']})")
+EOF
+
 # Route-only data-plane smoke: mint + route + channel round-trip with the
 # join disabled must reach a zero-allocation steady state at some S.
 cargo run --release -p mstream-bench --bin shard_scaling -- \

@@ -7,8 +7,13 @@
 //!   sequence numbers — for any S.
 //! * Under reduced memory, the sharded output is a sub-multiset of the
 //!   full-memory result (shedding only removes rows, never invents them).
-//! * A non-partitionable query degrades to 1 shard with the reason
-//!   surfaced, and then behaves bit-identically to the single engine.
+//! * A non-partitionable query with broadcast mode disabled degrades to 1
+//!   shard with the reason surfaced, and then behaves bit-identically to
+//!   the single engine; with broadcast mode (the default) it runs at the
+//!   requested shard count and still matches the oracle at full memory.
+//! * Hot-key splitting (replicated build sides + round-robin probes)
+//!   preserves the full-memory oracle equality and the sub-multiset
+//!   property under shedding, and replays deterministically.
 //! * Tuple-count windows stay exact across shards (the tick broadcast).
 //! * Same seed ⇒ same run, shard count and shedding notwithstanding.
 
@@ -33,7 +38,7 @@ fn keyed3(window: WindowSpec) -> JoinQuery {
 
 /// The paper's chain: R2 joins through two different attributes, so no
 /// single partition key exists.
-fn chain3() -> JoinQuery {
+fn chain3_windowed(window: WindowSpec) -> JoinQuery {
     let mut c = Catalog::new();
     c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
     c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
@@ -41,9 +46,13 @@ fn chain3() -> JoinQuery {
     JoinQuery::from_names(
         c,
         &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")],
-        WindowSpec::secs(40),
+        window,
     )
     .unwrap()
+}
+
+fn chain3() -> JoinQuery {
+    chain3_windowed(WindowSpec::secs(40))
 }
 
 /// Metrics with the wall-clock timing counters zeroed — everything else
@@ -148,7 +157,7 @@ fn sharded_rows(
             batch_size: 7, // deliberately not a divisor of the trace length
             backpressure: Backpressure::Block,
             collect_rows: true,
-            route_only: false,
+            ..ShardConfig::default()
         },
     )
 }
@@ -204,10 +213,10 @@ fn reduced_memory_sharded_output_is_sub_multiset_of_oracle() {
     }
 }
 
-/// The chain query joins R2 through two different attributes: a 4-shard
-/// request degrades to 1 worker, says why, and — because a 1-shard run
-/// keeps the master seed — matches the single engine bit for bit even
-/// while shedding.
+/// The chain query joins R2 through two different attributes: with
+/// broadcast mode switched off, a 4-shard request degrades to 1 worker,
+/// says why, and — because a 1-shard run keeps the master seed — matches
+/// the single engine bit for bit even while shedding.
 #[test]
 fn non_partitionable_query_degrades_with_reason_and_stays_exact() {
     let arrivals = trace(700, 6);
@@ -218,6 +227,7 @@ fn non_partitionable_query_degrades_with_reason_and_stays_exact() {
         .shard_config(ShardConfig {
             shards: 4,
             collect_rows: true,
+            broadcast: false,
             ..ShardConfig::default()
         })
         .build_sharded()
@@ -275,7 +285,7 @@ fn coalesced_tick_summaries_match_per_arrival_semantics() {
                 batch_size: 64, // deep coalescing: many ticks per summary
                 backpressure: Backpressure::Block,
                 collect_rows: true,
-                route_only: false,
+                ..ShardConfig::default()
             },
         );
         let rows = canon(report.rows.as_ref().unwrap());
@@ -309,7 +319,7 @@ fn buffer_recycling_survives_capacity_one_stress() {
         batch_size: 1, // one item per batch: maximum recycling churn
         backpressure: Backpressure::Block,
         collect_rows: true,
-        route_only: false,
+        ..ShardConfig::default()
     };
     let (oracle, _) = single_engine_rows(keyed3(WindowSpec::Tuples(15)), 100_000, &arrivals);
     let a = sharded_rows_with(keyed3(WindowSpec::Tuples(15)), 100_000, &arrivals, stress.clone());
@@ -341,7 +351,7 @@ fn shed_backpressure_accounts_every_arrival() {
             batch_size: 1,
             backpressure: Backpressure::Shed,
             collect_rows: true,
-            route_only: false,
+            ..ShardConfig::default()
         },
     );
     assert_eq!(
@@ -373,4 +383,223 @@ fn same_seed_replays_identically() {
         canon(a.rows.as_ref().unwrap()),
         canon(b.rows.as_ref().unwrap())
     );
+}
+
+/// A deliberately skewed trace: key 0 carries ~60% of the arrivals, the
+/// rest spread over the remaining domain.
+fn skewed_trace(n: usize, key_domain: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(9);
+    (0..n)
+        .map(|i| {
+            let key = if rng.gen_bool(0.6) {
+                0
+            } else {
+                rng.gen_range(1..key_domain)
+            };
+            Arrival::new(
+                StreamId(rng.gen_range(0..3)),
+                vec![Value(key), Value(rng.gen_range(0..key_domain))],
+                VTime::from_secs(i as u64 / 4),
+            )
+        })
+        .collect()
+}
+
+/// A hot-key config aggressive enough to promote on a few-hundred-arrival
+/// test trace (the library default epoch of 2048 arrivals never fires
+/// here, by design — short traces shouldn't churn the hot set).
+fn aggressive_hot() -> HotKeyConfig {
+    HotKeyConfig {
+        enabled: true,
+        capacity: 8,
+        tracker_capacity: 64,
+        epoch_arrivals: 64,
+        promote_permille: 200,
+        demote_permille: 100,
+    }
+}
+
+fn skewed_config(shards: usize) -> ShardConfig {
+    ShardConfig {
+        shards,
+        channel_capacity: 4,
+        batch_size: 7,
+        backpressure: Backpressure::Block,
+        collect_rows: true,
+        hot_keys: aggressive_hot(),
+        ..ShardConfig::default()
+    }
+}
+
+/// Hot-key splitting replicates the build side and round-robins the probe
+/// side, but at full memory the merged output must still equal the
+/// single-engine oracle exactly — the fan-out gate defers round-robin
+/// probing until every pre-promotion tuple of the key has expired
+/// everywhere. Exercised for both window kinds (the two gate conditions).
+#[test]
+fn hot_key_split_matches_oracle_at_full_memory() {
+    for window in [WindowSpec::secs(25), WindowSpec::Tuples(15)] {
+        let arrivals = skewed_trace(900, 12);
+        let (oracle, oracle_metrics) = single_engine_rows(keyed3(window), 100_000, &arrivals);
+        assert!(!oracle.is_empty(), "trace must produce joins");
+        for shards in [2, 4, 8] {
+            let report =
+                sharded_rows_with(keyed3(window), 100_000, &arrivals, skewed_config(shards));
+            assert!(
+                report.hot_promoted > 0,
+                "S={shards} {window:?}: the 60% key must be detected"
+            );
+            assert!(
+                report.combined.metrics.replicated > 0,
+                "S={shards} {window:?}: hot arrivals must replicate"
+            );
+            assert_eq!(
+                report.combined.metrics.processed,
+                arrivals.len() as u64,
+                "exactly one FULL delivery per arrival"
+            );
+            let rows = canon(report.rows.as_ref().unwrap());
+            assert_eq!(
+                rows, oracle,
+                "S={shards} {window:?}: hot-key split diverged from oracle"
+            );
+            assert_eq!(
+                report.combined.metrics.total_output,
+                oracle_metrics.total_output
+            );
+        }
+    }
+}
+
+/// Round-robin probe placement must actually engage: once the gate opens,
+/// the hot key's probe work spreads across shards instead of serializing
+/// on its hash home.
+#[test]
+fn hot_key_split_spreads_probe_work() {
+    let arrivals = skewed_trace(900, 12);
+    let report = sharded_rows_with(
+        keyed3(WindowSpec::Tuples(15)),
+        100_000,
+        &arrivals,
+        skewed_config(4),
+    );
+    assert!(report.hot_promoted > 0);
+    let max = *report.routed.iter().max().unwrap();
+    let total: u64 = report.routed.iter().sum();
+    assert_eq!(total, arrivals.len() as u64, "one FULL delivery each");
+    // Without splitting, the 60% key alone pins >60% of deliveries to one
+    // shard; with round-robin the maximum shard share must fall well
+    // below that.
+    assert!(
+        (max as f64) < 0.45 * total as f64,
+        "probe work still concentrated: max shard got {max} of {total}"
+    );
+}
+
+/// Under reduced memory with hot keys active, shards shed within their
+/// (now replicated) partitions; the merged output must stay a
+/// sub-multiset of the full-memory oracle, and replays must be identical.
+#[test]
+fn hot_key_split_sheds_as_sub_multiset_and_replays() {
+    let arrivals = skewed_trace(900, 12);
+    let (oracle, _) = single_engine_rows(keyed3(WindowSpec::secs(25)), 100_000, &arrivals);
+    let a = sharded_rows_with(keyed3(WindowSpec::secs(25)), 48, &arrivals, skewed_config(4));
+    assert!(a.hot_promoted > 0, "skew must be detected");
+    assert!(
+        a.combined.metrics.shed_window > 0,
+        "capacity 48/4 must shed on this trace"
+    );
+    let rows = canon(a.rows.as_ref().unwrap());
+    assert!(
+        is_sub_multiset(&rows, &oracle),
+        "hot-key shedding emitted a row the oracle never produced"
+    );
+    let b = sharded_rows_with(keyed3(WindowSpec::secs(25)), 48, &arrivals, skewed_config(4));
+    assert_eq!(rows, canon(b.rows.as_ref().unwrap()));
+    assert_eq!(det(&a.combined.metrics), det(&b.combined.metrics));
+    assert_eq!(a.routed, b.routed, "routing must replay identically");
+}
+
+/// Broadcast mode: the chain query (not key-partitionable) runs at the
+/// requested shard count with no degrade reason, and at full memory the
+/// merged output equals the single-engine oracle — every result
+/// combination contains exactly one dominant-stream tuple, resident on
+/// exactly one shard. Exercised with time and tuple windows (the latter
+/// drives the dominant-stream tick path).
+#[test]
+fn broadcast_mode_matches_oracle_at_full_memory() {
+    for window in [WindowSpec::secs(40), WindowSpec::Tuples(20)] {
+        let arrivals = trace(700, 6);
+        let (oracle, oracle_metrics) =
+            single_engine_rows(chain3_windowed(window), 100_000, &arrivals);
+        assert!(!oracle.is_empty(), "trace must produce joins");
+        for shards in [2, 4] {
+            let report = sharded_rows_with(
+                chain3_windowed(window),
+                100_000,
+                &arrivals,
+                ShardConfig {
+                    shards,
+                    channel_capacity: 4,
+                    batch_size: 7,
+                    backpressure: Backpressure::Block,
+                    collect_rows: true,
+                    ..ShardConfig::default()
+                },
+            );
+            assert_eq!(report.combined.shards, shards, "broadcast mode runs wide");
+            assert_eq!(report.combined.degraded, None);
+            assert!(report.broadcast, "report must flag broadcast mode");
+            assert!(
+                report.combined.metrics.replicated > 0,
+                "broadcast streams must replicate"
+            );
+            assert_eq!(
+                report.combined.metrics.processed,
+                arrivals.len() as u64,
+                "exactly one FULL delivery per arrival"
+            );
+            let rows = canon(report.rows.as_ref().unwrap());
+            assert_eq!(
+                rows, oracle,
+                "S={shards} {window:?}: broadcast output diverged from oracle"
+            );
+            assert_eq!(
+                report.combined.metrics.total_output,
+                oracle_metrics.total_output
+            );
+        }
+    }
+}
+
+/// Broadcast-mode shedding and replay: reduced memory stays a
+/// sub-multiset of the oracle, every arrival is accounted once, and the
+/// same seed replays identically.
+#[test]
+fn broadcast_mode_sheds_as_sub_multiset_and_replays() {
+    let arrivals = trace(700, 6);
+    let (oracle, _) = single_engine_rows(chain3(), 100_000, &arrivals);
+    let config = ShardConfig {
+        shards: 4,
+        channel_capacity: 4,
+        batch_size: 7,
+        backpressure: Backpressure::Block,
+        collect_rows: true,
+        ..ShardConfig::default()
+    };
+    let a = sharded_rows_with(chain3(), 24, &arrivals, config.clone());
+    assert!(a.broadcast);
+    assert!(
+        a.combined.metrics.shed_window > 0,
+        "capacity 24 must shed on this trace"
+    );
+    assert_eq!(a.combined.metrics.processed, arrivals.len() as u64);
+    let rows = canon(a.rows.as_ref().unwrap());
+    assert!(
+        is_sub_multiset(&rows, &oracle),
+        "broadcast shedding emitted a row the oracle never produced"
+    );
+    let b = sharded_rows_with(chain3(), 24, &arrivals, config);
+    assert_eq!(rows, canon(b.rows.as_ref().unwrap()));
+    assert_eq!(det(&a.combined.metrics), det(&b.combined.metrics));
 }
