@@ -19,16 +19,24 @@
 //!    bijections, arena/index/expiry-deque agreement, capacity bounds,
 //!    epoch bookkeeping, and frozen-cross-product coherence.
 //!
+//! The [`disorder`] module adds the event-time contracts: a `K = 0`
+//! in-order run is bit-identical to the trusting engine, a bounded shuffle
+//! within `K` reproduces the in-order output exactly (every policy, both
+//! memory modes, sharded included), and beyond-bound lateness is dropped
+//! with accounting, never joined (`mstream-audit disorder --cases N`).
+//!
 //! Failures print a replay line (`cargo run -p mstream-audit -- replay
 //! <seed>`) and a greedily shrunk minimal trace ([`shrink`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod disorder;
 pub mod gen;
 pub mod run;
 pub mod shrink;
 
+pub use disorder::{inject_disorder, run_disorder_case};
 pub use gen::{generate_case, Arrival, Case, ReducedMemory};
 pub use run::{install_quiet_hook, run_case, run_case_on, Failure, FailureKind};
 pub use shrink::shrink_case;

@@ -32,6 +32,11 @@ pub enum FailureKind {
     /// count, missing/spurious degrade reason, or channel drops under
     /// blocking backpressure.
     ShardContract,
+    /// The event-time front end broke a disorder contract: a `K = 0`
+    /// in-order run diverged from the trusting engine, a covered-disorder
+    /// run failed to reproduce the in-order output, or a beyond-bound
+    /// arrival was not dropped-and-counted cleanly.
+    DisorderContract,
 }
 
 impl std::fmt::Display for FailureKind {
@@ -42,6 +47,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::InvariantPanic => "invariant-violation",
             FailureKind::QueuePanic => "queue-invariant-violation",
             FailureKind::ShardContract => "shard-contract-violation",
+            FailureKind::DisorderContract => "disorder-contract-violation (event time)",
         };
         f.write_str(s)
     }
@@ -72,7 +78,7 @@ impl std::fmt::Display for Failure {
 /// stream order. Two executors agree byte-for-byte on a match exactly when
 /// these rows are equal, because sequence numbers are assigned identically
 /// (0, 1, 2, … in arrival order) by both.
-fn row(b: &Bindings<'_>, n: usize) -> Vec<u64> {
+pub(crate) fn row(b: &Bindings<'_>, n: usize) -> Vec<u64> {
     let mut r = Vec::with_capacity(n * 3);
     for k in 0..n {
         let t = b.tuple(StreamId(k));
@@ -398,7 +404,7 @@ pub fn install_quiet_hook() {
 
 /// Extracts the human-readable message from a caught panic: the payload
 /// string if it has one, else whatever [`install_quiet_hook`] recorded.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).into()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -411,7 +417,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Describes the first discrepancy between two sorted row multisets.
-fn first_diff(got: &[Vec<u64>], want: &[Vec<u64>]) -> String {
+pub(crate) fn first_diff(got: &[Vec<u64>], want: &[Vec<u64>]) -> String {
     if got.len() != want.len() {
         return format!(
             "row count {} vs oracle {} (first engine row missing from oracle / vice versa: {:?})",

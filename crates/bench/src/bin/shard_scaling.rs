@@ -43,6 +43,15 @@
 //!   window can hold the whole trace on every shard), so every shard
 //!   count produces the identical output multiset (the skewed-route
 //!   differential smoke in check.sh gates on this).
+//! * `--disorder <list>` — comma-separated disorder bounds K in
+//!   milliseconds (e.g. `0,16,256`). Each K gets its own sweep point per
+//!   shard count: the feed order is shuffled with per-arrival lateness
+//!   bounded by K (deterministic jitter sort) and the coordinator's
+//!   event-time front end is armed with the same bound (DESIGN.md §13),
+//!   so the rows measure pure reorder-buffer overhead — covered disorder
+//!   must reproduce the identical output at every K, and the
+//!   `shard_scaling_disorder` section of BENCH_shard.json gates the
+//!   wall-time cost.
 
 use mstream_bench::{args, paper, table, Args};
 use mstream_core::prelude::*;
@@ -187,6 +196,11 @@ fn main() {
         .flag_value("--mem-pct")
         .map(|v| v.parse().expect("--mem-pct takes a percentage"))
         .unwrap_or(25);
+    let disorder_ms: Option<Vec<u64>> = args.flag_value("--disorder").map(|v| {
+        v.split(',')
+            .map(|s| s.trim().parse().expect("--disorder takes e.g. 0,16,256 (ms)"))
+            .collect()
+    });
 
     let (query, trace, base_capacity, workload) = match zipf_theta {
         Some(theta) => {
@@ -211,7 +225,26 @@ fn main() {
     let rate = 1000.0;
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
-    let run_pass = |shards: usize| -> Pass {
+    // One delivery order per disorder bound: index `i`'s sort key is its
+    // schedule instant (`i·dt`) plus a deterministic jitter in `[0, K]`,
+    // ties broken by index. Delivered lateness never exceeds K (an
+    // earlier-keyed arrival's instant is at most `key ≤ ts + K` ahead), so
+    // a front end armed with bound K accepts every arrival and the run
+    // measures pure reordering overhead — no output changes.
+    let dt = VDur::from_rate(rate);
+    let delivery_order = |k_ms: u64| -> Vec<usize> {
+        let k_micros = k_ms * 1000;
+        let mut keyed: Vec<(u64, usize)> = (0..trace.len())
+            .map(|i| {
+                let mixed = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+                (dt.mul(i as u64).as_micros() + mixed % (k_micros + 1), i)
+            })
+            .collect();
+        keyed.sort_unstable();
+        keyed.into_iter().map(|(_, i)| i).collect()
+    };
+
+    let run_pass = |shards: usize, disorder: Option<(u64, &[usize])>| -> Pass {
         // At >= 100% the run is made *provably* lossless instead of
         // nominally so: every window can hold the whole trace on every
         // shard (hot-key splitting replicates build sides, so "full
@@ -228,10 +261,14 @@ fn main() {
         } else {
             HotKeyConfig::default()
         };
-        let mut engine = EngineBuilder::new(query.clone())
+        let mut builder = EngineBuilder::new(query.clone())
             .policy(MSketch)
             .capacity_per_window(capacity)
-            .seed(args.seed)
+            .seed(args.seed);
+        if let Some((k_ms, _)) = disorder {
+            builder = builder.disorder_bound(VDur::from_micros(k_ms * 1000));
+        }
+        let mut engine = builder
             .shard_config(ShardConfig {
                 shards,
                 channel_capacity: 64,
@@ -245,16 +282,19 @@ fn main() {
             .build_sharded()
             .expect("valid engine");
         assert_eq!(engine.shards(), shards, "query must partition");
-        // Feed the trace on run_trace's virtual-time schedule, snapshotting
-        // the allocation counter at the halfway point: by then the batch
-        // buffers are recycling, so the second half is the steady state.
+        // Feed the trace on run_trace's virtual-time schedule (each
+        // arrival's timestamp is its *scheduled* instant even when the
+        // delivery order is shuffled), snapshotting the allocation counter
+        // at the halfway point: by then the batch buffers are recycling,
+        // so the second half is the steady state.
         let half = trace.len() / 2;
-        let dt = VDur::from_rate(rate);
         let mut before = 0u64;
-        for (i, item) in trace.items.iter().enumerate() {
-            if i == half {
+        for p in 0..trace.len() {
+            if p == half {
                 before = ALLOC_CALLS.load(Ordering::Relaxed);
             }
+            let i = disorder.map_or(p, |(_, order)| order[p]);
+            let item = &trace.items[i];
             let now = VTime::ZERO + dt.mul(i as u64);
             engine.ingest(Arrival::new(item.stream, item.values.clone(), now));
         }
@@ -266,7 +306,21 @@ fn main() {
         }
     };
 
-    let header = vec![
+    let k_orders: Vec<(u64, Vec<usize>)> = disorder_ms
+        .as_deref()
+        .unwrap_or_default()
+        .iter()
+        .map(|&k| (k, delivery_order(k)))
+        .collect();
+    let mut points: Vec<(usize, Option<u64>)> = Vec::new();
+    for &shards in &shard_list {
+        match &disorder_ms {
+            Some(ks) => points.extend(ks.iter().map(|&k| (shards, Some(k)))),
+            None => points.push((shards, None)),
+        }
+    }
+
+    let mut header = vec![
         "shards".to_string(),
         "time (s)".to_string(),
         "passes".to_string(),
@@ -277,13 +331,20 @@ fn main() {
         "steady allocs".to_string(),
         "speedup".to_string(),
     ];
+    if disorder_ms.is_some() {
+        header.insert(1, "K (ms)".to_string());
+    }
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
     let mut base_secs = 0.0f64;
     let mut times = Vec::new();
-    for (point, &shards) in shard_list.iter().enumerate() {
+    for (point, &(shards, k_ms)) in points.iter().enumerate() {
+        let disorder = k_ms.map(|k| {
+            let order = &k_orders.iter().find(|(ko, _)| *ko == k).expect("order built").1;
+            (k, order.as_slice())
+        });
         // Untimed warmup: thread spin-up, page faults, allocator warm.
-        let warm = run_pass(shards);
+        let warm = run_pass(shards, disorder);
         // Timed passes until the point has accumulated `min_secs` of wall
         // time; each pass is a fresh engine over the same trace.
         let mut total_secs = 0.0f64;
@@ -298,7 +359,7 @@ fn main() {
         let mut routed = Vec::new();
         let mut resident = Vec::new();
         while total_secs < min_secs {
-            let pass = run_pass(shards);
+            let pass = run_pass(shards, disorder);
             assert_eq!(
                 pass.report.combined.total_output(),
                 warm.report.combined.total_output(),
@@ -329,7 +390,7 @@ fn main() {
         } else {
             processed as f64 / secs
         };
-        rows.push(vec![
+        let mut row = vec![
             shards.to_string(),
             format!("{secs:.3}"),
             passes.to_string(),
@@ -339,8 +400,12 @@ fn main() {
             hot_promoted.to_string(),
             steady_allocs.to_string(),
             format!("{:.2}x", base_secs / secs),
-        ]);
-        json_rows.push(serde_json::json!({
+        ];
+        if let Some(k) = k_ms {
+            row.insert(1, k.to_string());
+        }
+        rows.push(row);
+        let json_row = serde_json::json!({
             "shards": shards,
             "seconds": secs,
             "passes": passes,
@@ -361,9 +426,22 @@ fn main() {
             "mem_pct": mem_pct,
             "cores": cores,
             "speedup": base_secs / secs,
-        }));
+        });
+        let json_row = match (k_ms, json_row) {
+            (Some(k), serde_json::Value::Object(mut m)) => {
+                m.push(("disorder_k_ms".to_string(), serde_json::json!(k)));
+                serde_json::Value::Object(m)
+            }
+            (_, v) => v,
+        };
+        json_rows.push(json_row);
     }
-    let title = if route_only {
+    let title = if let Some(ks) = &disorder_ms {
+        format!(
+            "Shard scaling (bounded disorder K ∈ {ks:?} ms): keyed 3-way join, {mem_pct}% memory, {} arrivals",
+            trace.len()
+        )
+    } else if route_only {
         format!(
             "Shard scaling (route-only data plane): keyed 3-way join trace, {} arrivals",
             trace.len()
@@ -377,7 +455,18 @@ fn main() {
         format!("Shard scaling: keyed 3-way join, {mem_pct}% memory ({base_capacity} tuples total)")
     };
     table::print_table(&title, &header, &rows);
-    if route_only {
+    if disorder_ms.is_some() {
+        // The headline is deterministic: covered disorder is invisible —
+        // every K (including 0) must reproduce the identical output count
+        // at every shard count, with the reorder buffer the only cost.
+        let invisible = json_rows
+            .windows(2)
+            .all(|w| w[0]["shards"] != w[1]["shards"] || w[0]["output"] == w[1]["output"]);
+        table::print_shape(
+            "bounded disorder is output-invisible (every K reproduces the same output per shard count)",
+            invisible,
+        );
+    } else if route_only {
         table::print_shape(
             "steady-state data plane allocates nothing (some pass saw 0 allocs per arrival)",
             json_rows

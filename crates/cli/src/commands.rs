@@ -25,6 +25,13 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             return Err(CliError::usage("--service must be positive"));
         }
     }
+    let disorder = parse_disorder(flags)?;
+    if disorder.is_some() && service.is_some() {
+        return Err(CliError::usage(
+            "--disorder-bound reorders at the operator's ingest and cannot be combined with the \
+             --service queue model",
+        ));
+    }
     if let Some(shards) = flags.num_opt::<usize>("--shards")? {
         if shards == 0 {
             return Err(CliError::usage("--shards must be >= 1"));
@@ -44,10 +51,14 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         },
         ..Default::default()
     };
-    let mut engine = EngineBuilder::new(query)
+    let mut builder = EngineBuilder::new(query)
         .boxed_policy(policy)
         .capacity_per_window(capacity)
-        .seed(flags.num("--seed", 42)?)
+        .seed(flags.num("--seed", 42)?);
+    if let Some(bound) = disorder {
+        builder = builder.disorder_bound(bound);
+    }
+    let mut engine = builder
         .build()
         .map_err(|e| CliError::input(e.to_string()))?;
     let report = run_trace(&mut engine, &trace, &opts);
@@ -60,6 +71,8 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             "processed": report.metrics.processed,
             "shed_window": report.metrics.shed_window,
             "shed_queue": report.metrics.shed_queue,
+            "late_dropped": report.metrics.late_dropped,
+            "disorder_bound_secs": disorder.map(|d| d.as_secs_f64()),
             "expired": report.metrics.expired,
             "epoch_rollovers": report.metrics.epoch_rollovers,
             "end_time_secs": report.end_time.as_secs_f64(),
@@ -77,6 +90,14 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             "shed:            {} window, {} queue",
             report.metrics.shed_window, report.metrics.shed_queue
         )?;
+        if let Some(bound) = disorder {
+            writeln!(
+                out,
+                "event time:      bound {:.1}s, {} late-dropped",
+                bound.as_secs_f64(),
+                report.metrics.late_dropped
+            )?;
+        }
         writeln!(out, "expired:         {}", report.metrics.expired)?;
         writeln!(
             out,
@@ -105,12 +126,17 @@ fn run_sharded(
     rate: f64,
     shards: usize,
 ) -> Result<(), CliError> {
-    let engine = EngineBuilder::new(query)
+    let disorder = parse_disorder(flags)?;
+    let mut builder = EngineBuilder::new(query)
         .boxed_policy(policy)
         .capacity_per_window(capacity)
         .seed(flags.num("--seed", 42)?)
         .shards(shards)
-        .broadcast(!flags.has("--no-broadcast"))
+        .broadcast(!flags.has("--no-broadcast"));
+    if let Some(bound) = disorder {
+        builder = builder.disorder_bound(bound);
+    }
+    let engine = builder
         .build_sharded()
         .map_err(|e| CliError::input(e.to_string()))?;
     let report = engine
@@ -144,6 +170,8 @@ fn run_sharded(
             "replicated": report.combined.metrics.replicated,
             "shed_window": report.combined.metrics.shed_window,
             "shed_channel": report.shed_channel,
+            "late_dropped": report.combined.metrics.late_dropped,
+            "disorder_bound_secs": disorder.map(|d| d.as_secs_f64()),
             "expired": report.combined.metrics.expired,
             "per_shard": per_shard,
             "end_time_secs": report.combined.end_time.as_secs_f64(),
@@ -170,6 +198,14 @@ fn run_sharded(
             "shed:            {} window, {} channel",
             report.combined.metrics.shed_window, report.shed_channel
         )?;
+        if let Some(bound) = disorder {
+            writeln!(
+                out,
+                "event time:      bound {:.1}s, {} late-dropped",
+                bound.as_secs_f64(),
+                report.combined.metrics.late_dropped
+            )?;
+        }
         writeln!(out, "expired:         {}", report.combined.metrics.expired)?;
         for (i, m) in report.per_shard.iter().enumerate() {
             writeln!(
@@ -186,6 +222,19 @@ fn run_sharded(
         )?;
     }
     Ok(())
+}
+
+/// Parses `--disorder-bound` (seconds) into the event-time bound, if given.
+fn parse_disorder(flags: &Flags) -> Result<Option<VDur>, CliError> {
+    let Some(secs) = flags.num_opt::<f64>("--disorder-bound")? else {
+        return Ok(None);
+    };
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(CliError::usage(
+            "--disorder-bound must be a finite number of seconds >= 0",
+        ));
+    }
+    Ok(Some(VDur::from_secs_f64(secs)))
 }
 
 /// `mstream generate`: write a synthetic workload as CSV.
@@ -508,6 +557,59 @@ mod tests {
         ])
         .unwrap();
         assert!(text.contains("degraded:"), "{text}");
+    }
+
+    #[test]
+    fn disorder_bound_flag_runs_and_matches_in_order_output() {
+        let dir = std::env::temp_dir().join("mstream_cli_test_disorder");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.csv");
+        let trace_path = trace_path.to_str().unwrap();
+        run_cli(&[
+            "generate", "--workload", "regions", "--tuples", "200", "--out", trace_path,
+        ])
+        .unwrap();
+        let query = "SELECT * FROM R1(A1, A2) [RANGE 30 SECONDS], R2(A1, A2), R3(A1, A2) \
+                     WHERE R1.A1 = R2.A1 AND R2.A2 = R3.A1";
+        let plain = run_cli(&["run", "--query", query, "--trace", trace_path, "--json"]).unwrap();
+        let p: serde_json::Value = serde_json::from_str(&plain).unwrap();
+        // The CLI's arrival schedule is in order, so any bound — zero
+        // included — must reproduce the trusting run's output exactly.
+        for bound in ["0", "5"] {
+            let json = run_cli(&[
+                "run", "--query", query, "--trace", trace_path, "--disorder-bound", bound,
+                "--json",
+            ])
+            .unwrap();
+            let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+            assert_eq!(v["output_tuples"], p["output_tuples"], "bound {bound}");
+            assert_eq!(v["late_dropped"], 0);
+        }
+        let text = run_cli(&[
+            "run", "--query", query, "--trace", trace_path, "--disorder-bound", "5",
+        ])
+        .unwrap();
+        assert!(text.contains("event time:"), "{text}");
+        // Sharded runs accept the flag too (coordinator-side front end).
+        let json = run_cli(&[
+            "run", "--query", query, "--trace", trace_path, "--shards", "2",
+            "--disorder-bound", "5", "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["output_tuples"], p["output_tuples"]);
+        // Rejected: the overload queue model trusts arrival order.
+        let err = run_cli(&[
+            "run", "--query", query, "--trace", trace_path, "--service", "100",
+            "--disorder-bound", "5",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--disorder-bound"), "{err}");
+        let err = run_cli(&[
+            "run", "--query", query, "--trace", trace_path, "--disorder-bound", "-1",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains(">= 0"), "{err}");
     }
 
     #[test]

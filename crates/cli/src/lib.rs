@@ -68,6 +68,10 @@ RUN OPTIONS:
                          --capacity stays the total budget; excludes --service
     --no-broadcast       degrade non-partitionable queries to 1 shard (with a
                          reason) instead of running them broadcast
+    --disorder-bound <s> event-time mode: buffer out-of-order arrivals up to s
+                         seconds of lateness, release them in timestamp order
+                         as the watermark advances, and drop (with accounting)
+                         anything later; omit to trust timestamps as given
     --json               print the report as JSON instead of text
 
 GENERATE OPTIONS:

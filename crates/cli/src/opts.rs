@@ -63,6 +63,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--queue",
     "--seed",
     "--shards",
+    "--disorder-bound",
     "--workload",
     "--out",
     "--tuples",

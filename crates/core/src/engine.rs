@@ -5,8 +5,8 @@ use crate::report::EngineMetrics;
 use mstream_join::{probe_each, Bindings, ProbePlan};
 use mstream_shed_policies::{clamp_score, PriorityCtx, Requirements, ShedPolicy};
 use mstream_sketch::{BankConfig, EpochSpec, TumblingFreq, TumblingSketches};
-use mstream_types::{Error, JoinQuery, Result, Row, SeqNo, StreamId, Tuple, VTime, WindowSpec};
-use mstream_window::{QueueVictim, Slot, WindowStore};
+use mstream_types::{Error, JoinQuery, Result, Row, SeqNo, StreamId, Tuple, VDur, VTime, WindowSpec};
+use mstream_window::{QueueVictim, ReorderBuffer, Slot, WindowStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -39,6 +39,17 @@ pub struct EngineConfig {
     pub epoch: Option<EpochSpec>,
     /// Seed for all engine-internal randomness.
     pub seed: u64,
+    /// Bounded-disorder event-time front end (DESIGN.md §13). `None` (the
+    /// default) keeps the legacy arrival-time semantics: timestamps are
+    /// trusted as given, monotone or not, and processing happens at each
+    /// arrival's own timestamp. `Some(k)` arms per-stream reorder buffers:
+    /// arrivals are admitted while `ts >= watermark` (the cross-stream
+    /// minimum high-water mark minus `k`), released to the operator in
+    /// `(ts, admission)` order as the watermark advances, and dropped with
+    /// [`EngineMetrics::late_dropped`] accounting once later than the
+    /// bound. `Some(VDur::ZERO)` is valid: no lateness tolerance, but
+    /// cross-stream timestamp alignment still applies.
+    pub disorder: Option<VDur>,
 }
 
 impl Default for EngineConfig {
@@ -48,7 +59,49 @@ impl Default for EngineConfig {
             bank: BankConfig::default(),
             epoch: None,
             seed: 0xEA51,
+            disorder: None,
         }
+    }
+}
+
+/// The event-time ingest front end: per-stream reorder buffers, per-stream
+/// high-water marks, and the admission counter that keeps same-timestamp
+/// arrivals replaying in arrival order.
+pub(crate) struct EventTimeFrontEnd {
+    /// The disorder bound `K`.
+    pub(crate) bound: VDur,
+    /// One reorder buffer per stream.
+    pub(crate) buffers: Vec<ReorderBuffer<Arrival>>,
+    /// Per-stream maximum timestamp seen (streams with no arrivals yet
+    /// hold `VTime::ZERO`, pinning the watermark at the origin until every
+    /// stream has spoken).
+    pub(crate) hwm: Vec<VTime>,
+    /// Admission counter: the tiebreak that orders same-timestamp releases.
+    pub(crate) admitted: u64,
+}
+
+impl EventTimeFrontEnd {
+    pub(crate) fn new(bound: VDur, n_streams: usize) -> Self {
+        EventTimeFrontEnd {
+            bound,
+            buffers: (0..n_streams).map(|_| ReorderBuffer::new()).collect(),
+            hwm: vec![VTime::ZERO; n_streams],
+            admitted: 0,
+        }
+    }
+
+    /// `wm = min_s(hwm_s) - K`, saturating at the origin. No accepted
+    /// arrival can carry a timestamp below this (lateness is bounded by
+    /// `K` relative to the slowest stream's high-water mark), so buffered
+    /// tuples strictly below it are safe to release.
+    pub(crate) fn watermark(&self) -> VTime {
+        let min_hwm = self
+            .hwm
+            .iter()
+            .copied()
+            .min()
+            .expect("a join has at least one stream");
+        min_hwm - self.bound
     }
 }
 
@@ -75,6 +128,9 @@ pub struct ShedJoinEngine {
     /// Per-stream scratch reused across arrivals for per-slot produced
     /// counting (coalesced heap rescoring).
     produced_scratch: Vec<ProducedScratch>,
+    /// Bounded-disorder reorder buffers; `None` runs the legacy
+    /// arrival-time path untouched.
+    front: Option<EventTimeFrontEnd>,
 }
 
 /// A sparse per-stream accumulator for produced-output deltas gathered
@@ -148,6 +204,7 @@ impl ShedJoinEngine {
             next_seq: SeqNo(0),
             metrics: EngineMetrics::default(),
             produced_scratch: (0..n).map(|_| ProducedScratch::default()).collect(),
+            front: config.disorder.map(|k| EventTimeFrontEnd::new(k, n)),
         })
     }
 
@@ -211,6 +268,19 @@ impl ShedJoinEngine {
                 );
             }
         }
+        if let Some(front) = self.front.as_ref() {
+            // Everything still buffered must be at or ahead of the
+            // watermark: earlier entries were either released or late-dropped.
+            let wm = front.watermark();
+            for (k, buf) in front.buffers.iter().enumerate() {
+                if let Some((ts, _)) = buf.peek_key() {
+                    assert!(
+                        ts >= wm,
+                        "stream {k} holds a releasable arrival: {ts:?} < watermark {wm:?}"
+                    );
+                }
+            }
+        }
     }
 
     /// Mints an [`Arrival`] into a sequence-numbered tuple without
@@ -228,10 +298,124 @@ impl ShedJoinEngine {
     /// The single entry point for feeding the engine: mints `arrival` and
     /// runs it through the operator at its arrival timestamp, passing every
     /// join result it completes to `sink`.
+    ///
+    /// # Timestamp contract
+    /// Without a disorder bound ([`EngineConfig::disorder`] = `None`),
+    /// timestamps are trusted as given — monotone or not — and the arrival
+    /// is processed immediately at its own timestamp. With a bound `K`, the
+    /// event-time front end takes over: the arrival is buffered and later
+    /// replayed in timestamp order, unless its timestamp has already fallen
+    /// behind the watermark (`min` cross-stream high-water mark minus `K`),
+    /// in which case it is dropped — counted in
+    /// [`EngineMetrics::late_dropped`], never joined, and **never a
+    /// panic**. Regressions within the bound are therefore absorbed;
+    /// regressions beyond it are accounted, not amplified.
     pub fn ingest(&mut self, arrival: Arrival, sink: &mut impl EmitSink) -> IngestOutcome {
+        if self.front.is_some() {
+            return self.ingest_event_time(arrival, sink);
+        }
         let now = arrival.ts;
         let tuple = self.mint(arrival);
         self.ingest_tuple(tuple, now, sink)
+    }
+
+    /// Event-time ingest: advance this stream's high-water mark, admit or
+    /// late-drop the arrival against the watermark, then release every
+    /// buffered arrival the new watermark proves safe.
+    fn ingest_event_time(&mut self, arrival: Arrival, sink: &mut impl EmitSink) -> IngestOutcome {
+        let front = self.front.as_mut().expect("caller checked");
+        let k = arrival.stream.index();
+        if arrival.ts > front.hwm[k] {
+            front.hwm[k] = arrival.ts;
+        }
+        let wm = front.watermark();
+        if arrival.ts < wm {
+            // Later than the disorder bound: the reorder guarantee no
+            // longer covers it (its window contemporaries may already have
+            // been released and expired), so joining it would produce
+            // results an in-order run never would. Count and drop.
+            self.metrics.late_dropped += 1;
+            return IngestOutcome {
+                produced: 0,
+                stored: false,
+                shed: 0,
+            };
+        }
+        let entry = front.admitted;
+        front.admitted += 1;
+        front.buffers[k].push(arrival.ts, entry, arrival);
+        self.release_below(Some(wm), sink)
+    }
+
+    /// Releases buffered arrivals in merged `(ts, admission)` order while
+    /// the head's timestamp is strictly below `wm` (`None` releases
+    /// everything — end-of-trace flush). Strictness matters: a future
+    /// accepted arrival carries `ts >= wm`, so nothing released here can
+    /// ever be preceded by one still to come. Each release is processed at
+    /// its **own** timestamp through the unchanged pipeline — a covered
+    /// disorder run is literally a replay of the in-order run.
+    fn release_below(&mut self, wm: Option<VTime>, sink: &mut impl EmitSink) -> IngestOutcome {
+        let mut total = IngestOutcome {
+            produced: 0,
+            stored: true,
+            shed: 0,
+        };
+        loop {
+            let front = self.front.as_mut().expect("event-time engines only");
+            let mut head: Option<(VTime, u64, usize)> = None;
+            for (k, buf) in front.buffers.iter().enumerate() {
+                if let Some((ts, entry)) = buf.peek_key() {
+                    if head.map_or(true, |(ht, he, _)| (ts, entry) < (ht, he)) {
+                        head = Some((ts, entry, k));
+                    }
+                }
+            }
+            let Some((ts, _, k)) = head else { break };
+            if let Some(wm) = wm {
+                if ts >= wm {
+                    break;
+                }
+            }
+            let (_, _, arrival) = front.buffers[k].pop().expect("peeked entry exists");
+            let now = arrival.ts;
+            let tuple = self.mint(arrival);
+            let out = self.ingest_tuple(tuple, now, sink);
+            total.produced += out.produced;
+            total.shed += out.shed;
+        }
+        total
+    }
+
+    /// Drains the event-time reorder buffers at end of trace, releasing
+    /// every still-buffered arrival in `(ts, admission)` order regardless
+    /// of the watermark. No-op (and all-zero outcome) without a disorder
+    /// bound.
+    pub fn flush(&mut self, sink: &mut impl EmitSink) -> IngestOutcome {
+        if self.front.is_none() {
+            return IngestOutcome {
+                produced: 0,
+                stored: true,
+                shed: 0,
+            };
+        }
+        self.release_below(None, sink)
+    }
+
+    /// The current event-time watermark (`None` without a disorder bound).
+    pub fn watermark(&self) -> Option<VTime> {
+        self.front.as_ref().map(EventTimeFrontEnd::watermark)
+    }
+
+    /// The configured disorder bound (`None` = legacy arrival-time path).
+    pub fn disorder_bound(&self) -> Option<VDur> {
+        self.front.as_ref().map(|f| f.bound)
+    }
+
+    /// Arrivals currently held in the reorder buffers (0 without a bound).
+    pub fn buffered(&self) -> usize {
+        self.front
+            .as_ref()
+            .map_or(0, |f| f.buffers.iter().map(ReorderBuffer::len).sum())
     }
 
     /// Mints the next tuple (assigns the arrival sequence number).
@@ -402,6 +586,7 @@ impl ShedJoinEngine {
 
     /// Priority a policy assigns `tuple` if it were queued right now.
     pub fn queue_score(&mut self, tuple: &Tuple, now: VTime) -> f64 {
+        let event_time = self.front.is_some();
         let Self {
             query,
             policy,
@@ -416,6 +601,7 @@ impl ShedJoinEngine {
             partner_freq: partner_freq.as_ref(),
             now,
             rng,
+            event_time,
         };
         clamp_score(policy.queue_priority(&mut ctx, tuple))
     }
@@ -449,6 +635,7 @@ impl ShedJoinEngine {
         produced: u64,
         now: VTime,
     ) -> (f64, f64) {
+        let event_time = self.front.is_some();
         let Self {
             query,
             policy,
@@ -463,6 +650,7 @@ impl ShedJoinEngine {
             partner_freq: partner_freq.as_ref(),
             now,
             rng,
+            event_time,
         };
         // All scores funnel through the finite clamp before they reach a
         // priority heap — third-party policies included.
@@ -482,12 +670,22 @@ impl ShedJoinEngine {
         } = self;
         for store in stores.iter_mut() {
             store.rebuild_priorities(|tuple, produced| {
+                // Residents are rescored against the *current* epoch
+                // snapshot even in event-time mode: the paper's rollover
+                // rescoring asks "how productive will this tuple be from
+                // now on", not "which epoch did it arrive in" — and the
+                // trusting engine does exactly this, which the K = 0
+                // bit-identity contract (DESIGN.md §13) pins. Event-time
+                // epoch targeting applies only where a tuple's own
+                // timestamp is the scoring instant: admission scoring and
+                // queue admission.
                 let mut ctx = PriorityCtx {
                     query,
                     sketches: sketches.as_mut(),
                     partner_freq: partner_freq.as_ref(),
                     now,
                     rng,
+                    event_time: false,
                 };
                 let (score, state) = policy.window_priority_with_state(&mut ctx, tuple, produced);
                 (clamp_score(score), state)
@@ -658,6 +856,7 @@ mod tests {
             },
             epoch: None,
             seed: 3,
+            disorder: None,
         }
     }
 

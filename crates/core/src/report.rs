@@ -21,6 +21,11 @@ pub struct EngineMetrics {
     pub shed_window: u64,
     /// Tuples dropped from the input queue (shed).
     pub shed_queue: u64,
+    /// Arrivals discarded by the event-time front end because their
+    /// timestamp had already fallen behind the watermark (lateness beyond
+    /// the configured disorder bound); 0 when no bound is configured.
+    #[serde(default)]
+    pub late_dropped: u64,
     /// Tuples that left windows by normal expiration.
     pub expired: u64,
     /// Tumbling-epoch rollovers observed.
@@ -53,6 +58,7 @@ impl EngineMetrics {
         self.replicated += other.replicated;
         self.shed_window += other.shed_window;
         self.shed_queue += other.shed_queue;
+        self.late_dropped += other.late_dropped;
         self.expired += other.expired;
         self.epoch_rollovers += other.epoch_rollovers;
         self.sketch_observe_ns += other.sketch_observe_ns;
@@ -133,6 +139,7 @@ mod tests {
             replicated: 12,
             shed_window: 3,
             shed_queue: 4,
+            late_dropped: 13,
             expired: 5,
             epoch_rollovers: 6,
             sketch_observe_ns: 7,

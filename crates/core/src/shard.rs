@@ -87,7 +87,7 @@
 //! re-queue as ticks for their shard (the arrival is still processed by
 //! its FULL delivery elsewhere), so expiry counters never skew.
 
-use crate::engine::{EngineConfig, MemoryMode, ShedJoinEngine};
+use crate::engine::{EngineConfig, EventTimeFrontEnd, MemoryMode, ShedJoinEngine};
 use crate::ingest::{Arrival, CountSink, IngestRole, VecSink};
 use crate::report::{EngineMetrics, RunReport};
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -569,6 +569,14 @@ pub struct ShardedJoinEngine {
     /// Broadcast-mode routing (non-key-partitionable query, S > 1,
     /// broadcast enabled).
     broadcast: Option<BroadcastPlan>,
+    /// Coordinator-side event-time front end: arrivals are reordered
+    /// *before* minting and routing, so every worker — and the skew
+    /// router's fan-out gate — observes a monotone (watermark-ordered)
+    /// timestamp sequence. `None` without a disorder bound.
+    front: Option<EventTimeFrontEnd>,
+    /// Arrivals the coordinator dropped for exceeding the disorder bound
+    /// (merged into the combined metrics at `finish`).
+    late_dropped: u64,
     started: Instant,
 }
 
@@ -630,10 +638,15 @@ impl ShardedJoinEngine {
         let mut senders = Vec::with_capacity(shards);
         let mut returns = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
+        // Reordering happens once, at the coordinator, before minting and
+        // routing: workers then see timestamps in watermark order and run
+        // with the legacy (trusting) front end.
+        let front = config.disorder.map(|k| EventTimeFrontEnd::new(k, n_streams));
         for i in 0..shards {
             let mut worker_config = config.clone();
             worker_config.memory = memory.clone();
             worker_config.bank = bank;
+            worker_config.disorder = None;
             // A 1-shard run keeps the master seed so it is bit-identical to
             // the single-threaded engine; multi-shard workers get
             // independent derived streams.
@@ -677,6 +690,8 @@ impl ShardedJoinEngine {
             shed_channel: 0,
             skew,
             broadcast,
+            front,
+            late_dropped: 0,
             started: Instant::now(),
         })
     }
@@ -700,7 +715,67 @@ impl ShardedJoinEngine {
     /// coalesced summary ahead of that shard's next delivery. Channel
     /// errors surface at [`ShardedJoinEngine::finish`], where the worker's
     /// panic is reported.
+    ///
+    /// With a disorder bound configured, the coordinator's event-time
+    /// front end runs *before* minting and routing: arrivals buffer until
+    /// the watermark proves them safe, release in `(ts, admission)` order,
+    /// and late-drop (counted, never routed, never a panic) once beyond
+    /// the bound. Routing therefore always observes a monotone timestamp
+    /// sequence — which also re-anchors the skew router's time-window
+    /// fan-out gate (`now ≥ promote_ts + p`) on the watermark clock, where
+    /// its expiry reasoning is sound even for disordered inputs.
     pub fn ingest(&mut self, arrival: Arrival) {
+        let Some(front) = self.front.as_mut() else {
+            self.route_arrival(arrival);
+            return;
+        };
+        let k = arrival.stream.index();
+        if arrival.ts > front.hwm[k] {
+            front.hwm[k] = arrival.ts;
+        }
+        let wm = front.watermark();
+        if arrival.ts < wm {
+            self.late_dropped += 1;
+            return;
+        }
+        let entry = front.admitted;
+        front.admitted += 1;
+        front.buffers[k].push(arrival.ts, entry, arrival);
+        self.release_below(Some(wm));
+    }
+
+    /// Releases coordinator-buffered arrivals in merged `(ts, admission)`
+    /// order while the head's timestamp is strictly below `wm` (`None`
+    /// drains everything — the `finish` flush), routing each one.
+    fn release_below(&mut self, wm: Option<VTime>) {
+        loop {
+            let front = self.front.as_mut().expect("event-time mode only");
+            let mut head: Option<(VTime, u64, usize)> = None;
+            for (k, buf) in front.buffers.iter().enumerate() {
+                if let Some((ts, entry)) = buf.peek_key() {
+                    if head.map_or(true, |(ht, he, _)| (ts, entry) < (ht, he)) {
+                        head = Some((ts, entry, k));
+                    }
+                }
+            }
+            let Some((ts, _, k)) = head else { break };
+            if let Some(wm) = wm {
+                if ts >= wm {
+                    break;
+                }
+            }
+            let (_, _, arrival) = front.buffers[k].pop().expect("peeked entry exists");
+            self.route_arrival(arrival);
+        }
+    }
+
+    /// The current event-time watermark (`None` without a disorder bound).
+    pub fn watermark(&self) -> Option<VTime> {
+        self.front.as_ref().map(EventTimeFrontEnd::watermark)
+    }
+
+    /// Mints and routes one arrival (the pre-event-time `ingest` body).
+    fn route_arrival(&mut self, arrival: Arrival) {
         let stream = arrival.stream;
         let seq = self.next_seq;
         self.next_seq = seq.next();
@@ -924,6 +999,12 @@ impl ShardedJoinEngine {
     /// Fails with [`Error::Shard`] if any worker panicked — under the
     /// `audit` feature workers check engine invariants after every tuple.
     pub fn finish(mut self) -> Result<ShardedRunReport> {
+        // Drain the event-time reorder buffers first: end of trace, so
+        // every still-buffered arrival releases regardless of the
+        // watermark (no-op without a disorder bound).
+        if self.front.is_some() {
+            self.release_below(None);
+        }
         for shard in 0..self.shards {
             // Trailing ticks (arrivals after a shard's last tuple) cannot
             // change its output, but delivering them keeps the final
@@ -963,6 +1044,9 @@ impl ShardedJoinEngine {
         if let Some(err) = failure {
             return Err(err);
         }
+        // Coordinator-side late drops happen before routing, so no worker
+        // ever saw them; fold them into the combined counters here.
+        combined.late_dropped += self.late_dropped;
         // Seq-stamped merge: per-stream arrival sequence numbers are
         // global (coordinator-minted), so this canonical order is directly
         // comparable across shard counts and to the single-engine oracle.

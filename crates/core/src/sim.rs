@@ -101,6 +101,20 @@ pub fn run_trace(engine: &mut ShedJoinEngine, trace: &Trace, opts: &RunOptions) 
                 }
                 end_time = now;
             }
+            // End of trace: drain the event-time reorder buffers (no-op
+            // without a disorder bound). Flushed results land in the bucket
+            // of the last arrival instant.
+            let aggs_ref = &mut aggs;
+            let outcome = engine.flush(&mut FnSink(|b: &mstream_join::Bindings<'_>| {
+                if let (Some(buckets), Some((s, a))) = (aggs_ref.as_mut(), agg_attr) {
+                    buckets.add(end_time, b.value(s, a).raw());
+                }
+            }));
+            if let Some(series) = series.as_mut() {
+                if outcome.produced > 0 {
+                    series.add(end_time, outcome.produced);
+                }
+            }
         }
         Some(l) => {
             let svc = VDur::from_rate(l);
@@ -287,6 +301,7 @@ mod tests {
                 },
                 epoch: None,
                 seed: 2,
+                disorder: None,
             },
         )
         .unwrap()

@@ -458,6 +458,7 @@ mod tests {
             partner_freq: pf,
             now: VTime::from_secs(now),
             rng,
+            event_time: false,
         }
     }
 
@@ -567,6 +568,59 @@ mod tests {
         }
         assert_eq!(p.window_priority(&mut c, &t, 0), 0.0);
         assert!(p.window_priority(&mut c, &t, 3) < 0.0, "over-producer sheds first");
+    }
+
+    #[test]
+    fn late_tuple_against_empty_frozen_epoch_scores_finite() {
+        // The epoch-lookup path (event-time engines): a late tuple whose
+        // timestamp targets a frozen epoch with all-zero counters gets a
+        // productivity estimate of exactly 0. MSketch-RS divides produced
+        // output by that expectation — without the EPSILON denominator
+        // floor this would be 0/0 = NaN straight into a priority heap.
+        let q = chain3();
+        let mut sk = TumblingSketches::new(
+            &q,
+            BankConfig {
+                s1: 4,
+                s2: 1,
+                seed: 5,
+            },
+            EpochSpec::Time(VDur::from_secs(10)),
+        );
+        // One populated first epoch, then a jump across several empty
+        // epochs: both frozen snapshots end up all-zero.
+        sk.observe(StreamId(1), &[Value(3), Value(3)], VTime::ZERO);
+        sk.observe(StreamId(2), &[Value(3), Value(0)], VTime::ZERO);
+        sk.observe(StreamId(1), &[Value(0), Value(0)], VTime::from_secs(55));
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = PriorityCtx {
+            query: &q,
+            sketches: Some(&mut sk),
+            partner_freq: None,
+            now: VTime::from_secs(55),
+            rng: &mut rng,
+            event_time: true,
+        };
+        // Late tuple: stamped two epochs back, well before the current
+        // epoch's start at t=50.
+        let late = tup(0, 0, 42, 3, 0);
+        assert_eq!(c.productivity(&late), 0.0, "empty frozen epoch estimates 0");
+        assert_eq!(MSketch.window_priority(&mut c, &late, 0), 0.0);
+        let age = Age.window_priority(&mut c, &late, 0);
+        assert!(age.is_finite() && age >= 0.0, "age={age}");
+        let mut p = MSketchRs;
+        for produced in [0, 1, 10, u64::MAX] {
+            let (score, state) = p.window_priority_with_state(&mut c, &late, produced);
+            assert!(score.is_finite(), "produced={produced} score={score}");
+            assert!(state.is_finite());
+            assert!(p.refresh_priority(state, produced).is_finite());
+        }
+        assert_eq!(
+            p.window_priority(&mut c, &late, 0),
+            0.0,
+            "late dead tuple gets no protection, not a NaN priority"
+        );
+        assert!(p.window_priority(&mut c, &late, 3) < 0.0);
     }
 
     #[test]

@@ -47,6 +47,16 @@ pub struct TumblingSketches {
     last: Vec<i64>,
     /// Whether stream `k` has completed at least one epoch.
     has_last: Vec<bool>,
+    /// The `last` snapshot as it stood *before* the most recent roll — the
+    /// estimation state that was in force while the previous epoch was
+    /// current. Late tuples whose timestamp predates the current epoch are
+    /// scored against this bank ([`TumblingSketches::productivity_at`]), so
+    /// frozen epochs stay addressable for one extra epoch (covering any
+    /// disorder bound `K <= n`).
+    prev: Vec<i64>,
+    /// Whether stream `k` has a meaningful `prev` snapshot (two completed
+    /// epochs).
+    has_prev: Vec<bool>,
     epoch: EpochSpec,
     /// Time-mode: when the next global roll fires.
     next_roll: VTime,
@@ -84,6 +94,8 @@ impl TumblingSketches {
             bank,
             last: vec![0; n_streams * copies],
             has_last: vec![false; n_streams],
+            prev: vec![0; n_streams * copies],
+            has_prev: vec![false; n_streams],
             epoch,
             next_roll,
             arrivals: vec![0; n_streams],
@@ -140,6 +152,8 @@ impl TumblingSketches {
     /// Rolls every stream at once (time-based epochs).
     fn roll_all(&mut self) {
         let copies = self.bank.config().copies();
+        self.prev.copy_from_slice(&self.last);
+        self.has_prev.copy_from_slice(&self.has_last);
         for k in 0..self.has_last.len() {
             self.last[k * copies..(k + 1) * copies]
                 .copy_from_slice(self.bank.counters_row(StreamId(k)));
@@ -154,6 +168,9 @@ impl TumblingSketches {
         let copies = self.bank.config().copies();
         let k = stream.index();
         let snapshot = self.bank.take_stream_snapshot(stream);
+        self.prev[k * copies..(k + 1) * copies]
+            .copy_from_slice(&self.last[k * copies..(k + 1) * copies]);
+        self.has_prev[k] = self.has_last[k];
         self.last[k * copies..(k + 1) * copies].copy_from_slice(&snapshot);
         self.has_last[k] = true;
         // Every cross-product row except `k`'s own consults X_k^{last}.
@@ -243,6 +260,71 @@ impl TumblingSketches {
         median_of_means_into(cfg.s1, cfg.s2, &self.scratch, &mut self.groups)
     }
 
+    /// When the current (still-accumulating) epoch began, for time-based
+    /// epochs (`None` in tuple mode, where epochs are arrival-counted and
+    /// have no timestamp extent).
+    pub fn current_epoch_start(&self) -> Option<VTime> {
+        match self.epoch {
+            EpochSpec::Time(n) => Some(self.next_roll - n),
+            EpochSpec::PerStreamTuples(_) => None,
+        }
+    }
+
+    /// Epoch-targeted productivity: the estimate in force for the epoch
+    /// `ts` *belongs to*, not necessarily the current one (DESIGN.md §13).
+    ///
+    /// A tuple whose timestamp falls inside the current epoch is scored
+    /// exactly like [`TumblingSketches::productivity`] — bit-identically,
+    /// so in-order runs are unaffected. A *late* tuple (time-based epochs,
+    /// `ts` before the current epoch's start) is scored against the
+    /// snapshot that was serving queries while its epoch was current: the
+    /// `prev` bank kept one roll longer for exactly this purpose. Frozen
+    /// epochs therefore stay addressable for one extra epoch length, which
+    /// covers any disorder bound `K <= n`.
+    ///
+    /// A frozen epoch that saw no arrivals has all-zero counters and
+    /// estimates 0 — callers that divide by such an estimate must guard
+    /// the denominator (the built-in policies floor it at `f64::EPSILON`;
+    /// see `MSketchRs::refresh_priority`).
+    ///
+    /// Tuple-mode epochs are arrival-counted: a timestamp does not place a
+    /// tuple in an epoch, so the lookup falls back to the standard
+    /// last-epoch estimate.
+    pub fn productivity_at(&mut self, stream: StreamId, values: &[Value], ts: VTime) -> f64 {
+        let late = match self.current_epoch_start() {
+            Some(start) => ts < start,
+            None => false,
+        };
+        if !late || !self.has_prev.iter().any(|&h| h) {
+            return self.productivity(stream, values);
+        }
+        // Cold path (late tuples only): fold the per-stream rows of the
+        // previous-epoch snapshot, falling back per stream to the newest
+        // state we have for streams that had not completed two epochs.
+        let i = stream.index();
+        let n = self.has_last.len();
+        let copies = self.bank.config().copies();
+        self.bank.packed_signs_into(stream, values, &mut self.words);
+        self.scratch.resize(copies, 0.0);
+        self.scratch.fill(1.0);
+        for k in 0..n {
+            if k == i {
+                continue;
+            }
+            let row: &[i64] = if self.has_prev[k] {
+                &self.prev[k * copies..(k + 1) * copies]
+            } else if self.has_last[k] {
+                &self.last[k * copies..(k + 1) * copies]
+            } else {
+                self.bank.counters_row(StreamId(k))
+            };
+            kernel::multiply_row(&mut self.scratch, row);
+        }
+        kernel::apply_packed_signs(&self.words, &mut self.scratch);
+        let cfg = self.bank.config();
+        median_of_means_into(cfg.s1, cfg.s2, &self.scratch, &mut self.groups)
+    }
+
     /// Productivity computed against the *current* epoch's sketches
     /// (the expensive variant; exposed for the recompute-policy ablation).
     pub fn current_productivity(&self, stream: StreamId, values: &[Value]) -> f64 {
@@ -289,6 +371,14 @@ impl TumblingSketches {
         let n = self.has_last.len();
         let copies = self.bank.config().copies();
         assert_eq!(self.last.len(), n * copies, "last snapshot shape");
+        assert_eq!(self.prev.len(), n * copies, "prev snapshot shape");
+        assert_eq!(self.has_prev.len(), n, "has_prev shape");
+        for (k, &hp) in self.has_prev.iter().enumerate() {
+            assert!(
+                !hp || self.has_last[k],
+                "stream {k} has a prev snapshot but no last snapshot"
+            );
+        }
         assert_eq!(self.cross.len(), n * copies, "cross-product shape");
         assert_eq!(self.cross_valid.len(), n, "cross_valid shape");
         assert_eq!(self.arrivals.len(), n, "arrival counter shape");
@@ -462,6 +552,73 @@ mod tests {
             after_roll.to_bits(),
             ts.productivity(StreamId(0), &v(2, 0)).to_bits()
         );
+    }
+
+    #[test]
+    fn productivity_at_matches_productivity_for_current_epoch_timestamps() {
+        let q = chain_query();
+        let mut ts = TumblingSketches::new(&q, cfg(64, 8), EpochSpec::Time(VDur::from_secs(10)));
+        for i in 0..25u64 {
+            let s = StreamId((i % 3) as usize);
+            ts.observe(s, &v(i % 5, i % 3), VTime::from_secs(i % 9));
+        }
+        ts.observe(StreamId(0), &v(1, 1), VTime::from_secs(30));
+        assert_eq!(ts.current_epoch_start(), Some(VTime::from_secs(30)));
+        let normal = ts.productivity(StreamId(0), &v(2, 0));
+        let at = ts.productivity_at(StreamId(0), &v(2, 0), VTime::from_secs(31));
+        assert_eq!(normal.to_bits(), at.to_bits(), "in-epoch lookup is the standard path");
+        // The epoch-start instant itself belongs to the current epoch.
+        let boundary = ts.productivity_at(StreamId(0), &v(2, 0), VTime::from_secs(30));
+        assert_eq!(normal.to_bits(), boundary.to_bits());
+    }
+
+    #[test]
+    fn productivity_at_consults_the_previous_epoch_for_late_timestamps() {
+        let q = chain_query();
+        let mut ts = TumblingSketches::new(&q, cfg(300, 2), EpochSpec::Time(VDur::from_secs(10)));
+        // Epoch [0, 10): 20 R2 partners for value 7, 10 R3 partners.
+        for _ in 0..20 {
+            ts.observe(StreamId(1), &v(7, 3), VTime::from_secs(1));
+        }
+        for _ in 0..10 {
+            ts.observe(StreamId(2), &v(3, 0), VTime::from_secs(2));
+        }
+        // Epoch [10, 20): value 7 disappears entirely.
+        ts.observe(StreamId(1), &v(0, 0), VTime::from_secs(11));
+        // Epoch [20, 30) current: `last` = the empty-of-7s epoch, `prev` =
+        // the partner-rich epoch.
+        ts.observe(StreamId(1), &v(0, 0), VTime::from_secs(21));
+        let current_epoch = ts.productivity(StreamId(0), &v(7, 0));
+        assert!(current_epoch.abs() < 40.0, "last epoch saw no 7s: {current_epoch}");
+        // A late tuple stamped into the previous epoch sees its own era:
+        // 20 × 10 = 200.
+        let late = ts.productivity_at(StreamId(0), &v(7, 0), VTime::from_secs(15));
+        assert!((late - 200.0).abs() / 200.0 < 0.5, "late={late}");
+    }
+
+    #[test]
+    fn productivity_at_with_empty_previous_epoch_estimates_zero() {
+        let q = chain_query();
+        let mut ts = TumblingSketches::new(&q, cfg(8, 3), EpochSpec::Time(VDur::from_secs(10)));
+        ts.observe(StreamId(1), &v(1, 1), VTime::from_secs(1));
+        // Jump several epochs: both `last` and `prev` end up all-zero.
+        ts.observe(StreamId(1), &v(1, 1), VTime::from_secs(45));
+        let late = ts.productivity_at(StreamId(0), &v(1, 0), VTime::from_secs(35));
+        assert_eq!(late, 0.0, "frozen epoch with zero counters estimates 0, not NaN");
+        ts.check_invariants();
+    }
+
+    #[test]
+    fn productivity_at_in_tuple_mode_falls_back_to_last_epoch() {
+        let q = chain_query();
+        let mut ts = TumblingSketches::new(&q, cfg(64, 4), EpochSpec::PerStreamTuples(10));
+        for i in 0..10 {
+            ts.observe(StreamId(1), &v(4, i % 2), VTime::ZERO);
+        }
+        assert_eq!(ts.current_epoch_start(), None);
+        let normal = ts.productivity(StreamId(0), &v(4, 0));
+        let at = ts.productivity_at(StreamId(0), &v(4, 0), VTime::ZERO);
+        assert_eq!(normal.to_bits(), at.to_bits());
     }
 
     #[test]

@@ -49,10 +49,12 @@ pub mod arena;
 pub mod heap;
 pub mod index;
 pub mod queue;
+pub mod reorder;
 pub mod store;
 
 pub use arena::{Arena, Slot};
 pub use heap::IndexedHeap;
 pub use index::{Candidates, FlatIndex};
 pub use queue::{QueueVictim, ShedQueue};
+pub use reorder::ReorderBuffer;
 pub use store::{Eviction, InsertOutcome, WindowStore};

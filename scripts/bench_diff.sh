@@ -5,9 +5,11 @@
 #
 # Usage: scripts/bench_diff.sh OLD.json NEW.json [--tolerance PCT]
 #
-# Both the uniform "shard_scaling" section and the Zipf hot-key
-# "shard_scaling_zipf" section are compared when present in both
-# snapshots (a section missing on either side is noted and skipped).
+# Every "shard_scaling*" section — uniform, the Zipf hot-key
+# "shard_scaling_zipf", and the bounded-disorder
+# "shard_scaling_disorder" (rows keyed by shard count AND disorder
+# bound) — is compared when present in both snapshots (a section
+# missing on either side is noted and skipped).
 # Prints a per-shard-count table (old/new seconds, delta, speedups,
 # steady allocs) and exits nonzero if any shard count present in both
 # snapshots regressed by more than the tolerance (default 10%).
@@ -37,9 +39,12 @@ def load(path):
         sections = {k: v for k, v in doc.items() if k.startswith("shard_scaling")}
     else:
         sections = {"shard_scaling": doc}
-    return {
-        name: {int(r["shards"]): r for r in rows} for name, rows in sections.items()
-    }
+    def row_key(r):
+        # Disorder rows repeat shard counts across bounds; key on both.
+        k = r.get("disorder_k_ms")
+        return int(r["shards"]) if k is None else (int(r["shards"]), int(k))
+
+    return {name: {row_key(r): r for r in rows} for name, rows in sections.items()}
 
 
 old_path, new_path = os.environ["OLD"], os.environ["NEW"]
@@ -57,24 +62,25 @@ regressed = []
 compared = 0
 for name in shared_sections:
     old, new = old_doc[name], new_doc[name]
-    shared = sorted(set(old) & set(new))
+    shared = sorted(set(old) & set(new), key=lambda s: s if isinstance(s, tuple) else (s, -1))
     if not shared:
         print(f"note: {name}: no shard counts in common, skipped")
         continue
-    for s in sorted(set(old) ^ set(new)):
+    for s in sorted(set(old) ^ set(new), key=lambda s: s if isinstance(s, tuple) else (s, -1)):
         side = new_path if s in new else old_path
         print(f"note: {name}: S={s} only present in {side}, skipped")
 
     print(f"[{name}]")
-    header = f"{'S':>3}  {'old s':>9}  {'new s':>9}  {'delta':>8}  {'old spd':>8}  {'new spd':>8}  {'allocs':>7}"
+    header = f"{'S':>7}  {'old s':>9}  {'new s':>9}  {'delta':>8}  {'old spd':>8}  {'new spd':>8}  {'allocs':>7}"
     print(header)
     print("-" * len(header))
     for s in shared:
         o, n = old[s], new[s]
+        label = s if isinstance(s, int) else f"{s[0]}/K{s[1]}"
         delta = (n["seconds"] - o["seconds"]) / o["seconds"]
         allocs = n.get("steady_allocs", "-")
         print(
-            f"{s:>3}  {o['seconds']:>9.5f}  {n['seconds']:>9.5f}  {delta:>+7.1%} "
+            f"{label:>7}  {o['seconds']:>9.5f}  {n['seconds']:>9.5f}  {delta:>+7.1%} "
             f" {o.get('speedup', 1.0):>8.2f}  {n.get('speedup', 1.0):>8.2f}  {allocs:>7}"
         )
         compared += 1

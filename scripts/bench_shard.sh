@@ -5,6 +5,9 @@
 #     wall-time speedup is the headline)
 #   - zipf:    a Zipf(2.0) hot-key trace at S in {1,2,4,8,16} (DESIGN.md
 #     §12 skew-adaptive routing row; probe imbalance is the headline)
+#   - disorder: the regions trace at S=4 under bounded-disorder delivery
+#     with K in {0,16,256} ms (DESIGN.md §13 reorder-buffer overhead row;
+#     output invariance across K is the headline)
 #
 # Usage: scripts/bench_shard.sh [--scale S] [--zipf-only]
 #
@@ -16,10 +19,12 @@
 #
 # Artifact layout (BENCH_shard.json):
 #   {
-#     "shard_scaling":      [ {"shards": 1, "seconds": ..., "output": ...,
-#                              "speedup": ..., ...}, ... ],
-#     "shard_scaling_zipf": [ {"shards": 1, "imbalance": ...,
-#                              "hot_promoted": ..., "cores": ...}, ... ]
+#     "shard_scaling":          [ {"shards": 1, "seconds": ...,
+#                                  "output": ..., "speedup": ..., ...}, ... ],
+#     "shard_scaling_zipf":     [ {"shards": 1, "imbalance": ...,
+#                                  "hot_promoted": ..., "cores": ...}, ... ],
+#     "shard_scaling_disorder": [ {"shards": 4, "disorder_k_ms": 0,
+#                                  "seconds": ..., "output": ...}, ... ]
 #   }
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -38,6 +43,11 @@ if [ "$ZIPF_ONLY" = 0 ]; then
   echo "== shard_scaling uniform (scale $SCALE) =="
   cargo run --release -p mstream-bench --bin shard_scaling -- \
     --scale "$SCALE" --json target/shard_scaling.json
+
+  echo "== shard_scaling disorder (K in {0,16,256} ms) =="
+  cargo run --release -p mstream-bench --bin shard_scaling -- \
+    --scale "$SCALE" --shards 4 --disorder 0,16,256 \
+    --json target/shard_scaling_disorder.json
 fi
 
 echo "== shard_scaling zipf (theta 2.0) =="
@@ -56,6 +66,8 @@ if os.environ["ZIPF_ONLY"] == "1":
 else:
     with open("target/shard_scaling.json") as f:
         doc["shard_scaling"] = json.load(f)
+    with open("target/shard_scaling_disorder.json") as f:
+        doc["shard_scaling_disorder"] = json.load(f)
 with open("target/shard_scaling_zipf.json") as f:
     doc["shard_scaling_zipf"] = json.load(f)
 
@@ -63,5 +75,9 @@ with open("BENCH_shard.json", "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
 uniform = len(doc.get("shard_scaling", []))
 zipf = len(doc["shard_scaling_zipf"])
-print(f"wrote BENCH_shard.json ({uniform} uniform + {zipf} zipf shard counts)")
+disorder = len(doc.get("shard_scaling_disorder", []))
+print(
+    f"wrote BENCH_shard.json ({uniform} uniform + {zipf} zipf "
+    f"+ {disorder} disorder rows)"
+)
 EOF

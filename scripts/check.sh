@@ -11,6 +11,12 @@ cargo clippy --workspace -- -D warnings
 # fuzzed cases, with per-arrival structural invariant checks (includes the
 # sharded-vs-oracle differential at the case's shard count).
 cargo run --release -p mstream-audit -- sweep --cases 50 --seed 7
+# Event-time disorder smoke (DESIGN.md §13): for fuzzed cases across every
+# policy and both memory modes, a K=0 run is bit-identical to the trusting
+# engine, a shuffle bounded by K reproduces the in-order output exactly
+# (single-engine and sharded at S in {1, case shards}), and beyond-bound
+# lateness is dropped, counted, and never joined.
+cargo run --release -p mstream-audit -- disorder --cases 25 --seed 7
 
 # Sharded-vs-single CLI differential smoke: the same key-partitionable
 # query and trace must produce the same output count at S in {1,2,4} when
