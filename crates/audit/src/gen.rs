@@ -191,6 +191,148 @@ pub fn generate_case(seed: u64) -> Case {
     }
 }
 
+/// How one query of a [`MultiCase`] relates to the queries before it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MixKind {
+    /// The first query of the set.
+    Base,
+    /// An exact clone of an earlier query (collapses into its class).
+    Duplicate,
+    /// The same stream span as an earlier query with fresh windows and
+    /// attribute choices — shares stores where `(stream, window)` agree.
+    Overlap,
+    /// An independently drawn stream span (disjoint when the pool allows).
+    Fresh,
+}
+
+/// A multi-query audit case: 2–4 standing queries over a shared pool of
+/// streams `R1..R5` — a mix of exact duplicates, overlapping subgraphs and
+/// independent spans — plus one arrival trace over the union of their
+/// streams. Windows are all time-based (the solo sweep owns tuple-window
+/// coverage; one epoch discipline then serves every query).
+pub struct MultiCase {
+    /// The seed this case was generated from.
+    pub seed: u64,
+    /// The standing queries, in registration order.
+    pub queries: Vec<JoinQuery>,
+    /// How each query relates to its predecessors (same indexing).
+    pub kinds: Vec<MixKind>,
+    /// Explicit tumbling-epoch discipline shared by every query.
+    pub epoch: EpochSpec,
+    /// Reduced per-window capacity (the shared data plane's one memory
+    /// mode).
+    pub capacity: usize,
+    /// Whether every predicate of every query joins on attribute 0 — the
+    /// key-partitionable class, pinned on even seeds so the sharded multi
+    /// differential regularly runs on two real shards.
+    pub keyed: bool,
+    /// The arrival trace. `stream` is the *pool* index; the runner
+    /// resolves it to the engine's union-catalog id by name (`R<pool+1>`).
+    pub arrivals: Vec<Arrival>,
+}
+
+/// Generates the multi-query audit case for `seed`.
+pub fn generate_multi_case(seed: u64) -> MultiCase {
+    const POOL: usize = 5;
+    const WINDOW_SECS: [u64; 3] = [6, 12, 24];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keyed = seed % 2 == 0;
+    let n_queries = rng.gen_range(2..=4usize);
+
+    fn span(rng: &mut StdRng) -> (usize, usize) {
+        let m = rng.gen_range(2..=3usize);
+        let lo = rng.gen_range(0..=POOL - m);
+        (lo, lo + m)
+    }
+    // A chain query over the pool streams `lo..hi`, with windows drawn
+    // from a deliberately tiny set so overlapping queries regularly land
+    // on the same `(stream, window)` store key.
+    fn build(rng: &mut StdRng, (lo, hi): (usize, usize), keyed: bool) -> JoinQuery {
+        let m = hi - lo;
+        let mut catalog = Catalog::new();
+        for p in lo..hi {
+            catalog.add_stream(StreamSchema::new(format!("R{}", p + 1), &["A1", "A2"]));
+        }
+        let windows: Vec<WindowSpec> = (0..m)
+            .map(|_| {
+                WindowSpec::Time(VDur::from_secs(WINDOW_SECS[rng.gen_range(0..3usize)]))
+            })
+            .collect();
+        let attr = |rng: &mut StdRng| if keyed { 0 } else { rng.gen_range(0..2usize) };
+        let predicates: Vec<EquiPredicate> = (0..m - 1)
+            .map(|k| {
+                EquiPredicate::new(
+                    AttrRef::new(StreamId(k), attr(rng)),
+                    AttrRef::new(StreamId(k + 1), attr(rng)),
+                )
+            })
+            .collect();
+        JoinQuery::new(catalog, predicates, windows).expect("chains are connected")
+    }
+
+    let mut queries = Vec::with_capacity(n_queries);
+    let mut spans = Vec::with_capacity(n_queries);
+    let mut kinds = Vec::with_capacity(n_queries);
+    let first = span(&mut rng);
+    queries.push(build(&mut rng, first, keyed));
+    spans.push(first);
+    kinds.push(MixKind::Base);
+    for _ in 1..n_queries {
+        match rng.gen_range(0..3u8) {
+            0 => {
+                let i = rng.gen_range(0..queries.len());
+                queries.push(queries[i].clone());
+                spans.push(spans[i]);
+                kinds.push(MixKind::Duplicate);
+            }
+            1 => {
+                let i = rng.gen_range(0..spans.len());
+                queries.push(build(&mut rng, spans[i], keyed));
+                spans.push(spans[i]);
+                kinds.push(MixKind::Overlap);
+            }
+            _ => {
+                let s = span(&mut rng);
+                queries.push(build(&mut rng, s, keyed));
+                spans.push(s);
+                kinds.push(MixKind::Fresh);
+            }
+        }
+    }
+
+    let mut used: Vec<usize> = spans.iter().flat_map(|&(lo, hi)| lo..hi).collect();
+    used.sort_unstable();
+    used.dedup();
+
+    let epoch = EpochSpec::Time(VDur::from_secs(rng.gen_range(2..10u64)));
+    let capacity = rng.gen_range(2..8usize);
+    let domain = rng.gen_range(2..6u64);
+    let len = rng.gen_range(60..160usize);
+    let mut clock = 0u64;
+    let arrivals = (0..len)
+        .map(|_| {
+            if !rng.gen_bool(0.25) {
+                clock += rng.gen_range(1..2_000_000u64);
+            }
+            Arrival {
+                stream: used[rng.gen_range(0..used.len())],
+                values: vec![rng.gen_range(0..domain), rng.gen_range(0..domain)],
+                at_micros: clock,
+            }
+        })
+        .collect();
+
+    MultiCase {
+        seed,
+        queries,
+        kinds,
+        epoch,
+        capacity,
+        keyed,
+        arrivals,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +358,45 @@ mod tests {
             );
             assert!(case.shards >= 2, "pinned class runs multi-shard");
         }
+    }
+
+    /// Across a modest sweep the multi-query generator must emit all three
+    /// mix kinds, both the keyed and the free-attribute class, and every
+    /// query-set size from 2 to 4.
+    #[test]
+    fn multi_case_generator_covers_all_mix_kinds() {
+        let (mut dup, mut overlap, mut fresh) = (false, false, false);
+        let (mut keyed, mut free) = (false, false);
+        let mut sizes = [false; 3];
+        for seed in 0..60u64 {
+            let case = generate_multi_case(seed);
+            assert_eq!(case.kinds[0], MixKind::Base);
+            assert_eq!(case.kinds.len(), case.queries.len());
+            sizes[case.queries.len() - 2] = true;
+            for k in &case.kinds[1..] {
+                match k {
+                    MixKind::Base => unreachable!("base is only first"),
+                    MixKind::Duplicate => dup = true,
+                    MixKind::Overlap => overlap = true,
+                    MixKind::Fresh => fresh = true,
+                }
+            }
+            if case.keyed {
+                keyed = true;
+                for q in &case.queries {
+                    assert!(
+                        matches!(q.partitioning(), Partitioning::ByKey { .. }),
+                        "seed {seed}: keyed case has a non-partitionable query"
+                    );
+                }
+            } else {
+                free = true;
+            }
+            assert!(!case.arrivals.is_empty());
+        }
+        assert!(dup && overlap && fresh, "all three mix kinds generated");
+        assert!(keyed && free, "both partitionability classes generated");
+        assert!(sizes.iter().all(|&s| s), "query-set sizes 2..=4 generated");
     }
 
     /// The Zipf-hot-key case class: every `seed % 8 == 4` must produce a

@@ -25,6 +25,13 @@
 //! memory modes, sharded included), and beyond-bound lateness is dropped
 //! with accounting, never joined (`mstream-audit disorder --cases N`).
 //!
+//! The [`multi`] module adds the multi-query contracts: 2–4 standing
+//! queries (duplicate, overlapping-subgraph and disjoint mixes) run on one
+//! shared data plane, and each query's output is checked against its *own*
+//! solo exact oracle — equal at 100% memory, a sub-multiset under reduced
+//! memory — for every policy, in-process and sharded S ∈ {1, 2}
+//! (`mstream-audit multi --cases N`).
+//!
 //! Failures print a replay line (`cargo run -p mstream-audit -- replay
 //! <seed>`) and a greedily shrunk minimal trace ([`shrink`]).
 
@@ -33,11 +40,13 @@
 
 pub mod disorder;
 pub mod gen;
+pub mod multi;
 pub mod run;
 pub mod shrink;
 
 pub use disorder::{inject_disorder, run_disorder_case};
-pub use gen::{generate_case, Arrival, Case, ReducedMemory};
+pub use gen::{generate_case, generate_multi_case, Arrival, Case, MixKind, MultiCase, ReducedMemory};
+pub use multi::run_multi_case;
 pub use run::{install_quiet_hook, run_case, run_case_on, Failure, FailureKind};
 pub use shrink::shrink_case;
 

@@ -1,0 +1,333 @@
+//! The multi-query differential runner: every registered query's output
+//! checked against its *own* solo exact oracle, in-process and sharded.
+//!
+//! Contracts (per query, per policy):
+//!
+//! 1. **At 100% memory** the shared data plane's per-query output multiset
+//!    must equal the query's solo [`ExactJoin`] output on the projection
+//!    of per-stream `(timestamp, values…)` rows. Sequence numbers cannot
+//!    take part — the shared engine mints one global sequence per arrival
+//!    while a solo oracle numbers only its own streams' arrivals — so the
+//!    differential compares the timestamp/value projection as a multiset
+//!    (duplicates keep their multiplicities).
+//! 2. **Under reduced memory** each query's shed output must be a
+//!    sub-multiset of its oracle's.
+//! 3. The engine's structural invariants hold after every arrival, and the
+//!    sharded coordinator honours its contract: keyed query sets run at
+//!    the requested width, nothing is dropped under blocking backpressure.
+
+use crate::gen::{Arrival as GenArrival, MultiCase};
+use crate::run::{first_diff, not_in_multiset, panic_message, Failure, FailureKind};
+use mstream_core::ingest::QueryFnSink;
+use mstream_core::shard::ShardConfig;
+use mstream_core::{Arrival, EngineBuilder};
+use mstream_join::{Bindings, ExactJoin};
+use mstream_shed_policies::{parse_policy, ALL_POLICY_NAMES};
+use mstream_sketch::BankConfig;
+use mstream_types::{JoinQuery, StreamId, VTime, Value};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs the full multi-query differential for `case`.
+pub fn run_multi_case(case: &MultiCase) -> Result<(), Failure> {
+    let oracle: Vec<Vec<Vec<u64>>> = case
+        .queries
+        .iter()
+        .map(|q| oracle_rows(q, &case.arrivals))
+        .collect();
+
+    for &name in ALL_POLICY_NAMES {
+        let full = drive_multi(case, name, true)?;
+        check_exact(name, &full, &oracle)?;
+        let shed = drive_multi(case, name, false)?;
+        check_sub(name, &shed, &oracle)?;
+    }
+
+    for name in ["MSketch", "FIFO"] {
+        for shards in [1usize, 2] {
+            let label = format!("{name}@multi-x{shards}");
+            let full = drive_multi_sharded(case, name, shards, true)?;
+            check_exact(&label, &full, &oracle)?;
+            let shed = drive_multi_sharded(case, name, shards, false)?;
+            check_sub(&label, &shed, &oracle)?;
+        }
+    }
+    Ok(())
+}
+
+/// Per-query exact-match check at 100% memory.
+fn check_exact(
+    label: &str,
+    got: &[Vec<Vec<u64>>],
+    oracle: &[Vec<Vec<u64>>],
+) -> Result<(), Failure> {
+    for (q, (g, w)) in got.iter().zip(oracle).enumerate() {
+        if g != w {
+            return Err(Failure {
+                policy: format!("{label}[q{q}]"),
+                kind: FailureKind::ExactMismatch,
+                detail: first_diff(g, w),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Per-query sub-multiset check under reduced memory.
+fn check_sub(
+    label: &str,
+    got: &[Vec<Vec<u64>>],
+    oracle: &[Vec<Vec<u64>>],
+) -> Result<(), Failure> {
+    for (q, (g, w)) in got.iter().zip(oracle).enumerate() {
+        if let Some(extra) = not_in_multiset(g, w) {
+            return Err(Failure {
+                policy: format!("{label}[q{q}]"),
+                kind: FailureKind::NotSubMultiset,
+                detail: format!("shed run emitted a row the solo oracle never did: {extra:?}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One canonical result row: per-stream `(timestamp µs, values…)` in the
+/// query's local stream order.
+fn projected(b: &Bindings<'_>, n: usize) -> Vec<u64> {
+    let mut r = Vec::with_capacity(n * 3);
+    for k in 0..n {
+        let t = b.tuple(StreamId(k));
+        r.push(t.ts.as_micros());
+        r.extend(t.values.iter().map(|v| v.0));
+    }
+    r
+}
+
+/// The query's local id for pool stream `pool`, if it uses that stream.
+fn local_stream(query: &JoinQuery, pool: usize) -> Option<StreamId> {
+    let name = format!("R{}", pool + 1);
+    query
+        .catalog()
+        .iter()
+        .find(|(_, s)| s.name == name)
+        .map(|(id, _)| id)
+}
+
+/// The query's solo exact output, fed only the arrivals on its streams.
+fn oracle_rows(query: &JoinQuery, arrivals: &[GenArrival]) -> Vec<Vec<u64>> {
+    let n = query.n_streams();
+    let mut join = ExactJoin::new(query.clone());
+    let mut rows = Vec::new();
+    for a in arrivals {
+        let Some(local) = local_stream(query, a.stream) else {
+            continue;
+        };
+        let values: Vec<Value> = a.values.iter().map(|&v| Value(v)).collect();
+        join.process_each(local, values, VTime::from_micros(a.at_micros), |b| {
+            rows.push(projected(b, n));
+        });
+    }
+    rows.sort();
+    rows
+}
+
+/// The shared [`EngineBuilder`] setup for one multi-query run: explicit
+/// epoch and sketch bank, case-seeded determinism, every query registered
+/// in case order.
+fn builder(case: &MultiCase, policy: &str, capacity: usize) -> EngineBuilder {
+    let mut b = EngineBuilder::new_multi()
+        .boxed_policy(parse_policy(policy).expect("every registered policy parses"))
+        .capacity_per_window(capacity)
+        .epoch(case.epoch)
+        .bank(BankConfig {
+            s1: 32,
+            s2: 1,
+            seed: case.seed,
+        })
+        .seed(case.seed);
+    for query in &case.queries {
+        b.register(query.clone())
+            .expect("generated pool schemas always agree");
+    }
+    b
+}
+
+/// Resolves each pool index appearing in the trace to the engine catalog's
+/// global stream id (by name).
+fn pool_map(
+    arrivals: &[GenArrival],
+    resolve: impl Fn(&str) -> Option<StreamId>,
+) -> HashMap<usize, StreamId> {
+    let mut map = HashMap::new();
+    for a in arrivals {
+        map.entry(a.stream).or_insert_with(|| {
+            resolve(&format!("R{}", a.stream + 1))
+                .expect("arrivals only target registered streams")
+        });
+    }
+    map
+}
+
+/// Drives the trace through the in-process [`mstream_core::MultiQueryEngine`],
+/// collecting per-query canonical rows and re-checking structural
+/// invariants after every arrival.
+fn drive_multi(
+    case: &MultiCase,
+    policy: &str,
+    full_memory: bool,
+) -> Result<Vec<Vec<Vec<u64>>>, Failure> {
+    let fail = |detail: String, kind| Failure {
+        policy: policy.into(),
+        kind,
+        detail,
+    };
+    let capacity = if full_memory {
+        case.arrivals.len() + 1
+    } else {
+        case.capacity
+    };
+    let mut engine = builder(case, policy, capacity)
+        .build_multi()
+        .map_err(|e| fail(format!("engine construction failed: {e:?}"), FailureKind::InvariantPanic))?;
+    let globals = pool_map(&case.arrivals, |name| engine.stream_id(name));
+
+    let mut rows: Vec<Vec<Vec<u64>>> = vec![Vec::new(); case.queries.len()];
+    for (i, a) in case.arrivals.iter().enumerate() {
+        let g = globals[&a.stream];
+        let values: Vec<Value> = a.values.iter().map(|&v| Value(v)).collect();
+        let now = VTime::from_micros(a.at_micros);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            engine.ingest(
+                Arrival::new(g, values, now),
+                &mut QueryFnSink(|qid, b: &Bindings<'_>| {
+                    rows[qid.index()].push(projected(b, b.n_streams()));
+                }),
+            );
+            engine.check_invariants();
+        }));
+        if let Err(payload) = outcome {
+            return Err(fail(
+                format!("arrival #{i}: {}", panic_message(&payload)),
+                FailureKind::InvariantPanic,
+            ));
+        }
+    }
+    for r in &mut rows {
+        r.sort();
+    }
+    Ok(rows)
+}
+
+/// Drives the trace through the sharded coordinator at `shards` workers,
+/// checks the keyed-width and no-drop contracts, and returns per-query
+/// canonical rows from the merged report.
+fn drive_multi_sharded(
+    case: &MultiCase,
+    policy: &str,
+    shards: usize,
+    full_memory: bool,
+) -> Result<Vec<Vec<Vec<u64>>>, Failure> {
+    let label = format!("{policy}@multi-x{shards}");
+    let fail = |detail: String, kind| Failure {
+        policy: label.clone(),
+        kind,
+        detail,
+    };
+    let capacity = if full_memory {
+        // The shard layer splits the budget S ways and skewed routing may
+        // land the whole trace on one worker.
+        (case.arrivals.len() + 1) * shards
+    } else {
+        case.capacity
+    };
+    let mut engine = builder(case, policy, capacity)
+        .shard_config(ShardConfig {
+            shards,
+            channel_capacity: 4,
+            collect_rows: true,
+            ..ShardConfig::default()
+        })
+        .build_multi_sharded()
+        .map_err(|e| fail(format!("sharded construction failed: {e:?}"), FailureKind::InvariantPanic))?;
+    if case.keyed && (engine.shards() != shards || engine.degraded().is_some()) {
+        return Err(fail(
+            format!(
+                "keyed query set ran on {} shards (requested {shards}), degraded: {:?}",
+                engine.shards(),
+                engine.degraded()
+            ),
+            FailureKind::ShardContract,
+        ));
+    }
+    let globals = pool_map(&case.arrivals, |name| engine.stream_id(name));
+    for a in &case.arrivals {
+        let values: Vec<Value> = a.values.iter().map(|&v| Value(v)).collect();
+        engine.ingest(Arrival::new(
+            globals[&a.stream],
+            values,
+            VTime::from_micros(a.at_micros),
+        ));
+    }
+    let report = engine
+        .finish()
+        .map_err(|e| fail(format!("{e}"), FailureKind::InvariantPanic))?;
+    if report.shed_channel != 0 {
+        return Err(fail(
+            format!(
+                "{} tuples dropped under Backpressure::Block",
+                report.shed_channel
+            ),
+            FailureKind::ShardContract,
+        ));
+    }
+    let mut rows: Vec<Vec<Vec<u64>>> = report
+        .rows
+        .expect("collect_rows was set")
+        .iter()
+        .map(|per_query| {
+            per_query
+                .iter()
+                .map(|result| {
+                    let mut r = Vec::with_capacity(result.len() * 3);
+                    for t in result {
+                        r.push(t.ts.as_micros());
+                        r.extend(t.values.iter().map(|v| v.0));
+                    }
+                    r
+                })
+                .collect()
+        })
+        .collect();
+    rows.resize_with(case.queries.len(), Vec::new);
+    for r in &mut rows {
+        r.sort();
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{case_seed, generate_multi_case, install_quiet_hook};
+
+    #[test]
+    fn small_multi_sweep_passes() {
+        install_quiet_hook();
+        for i in 0..3u64 {
+            let case = generate_multi_case(case_seed(13, i));
+            if let Err(f) = run_multi_case(&case) {
+                panic!("multi case {i} (seed {}) failed: {f}", case.seed);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_projection_is_stable_per_query() {
+        let case = generate_multi_case(42);
+        for q in &case.queries {
+            let a = oracle_rows(q, &case.arrivals);
+            let b = oracle_rows(q, &case.arrivals);
+            assert_eq!(a, b);
+        }
+    }
+}

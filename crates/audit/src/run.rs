@@ -435,7 +435,7 @@ pub(crate) fn first_diff(got: &[Vec<u64>], want: &[Vec<u64>]) -> String {
 }
 
 /// Returns a row of `small` that exceeds its multiplicity in `big`, if any.
-fn not_in_multiset(small: &[Vec<u64>], big: &[Vec<u64>]) -> Option<Vec<u64>> {
+pub(crate) fn not_in_multiset(small: &[Vec<u64>], big: &[Vec<u64>]) -> Option<Vec<u64>> {
     let mut budget: HashMap<&[u64], i64> = HashMap::new();
     for r in big {
         *budget.entry(r.as_slice()).or_insert(0) += 1;

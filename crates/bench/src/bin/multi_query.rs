@@ -1,0 +1,376 @@
+//! Multi-query sharing: N standing queries on one shared data plane vs N
+//! independent engines.
+//!
+//! Not a figure from the paper — the measurement behind the multi-query
+//! shared data plane design notes (DESIGN.md §14). Three execution modes
+//! are swept over query counts N (default {1, 8, 64}):
+//!
+//! * `duplicate` — N structurally identical queries registered on one
+//!   [`MultiQueryEngine`]. They collapse into one query class sharing
+//!   windows, indexes and sketches; the per-arrival cost is that of one
+//!   query plus an emission fan-out, so wall time and resident state must
+//!   stay essentially flat in N (the acceptance gate: N=64 within 1.5x
+//!   the wall time and 2x the resident state of N=1).
+//! * `distinct` — N queries over pairwise-disjoint stream pairs on one
+//!   engine, fed one trace spread across all 2N streams. Total tuple
+//!   volume is constant, so cost tracks the live *work* — arrivals,
+//!   probes, per-store bookkeeping — not the query count: wall time
+//!   grows mildly with the store count while classes/stores grow with N,
+//!   far below the ~N× of independent engines.
+//! * `independent` — N separate single-query engines each fed the whole
+//!   duplicate-mode trace: the one-query-one-engine baseline the shared
+//!   plane replaces, costing ~N times the N=1 run.
+//!
+//! Every mode runs at full memory (no shedding), and the bin asserts the
+//! sharing exactness contract on the way: each duplicate's produced count
+//! equals the solo engine's output on the same trace.
+//!
+//! ```text
+//! cargo run --release -p mstream-bench --bin multi_query
+//! cargo run --release -p mstream-bench --bin multi_query -- --queries 1,8,64 --json out.json
+//! cargo run --release -p mstream-bench --bin multi_query -- --scale 0.2 --min-secs 0.1
+//! ```
+//!
+//! Flags beyond the common set:
+//!
+//! * `--queries <list>` — comma-separated query counts (default `1,8,64`).
+//! * `--min-secs <f>` — measured wall time to accumulate per point
+//!   (default 0.5; each pass is a fresh engine over the same trace).
+//! * `--domain <n>` — join-key domain (default 512; selectivity knob).
+
+use mstream_bench::{args, table, Args};
+use mstream_core::mstream_types::Row;
+use mstream_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Window depth: at `RATE` arrivals/s over two streams, each window holds
+/// on the order of a thousand tuples — deep enough that probe and store
+/// work dominates the per-arrival cost, shallow enough to iterate fast.
+const WINDOW_SECS: u64 = 2;
+
+/// Virtual arrival rate (tuples per second across all streams).
+const RATE: f64 = 1000.0;
+
+/// The equi-join pair `l.A1 = r.A1` with a second noise attribute.
+fn pair_query(l: &str, r: &str) -> JoinQuery {
+    let mut c = Catalog::new();
+    c.add_stream(StreamSchema::new(l, &["A1", "A2"]));
+    c.add_stream(StreamSchema::new(r, &["A1", "A2"]));
+    JoinQuery::from_names(
+        c,
+        &[(format!("{l}.A1").as_str(), format!("{r}.A1").as_str())],
+        WindowSpec::secs(WINDOW_SECS),
+    )
+    .expect("valid query")
+}
+
+/// Stream names for `n` disjoint pairs: query `i` joins `S{2i}` ⋈ `S{2i+1}`.
+fn stream_name(k: usize) -> String {
+    format!("S{k}")
+}
+
+/// A uniform trace over `streams` named streams: round-robin stream
+/// choice, keys uniform in `domain`, timestamps on the `RATE` schedule.
+fn trace(streams: usize, arrivals: usize, domain: u64, seed: u64) -> Vec<(String, Row, VTime)> {
+    let dt = VDur::from_rate(RATE);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..arrivals)
+        .map(|i| {
+            let row: Row = vec![
+                Value(rng.gen_range(0..domain)),
+                Value(rng.gen_range(0..domain)),
+            ]
+            .into();
+            (
+                stream_name(i % streams),
+                row,
+                VTime::ZERO + dt.mul(i as u64),
+            )
+        })
+        .collect()
+}
+
+/// One measured pass's outcome.
+struct Pass {
+    secs: f64,
+    produced_per_query: Vec<u64>,
+    resident: usize,
+    classes: usize,
+    stores: usize,
+}
+
+/// Builds the shared engine for a query list and times one full feed.
+/// Engine construction (standing-query registration) is untimed: the
+/// steady state of a standing-query service is the ingest loop.
+fn shared_pass(queries: &[JoinQuery], t: &[(String, Row, VTime)], capacity: usize, seed: u64) -> Pass {
+    let mut b = EngineBuilder::new_multi()
+        .policy(MSketch)
+        .capacity_per_window(capacity)
+        .seed(seed);
+    for q in queries {
+        b.register(q.clone()).expect("compatible query");
+    }
+    let mut engine = b.build_multi().expect("valid engine");
+    let ids: Vec<StreamId> = t
+        .iter()
+        .map(|(name, _, _)| engine.stream_id(name).expect("stream registered"))
+        .collect();
+    let mut sink = CountSink::default();
+    let start = Instant::now();
+    for ((_, row, ts), &g) in t.iter().zip(&ids) {
+        engine.ingest(Arrival::new(g, row.clone(), *ts), &mut sink);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    Pass {
+        secs,
+        produced_per_query: (0..queries.len() as u32)
+            .map(|q| engine.query_stats(QueryId(q)).expect("registered").produced)
+            .collect(),
+        resident: engine.total_resident(),
+        classes: engine.n_classes(),
+        stores: engine.n_stores(),
+    }
+}
+
+/// N independent single-query engines, each fed the whole trace — the
+/// one-query-one-engine baseline.
+fn independent_pass(n: usize, t: &[(String, Row, VTime)], capacity: usize, seed: u64) -> Pass {
+    let mut engines: Vec<ShedJoinEngine> = (0..n)
+        .map(|_| {
+            EngineBuilder::new(pair_query(&stream_name(0), &stream_name(1)))
+                .policy(MSketch)
+                .capacity_per_window(capacity)
+                .seed(seed)
+                .build()
+                .expect("valid engine")
+        })
+        .collect();
+    let ids: Vec<StreamId> = t
+        .iter()
+        .map(|(name, _, _)| {
+            engines[0]
+                .query()
+                .catalog()
+                .iter()
+                .find(|(_, s)| s.name == *name)
+                .expect("stream in catalog")
+                .0
+        })
+        .collect();
+    let mut sinks = vec![CountSink::default(); n];
+    let start = Instant::now();
+    for ((_, row, ts), &g) in t.iter().zip(&ids) {
+        for (engine, sink) in engines.iter_mut().zip(&mut sinks) {
+            engine.ingest(Arrival::new(g, row.clone(), *ts), sink);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let resident = engines
+        .iter()
+        .map(|e| (0..2).map(|k| e.window_len(StreamId(k)).unwrap_or(0)).sum::<usize>())
+        .sum();
+    Pass {
+        secs,
+        produced_per_query: sinks.iter().map(|s| s.produced).collect(),
+        resident,
+        classes: n,
+        stores: 2 * n,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale_or(1.0);
+    let min_secs: f64 = args
+        .flag_value("--min-secs")
+        .map(|v| v.parse().expect("--min-secs takes a number"))
+        .unwrap_or(0.5);
+    let domain: u64 = args
+        .flag_value("--domain")
+        .map(|v| v.parse().expect("--domain takes an integer"))
+        .unwrap_or(512);
+    let counts: Vec<usize> = args
+        .flag_value("--queries")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().parse().expect("--queries takes e.g. 1,8,64"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 8, 64]);
+    assert!(!counts.is_empty(), "--queries needs at least one count");
+
+    let arrivals = ((20_000.0 * scale).round() as usize).max(200);
+    // Full memory: every window can hold the whole trace, so nothing is
+    // ever shed and every query's output must equal its solo run.
+    let capacity = arrivals + 1;
+    let pair_trace = trace(2, arrivals, domain, args.seed);
+
+    // The exactness reference: one solo engine over the duplicate trace.
+    let solo = independent_pass(1, &pair_trace, capacity, args.seed);
+    let solo_produced = solo.produced_per_query[0];
+    assert!(solo_produced > 0, "reference trace must produce joins");
+
+    let header = vec![
+        "mode".to_string(),
+        "N".to_string(),
+        "time (s)".to_string(),
+        "passes".to_string(),
+        "produced/q".to_string(),
+        "resident".to_string(),
+        "classes".to_string(),
+        "stores".to_string(),
+        "tuples/s".to_string(),
+        "vs N=1".to_string(),
+    ];
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    // (mode, N) -> mean seconds, for the vs-N=1 column and the headline.
+    let mut seconds: Vec<((&str, usize), f64)> = Vec::new();
+    let mut residents: Vec<((&str, usize), usize)> = Vec::new();
+
+    for &(mode, heavy) in &[("duplicate", false), ("distinct", false), ("independent", true)] {
+        for &n in &counts {
+            let run = |seed: u64| -> Pass {
+                match mode {
+                    "duplicate" => {
+                        let qs: Vec<JoinQuery> = (0..n)
+                            .map(|_| pair_query(&stream_name(0), &stream_name(1)))
+                            .collect();
+                        shared_pass(&qs, &pair_trace, capacity, seed)
+                    }
+                    "distinct" => {
+                        let qs: Vec<JoinQuery> = (0..n)
+                            .map(|i| pair_query(&stream_name(2 * i), &stream_name(2 * i + 1)))
+                            .collect();
+                        let t = trace(2 * n, arrivals, domain, args.seed);
+                        shared_pass(&qs, &t, capacity, seed)
+                    }
+                    _ => independent_pass(n, &pair_trace, capacity, seed),
+                }
+            };
+            // Untimed warmup (page faults, allocator steady state), then
+            // fresh-engine passes until `min_secs` of wall time. The
+            // independent baseline at large N costs ~N passes' worth per
+            // pass; one measured pass suffices there.
+            let warm = run(args.seed);
+            let budget = if heavy && n > 1 { 0.0 } else { min_secs };
+            let mut total_secs = 0.0f64;
+            let mut passes = 0u32;
+            let mut last = warm;
+            loop {
+                let pass = run(args.seed);
+                assert_eq!(
+                    pass.produced_per_query, last.produced_per_query,
+                    "{mode} N={n}: passes must be deterministic"
+                );
+                total_secs += pass.secs;
+                passes += 1;
+                last = pass;
+                if total_secs >= budget {
+                    break;
+                }
+            }
+            let secs = total_secs / passes as f64;
+
+            // Exactness spot checks, every mode at full memory.
+            match mode {
+                "duplicate" | "independent" => {
+                    assert!(
+                        last.produced_per_query.iter().all(|&p| p == solo_produced),
+                        "{mode} N={n}: a query diverged from its solo run \
+                         ({:?} vs {solo_produced})",
+                        last.produced_per_query
+                    );
+                }
+                _ => {
+                    let total: u64 = last.produced_per_query.iter().sum();
+                    assert!(total > 0 || n > arrivals, "distinct N={n}: no output");
+                }
+            }
+
+            seconds.push(((mode, n), secs));
+            residents.push(((mode, n), last.resident));
+            let base = seconds
+                .iter()
+                .find(|((m, c), _)| *m == mode && *c == counts[0])
+                .map(|(_, s)| *s)
+                .unwrap_or(secs);
+            let produced_total: u64 = last.produced_per_query.iter().sum();
+            rows.push(vec![
+                mode.to_string(),
+                n.to_string(),
+                format!("{secs:.3}"),
+                passes.to_string(),
+                (produced_total / n as u64).to_string(),
+                last.resident.to_string(),
+                last.classes.to_string(),
+                last.stores.to_string(),
+                table::fmt_num(arrivals as f64 / secs),
+                format!("{:.2}x", secs / base),
+            ]);
+            json_rows.push(serde_json::json!({
+                "mode": mode,
+                "queries": n,
+                "seconds": secs,
+                "passes": passes,
+                "arrivals": arrivals,
+                "throughput": arrivals as f64 / secs,
+                "produced_total": produced_total,
+                "produced_per_query": produced_total / n as u64,
+                "solo_produced": solo_produced,
+                "resident": last.resident,
+                "classes": last.classes,
+                "stores": last.stores,
+                "domain": domain,
+                "vs_n1": secs / base,
+            }));
+        }
+    }
+
+    table::print_table(
+        &format!(
+            "Multi-query sharing: N standing pair joins, {arrivals} arrivals, \
+             full memory, domain {domain}"
+        ),
+        &header,
+        &rows,
+    );
+
+    // Headline: duplicates are (nearly) free on the shared plane. The
+    // resident check is deterministic; the wall-time check is the
+    // acceptance gate and holds with wide margin (fan-out only costs on
+    // emission).
+    let sec_of = |mode: &str, n: usize| {
+        seconds
+            .iter()
+            .find(|((m, c), _)| *m == mode && *c == n)
+            .map(|(_, s)| *s)
+    };
+    let res_of = |mode: &str, n: usize| {
+        residents
+            .iter()
+            .find(|((m, c), _)| *m == mode && *c == n)
+            .map(|(_, r)| *r)
+    };
+    let (lo, hi) = (counts[0], *counts.last().expect("nonempty"));
+    if lo < hi {
+        let wall_ok = matches!(
+            (sec_of("duplicate", lo), sec_of("duplicate", hi)),
+            (Some(a), Some(b)) if b <= 1.5 * a
+        );
+        let mem_ok = matches!(
+            (res_of("duplicate", lo), res_of("duplicate", hi)),
+            (Some(a), Some(b)) if b <= 2 * a
+        );
+        table::print_shape(
+            &format!(
+                "N={hi} duplicate queries cost <= 1.5x the wall time and <= 2x \
+                 the resident state of N={lo} (duplicates share one class)"
+            ),
+            wall_ok && mem_ok,
+        );
+    }
+    args::maybe_dump_json(&args.json, &json_rows);
+}

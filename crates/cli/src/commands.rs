@@ -5,9 +5,13 @@ use mstream_core::mstream_join::ProbePlan;
 use mstream_core::mstream_workload::{read_trace, write_trace};
 use mstream_core::prelude::*;
 use std::io::Write;
+use std::time::Instant;
 
 /// `mstream run`: execute a query over a trace with shedding.
 pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    if flags.get("--queries").is_some() {
+        return run_multi(flags, out);
+    }
     let query = load_query(flags)?;
     let trace = load_trace(flags.require("--trace")?)?;
     validate_trace(&query, &trace)?;
@@ -224,6 +228,227 @@ fn run_sharded(
     Ok(())
 }
 
+/// The merged result of a multi-query run, shape-identical for the
+/// in-process and sharded engines so one report printer serves both.
+struct MultiOutcome {
+    stats: Vec<QueryStats>,
+    metrics: EngineMetrics,
+    resident: usize,
+    shed_channel: u64,
+    /// `Some((worker count, degrade reason))` for sharded runs.
+    shards: Option<(usize, Option<String>)>,
+    /// `(query classes, shared stores)` — in-process runs only.
+    sharing: Option<(usize, usize)>,
+    wall: std::time::Duration,
+}
+
+/// `mstream run --queries <file.json>`: N standing queries over one
+/// shared data plane. The report gains one row per `QueryId` with its
+/// produced/shed counts and its recall against a full-memory companion
+/// run of the same query set (which, by the exactness contract, equals
+/// each query's solo exact output).
+fn run_multi(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    if flags.get("--query").is_some() || flags.get("--query-file").is_some() {
+        return Err(CliError::usage("give --queries or --query, not both"));
+    }
+    if flags.num_opt::<f64>("--service")?.is_some() {
+        return Err(CliError::usage(
+            "--service models a single-query operator and cannot be combined with --queries",
+        ));
+    }
+    if flags.num_opt::<f64>("--disorder-bound")?.is_some() {
+        return Err(CliError::usage(
+            "--disorder-bound is not supported by the multi-query engine",
+        ));
+    }
+    let queries = load_queries(flags.require("--queries")?)?;
+    let trace = load_trace(flags.require("--trace")?)?;
+    let policy_name = flags.get("--policy").unwrap_or("MSketch");
+    let policy = parse_policy(policy_name)
+        .ok_or_else(|| CliError::input(format!("unknown policy `{policy_name}`")))?;
+    let capacity: usize = flags.num("--capacity", 1024)?;
+    let rate: f64 = flags.num("--rate", 10.0)?;
+    if rate <= 0.0 || rate.is_nan() {
+        return Err(CliError::usage("--rate must be positive"));
+    }
+    let shards: Option<usize> = flags.num_opt("--shards")?;
+    if shards == Some(0) {
+        return Err(CliError::usage("--shards must be >= 1"));
+    }
+
+    let mut builder = EngineBuilder::new_multi()
+        .boxed_policy(policy)
+        .capacity_per_window(capacity)
+        .seed(flags.num("--seed", 42)?);
+    for (i, query) in queries.iter().enumerate() {
+        builder
+            .register(query.clone())
+            .map_err(|e| CliError::input(format!("query {i}: {e}")))?;
+    }
+    let dt = VDur::from_rate(rate);
+    let o = match shards {
+        None => {
+            let mut engine = builder
+                .build_multi()
+                .map_err(|e| CliError::input(e.to_string()))?;
+            validate_trace_catalog(engine.catalog(), &trace)?;
+            let started = Instant::now();
+            let mut sink = CountSink::default();
+            for (i, item) in trace.items.iter().enumerate() {
+                let now = VTime::ZERO + dt.mul(i as u64);
+                engine.ingest(Arrival::new(item.stream, item.values.clone(), now), &mut sink);
+            }
+            MultiOutcome {
+                stats: (0..queries.len())
+                    .map(|q| engine.query_stats(QueryId(q as u32)).unwrap_or_default())
+                    .collect(),
+                metrics: engine.metrics().clone(),
+                resident: engine.total_resident(),
+                shed_channel: 0,
+                shards: None,
+                sharing: Some((engine.n_classes(), engine.n_stores())),
+                wall: started.elapsed(),
+            }
+        }
+        Some(s) => {
+            let mut engine = builder
+                .shards(s)
+                .build_multi_sharded()
+                .map_err(|e| CliError::input(e.to_string()))?;
+            validate_trace_catalog(engine.catalog(), &trace)?;
+            for (i, item) in trace.items.iter().enumerate() {
+                let now = VTime::ZERO + dt.mul(i as u64);
+                engine.ingest(Arrival::new(item.stream, item.values.clone(), now));
+            }
+            let report = engine.finish().map_err(|e| CliError::input(e.to_string()))?;
+            MultiOutcome {
+                stats: report.stats,
+                metrics: report.metrics,
+                resident: report.resident,
+                shed_channel: report.shed_channel,
+                shards: Some((report.shards, report.degraded)),
+                sharing: None,
+                wall: report.wall_time,
+            }
+        }
+    };
+    let exact = multi_exact_counts(&queries, &trace, rate)?;
+    let span_secs = match trace.len() {
+        0 => 0.0,
+        n => dt.mul(n as u64 - 1).as_secs_f64(),
+    };
+    let recall = |q: usize| match exact[q] {
+        0 => 1.0,
+        e => o.stats[q].produced as f64 / e as f64,
+    };
+
+    if flags.has("--json") {
+        let per_query: Vec<serde_json::Value> = (0..queries.len())
+            .map(|q| {
+                serde_json::json!({
+                    "query": q,
+                    "produced": o.stats[q].produced,
+                    "shed": o.stats[q].shed,
+                    "exact": exact[q],
+                    "recall": recall(q),
+                })
+            })
+            .collect();
+        let body = serde_json::json!({
+            "policy": policy_name,
+            "capacity_per_window": capacity,
+            "queries": queries.len(),
+            "shards": o.shards.as_ref().map(|(s, _)| s),
+            "degraded": o.shards.as_ref().and_then(|(_, d)| d.clone()),
+            "classes": o.sharing.map(|(c, _)| c),
+            "stores": o.sharing.map(|(_, s)| s),
+            "arrivals": trace.len(),
+            "processed": o.metrics.processed,
+            "output_tuples": o.metrics.total_output,
+            "shed_window": o.metrics.shed_window,
+            "shed_channel": o.shed_channel,
+            "expired": o.metrics.expired,
+            "resident": o.resident,
+            "per_query": per_query,
+            "end_time_secs": span_secs,
+            "wall_seconds": o.wall.as_secs_f64(),
+        });
+        writeln!(out, "{}", serde_json::to_string_pretty(&body).expect("serializable"))?;
+    } else {
+        writeln!(out, "policy:          {policy_name}")?;
+        writeln!(out, "memory/window:   {capacity} tuples")?;
+        match o.sharing {
+            Some((classes, stores)) => writeln!(
+                out,
+                "queries:         {} standing ({classes} classes, {stores} shared stores)",
+                queries.len()
+            )?,
+            None => writeln!(out, "queries:         {} standing", queries.len())?,
+        }
+        if let Some((s, degraded)) = &o.shards {
+            match degraded {
+                Some(reason) => writeln!(out, "shards:          1 (degraded: {reason})")?,
+                None => writeln!(out, "shards:          {s}")?,
+            }
+        }
+        writeln!(out, "arrivals:        {}", trace.len())?;
+        writeln!(out, "processed:       {}", o.metrics.processed)?;
+        writeln!(out, "output tuples:   {}", o.metrics.total_output)?;
+        writeln!(
+            out,
+            "shed:            {} window, {} channel",
+            o.metrics.shed_window, o.shed_channel
+        )?;
+        writeln!(out, "expired:         {}", o.metrics.expired)?;
+        writeln!(out, "resident:        {} tuples", o.resident)?;
+        for q in 0..queries.len() {
+            writeln!(
+                out,
+                "  q{q}: produced {:>9}  shed {:>7}  recall {:.3}",
+                o.stats[q].produced,
+                o.stats[q].shed,
+                recall(q)
+            )?;
+        }
+        writeln!(
+            out,
+            "virtual span:    {span_secs:.1}s   wall: {:.3}s",
+            o.wall.as_secs_f64()
+        )?;
+    }
+    Ok(())
+}
+
+/// Per-query exact output counts: the same query set replayed through a
+/// full-memory shared data plane (nothing is ever evicted, so the policy
+/// is irrelevant and FIFO's zero-overhead scoring is used).
+fn multi_exact_counts(
+    queries: &[JoinQuery],
+    trace: &Trace,
+    rate: f64,
+) -> Result<Vec<u64>, CliError> {
+    let mut builder = EngineBuilder::new_multi()
+        .policy(Fifo)
+        .capacity_per_window(usize::MAX);
+    for query in queries {
+        builder
+            .register(query.clone())
+            .map_err(|e| CliError::input(e.to_string()))?;
+    }
+    let mut engine = builder
+        .build_multi()
+        .map_err(|e| CliError::input(e.to_string()))?;
+    let dt = VDur::from_rate(rate);
+    let mut sink = CountSink::default();
+    for (i, item) in trace.items.iter().enumerate() {
+        let now = VTime::ZERO + dt.mul(i as u64);
+        engine.ingest(Arrival::new(item.stream, item.values.clone(), now), &mut sink);
+    }
+    Ok((0..queries.len())
+        .map(|q| engine.query_stats(QueryId(q as u32)).map_or(0, |s| s.produced))
+        .collect())
+}
+
 /// Parses `--disorder-bound` (seconds) into the event-time bound, if given.
 fn parse_disorder(flags: &Flags) -> Result<Option<VDur>, CliError> {
     let Some(secs) = flags.num_opt::<f64>("--disorder-bound")? else {
@@ -361,6 +586,28 @@ fn load_query(flags: &Flags) -> Result<JoinQuery, CliError> {
     mstream_query::parse_query(&text).map_err(|e| CliError::input(format!("query: {e}")))
 }
 
+/// Reads `--queries <file.json>`: a JSON array of query strings, each in
+/// the same CQL-ish dialect as `--query`.
+fn load_queries(path: &str) -> Result<Vec<JoinQuery>, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::input(format!("cannot open queries `{path}`: {e}")))?;
+    let specs: Vec<String> = serde_json::from_str(&text).map_err(|e| {
+        CliError::input(format!(
+            "queries `{path}`: expected a JSON array of query strings: {e}"
+        ))
+    })?;
+    if specs.is_empty() {
+        return Err(CliError::input(format!("queries `{path}`: the array is empty")));
+    }
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            mstream_query::parse_query(s).map_err(|e| CliError::input(format!("query {i}: {e}")))
+        })
+        .collect()
+}
+
 fn load_trace(path: &str) -> Result<Trace, CliError> {
     if path == "-" {
         read_trace(std::io::stdin().lock()).map_err(|e| CliError::input(e.to_string()))
@@ -373,13 +620,19 @@ fn load_trace(path: &str) -> Result<Trace, CliError> {
 
 /// The trace must only reference the query's streams, with matching arity.
 fn validate_trace(query: &JoinQuery, trace: &Trace) -> Result<(), CliError> {
+    validate_trace_catalog(query.catalog(), trace)
+}
+
+/// Catalog-level trace validation — for multi-query runs the catalog is
+/// the union of every registered query's streams, in registration order.
+fn validate_trace_catalog(catalog: &Catalog, trace: &Trace) -> Result<(), CliError> {
     for (i, item) in trace.items.iter().enumerate() {
-        let schema = query.catalog().schema(item.stream).ok_or_else(|| {
+        let schema = catalog.schema(item.stream).ok_or_else(|| {
             CliError::input(format!(
-                "trace row {}: stream index {} but the query has {} streams",
+                "trace row {}: stream index {} but the query set has {} streams",
                 i + 1,
                 item.stream.index(),
-                query.n_streams()
+                catalog.len()
             ))
         })?;
         if item.values.len() != schema.arity() {
@@ -557,6 +810,100 @@ mod tests {
         ])
         .unwrap();
         assert!(text.contains("degraded:"), "{text}");
+    }
+
+    #[test]
+    fn multi_query_run_reports_per_query_rows() {
+        let dir = std::env::temp_dir().join("mstream_cli_test_multi");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.csv");
+        let trace_path = trace_path.to_str().unwrap();
+        run_cli(&[
+            "generate", "--workload", "regions", "--tuples", "200", "--out", trace_path,
+        ])
+        .unwrap();
+        let chain = "SELECT * FROM R1(A1, A2) [RANGE 30 SECONDS], R2(A1, A2), R3(A1, A2) \
+                     WHERE R1.A1 = R2.A1 AND R2.A2 = R3.A1";
+        let pair = "SELECT * FROM R1(A1, A2) [RANGE 30 SECONDS], R2(A1, A2) \
+                    WHERE R1.A1 = R2.A1";
+        let queries_path = dir.join("queries.json");
+        std::fs::write(
+            &queries_path,
+            serde_json::to_string(&[chain, chain, pair]).unwrap(),
+        )
+        .unwrap();
+        let queries_path = queries_path.to_str().unwrap();
+
+        // Full memory: every query's recall is exactly 1, the duplicate
+        // queries agree, and the chain's count matches its solo run.
+        let json = run_cli(&[
+            "run", "--queries", queries_path, "--trace", trace_path,
+            "--capacity", "100000", "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["queries"], 3);
+        assert_eq!(v["classes"], 2, "duplicate chains share one class");
+        let rows = v["per_query"].as_array().unwrap();
+        assert_eq!(rows.len(), 3);
+        for row in rows {
+            assert_eq!(row["recall"], 1.0, "{row:?}");
+            assert_eq!(row["produced"], row["exact"], "{row:?}");
+        }
+        assert_eq!(rows[0]["produced"], rows[1]["produced"], "duplicates agree");
+        let solo = run_cli(&[
+            "run", "--query", chain, "--trace", trace_path, "--capacity", "100000",
+            "--json",
+        ])
+        .unwrap();
+        let s: serde_json::Value = serde_json::from_str(&solo).unwrap();
+        assert_eq!(rows[0]["produced"], s["output_tuples"], "solo-identical");
+
+        // Text mode prints one row per query.
+        let text = run_cli(&[
+            "run", "--queries", queries_path, "--trace", trace_path, "--capacity", "50",
+        ])
+        .unwrap();
+        for q in 0..3 {
+            assert!(text.contains(&format!("q{q}: produced")), "{text}");
+        }
+        assert!(text.contains("recall"), "{text}");
+
+        // Sharded: same per-query exact counts through the coordinator.
+        let json = run_cli(&[
+            "run", "--queries", queries_path, "--trace", trace_path,
+            "--capacity", "100000", "--shards", "2", "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let sharded = v["per_query"].as_array().unwrap();
+        for (a, b) in rows.iter().zip(sharded) {
+            assert_eq!(a["produced"], b["produced"], "{a:?} vs {b:?}");
+            assert_eq!(b["recall"], 1.0);
+        }
+
+        // Conflicting flag combinations are usage errors.
+        for extra in [["--query", chain], ["--service", "10"], ["--disorder-bound", "5"]] {
+            let err = run_cli(&[
+                "run", "--queries", queries_path, "--trace", trace_path, extra[0], extra[1],
+            ])
+            .unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{extra:?}: {err}");
+        }
+        // Bad queries files are input errors with the path in the message.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{}").unwrap();
+        let err = run_cli(&[
+            "run", "--queries", bad.to_str().unwrap(), "--trace", trace_path,
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("array of query strings"), "{err}");
+        std::fs::write(&bad, "[]").unwrap();
+        let err = run_cli(&[
+            "run", "--queries", bad.to_str().unwrap(), "--trace", trace_path,
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
     }
 
     #[test]

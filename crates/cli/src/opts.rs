@@ -55,6 +55,7 @@ pub struct Flags {
 const VALUE_FLAGS: &[&str] = &[
     "--query",
     "--query-file",
+    "--queries",
     "--trace",
     "--policy",
     "--capacity",

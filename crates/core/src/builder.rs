@@ -2,17 +2,133 @@
 //!
 //! [`EngineBuilder`] is the one documented construction path: it owns all
 //! configuration validation (memory capacities, sketch bank sizing, epoch
-//! derivability, shard counts) and produces either a single-threaded
-//! [`ShedJoinEngine`] (`build`) or a hash-partitioned parallel
-//! [`ShardedJoinEngine`] (`build_sharded`).
+//! derivability, shard counts) and produces a single-threaded
+//! [`ShedJoinEngine`] (`build`), a hash-partitioned parallel
+//! [`ShardedJoinEngine`] (`build_sharded`), or — when more than one query
+//! is [`EngineBuilder::register`]ed — a shared-data-plane
+//! [`MultiQueryEngine`] (`build_multi`) / [`ShardedMultiEngine`]
+//! (`build_multi_sharded`).
+//!
+//! Validation failures are reported as the typed [`BuildError`] enum; it
+//! converts losslessly into the workspace-wide
+//! [`mstream_types::Error::InvalidConfig`] for callers that funnel every
+//! error through [`mstream_types::Result`].
 
 use crate::engine::{default_epoch, resolve_capacities, EngineConfig, MemoryMode, ShedJoinEngine};
+use crate::multi::{MultiQueryEngine, ShardedMultiEngine};
 use crate::shard::{ShardConfig, ShardedJoinEngine};
 use mstream_shed_policies::{MSketch, ShedPolicy};
 use mstream_sketch::{BankConfig, EpochSpec};
-use mstream_types::{Error, JoinQuery, Result};
+use mstream_types::{Error, JoinQuery, QueryId};
+use std::fmt;
 
-/// A fluent builder over [`ShedJoinEngine`] and [`ShardedJoinEngine`].
+/// Typed validation errors surfaced by [`EngineBuilder`] and the engine
+/// constructors — every invalid configuration has a named variant instead
+/// of a stringly error, so callers can match on the failure mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A window capacity (per-window, per-stream, or pool total) was zero.
+    ZeroWindowCapacity,
+    /// [`MemoryMode::PerWindowEach`] listed a different number of
+    /// capacities than the query has streams.
+    CapacityCountMismatch {
+        /// Number of capacities provided.
+        got: usize,
+        /// Number of streams in the query.
+        expected: usize,
+    },
+    /// The sketch bank was sized with `s1 == 0` or `s2 == 0`.
+    ZeroSketchBank,
+    /// A shard count of zero was requested.
+    ZeroShards,
+    /// `build()` was called with a multi-shard configuration.
+    MultiShardBuild {
+        /// The requested shard count.
+        shards: usize,
+    },
+    /// The query mixes time- and tuple-based windows, so the paper's
+    /// default tumbling epoch cannot be derived; set
+    /// [`EngineBuilder::epoch`] explicitly.
+    EpochUnderivable,
+    /// `build()` / `build_sharded()` need exactly one registered query;
+    /// use `build_multi()` / `build_multi_sharded()` for query sets.
+    QueryCountForSingle {
+        /// Number of registered queries.
+        got: usize,
+    },
+    /// `build_multi()` was called with no registered queries.
+    NoQueries,
+    /// Two registered queries name the same stream with different schemas
+    /// (attribute lists must be identical for the stream state to be
+    /// shared).
+    SchemaMismatch {
+        /// The stream name both queries use.
+        stream: String,
+    },
+    /// A configuration knob is not supported by the multi-query engine
+    /// (global-pool memory, per-stream capacity lists, disorder bounds).
+    UnsupportedMulti {
+        /// The offending knob.
+        what: &'static str,
+    },
+    /// Engine construction failed after validation (wraps the underlying
+    /// workspace error).
+    Engine(Error),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ZeroWindowCapacity => write!(f, "window capacity must be positive"),
+            BuildError::CapacityCountMismatch { got, expected } => {
+                write!(f, "{got} capacities for {expected} streams")
+            }
+            BuildError::ZeroSketchBank => write!(f, "sketch bank needs s1 >= 1 and s2 >= 1"),
+            BuildError::ZeroShards => write!(f, "shard count must be >= 1"),
+            BuildError::MultiShardBuild { shards } => {
+                write!(f, "{shards} shards requested; call build_sharded()")
+            }
+            BuildError::EpochUnderivable => write!(
+                f,
+                "mixed time/tuple windows need an explicit EngineConfig::epoch"
+            ),
+            BuildError::QueryCountForSingle { got } => write!(
+                f,
+                "{got} queries registered; build()/build_sharded() take exactly one — \
+                 use build_multi()"
+            ),
+            BuildError::NoQueries => write!(f, "no queries registered; call register() first"),
+            BuildError::SchemaMismatch { stream } => write!(
+                f,
+                "stream `{stream}` is declared with different schemas by two registered queries"
+            ),
+            BuildError::UnsupportedMulti { what } => {
+                write!(f, "{what} is not supported by the multi-query engine")
+            }
+            BuildError::Engine(e) => write!(f, "engine construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<BuildError> for Error {
+    fn from(e: BuildError) -> Self {
+        match e {
+            BuildError::Engine(inner) => inner,
+            other => Error::InvalidConfig(other.to_string()),
+        }
+    }
+}
+
+impl From<Error> for BuildError {
+    fn from(e: Error) -> Self {
+        BuildError::Engine(e)
+    }
+}
+
+/// A fluent builder over [`ShedJoinEngine`], [`ShardedJoinEngine`] and the
+/// multi-query engines.
 ///
 /// ```
 /// use mstream_core::prelude::*;
@@ -31,27 +147,69 @@ use mstream_types::{Error, JoinQuery, Result};
 ///     .unwrap();
 /// assert_eq!(engine.policy_name(), "MSketch-RS");
 /// ```
+///
+/// Registering several queries turns the builder into a query-set builder;
+/// `build_multi()` then produces one engine whose window stores, indexes
+/// and sketches are owned per *stream* and shared by every query:
+///
+/// ```
+/// use mstream_core::prelude::*;
+///
+/// let mk = || {
+///     let mut c = Catalog::new();
+///     c.add_stream(StreamSchema::new("L", &["k"]));
+///     c.add_stream(StreamSchema::new("R", &["k"]));
+///     JoinQuery::from_names(c, &[("L.k", "R.k")], WindowSpec::secs(60)).unwrap()
+/// };
+/// let mut b = EngineBuilder::new_multi().capacity_per_window(64);
+/// let q0 = b.register(mk()).unwrap();
+/// let q1 = b.register(mk()).unwrap();
+/// assert_ne!(q0, q1);
+/// let engine = b.build_multi().unwrap();
+/// assert_eq!(engine.n_queries(), 2);
+/// ```
 pub struct EngineBuilder {
-    query: JoinQuery,
+    queries: Vec<JoinQuery>,
     policy: Box<dyn ShedPolicy>,
     config: EngineConfig,
     shard: ShardConfig,
 }
 
-/// Former name of [`EngineBuilder`].
-#[deprecated(since = "0.3.0", note = "renamed to `EngineBuilder`")]
-pub type ShedJoinBuilder = EngineBuilder;
-
 impl EngineBuilder {
-    /// Starts a builder for `query` with the paper's flagship policy
-    /// (`MSketch`) and default sizing.
+    /// Starts a builder for the single query `query` with the paper's
+    /// flagship policy (`MSketch`) and default sizing. Equivalent to
+    /// [`EngineBuilder::new_multi`] followed by one
+    /// [`EngineBuilder::register`].
     pub fn new(query: JoinQuery) -> Self {
+        let mut b = Self::new_multi();
+        b.queries.push(query);
+        b
+    }
+
+    /// Starts an empty query-set builder; add standing queries with
+    /// [`EngineBuilder::register`] and build with
+    /// [`EngineBuilder::build_multi`].
+    pub fn new_multi() -> Self {
         EngineBuilder {
-            query,
+            queries: Vec::new(),
             policy: Box::new(MSketch),
             config: EngineConfig::default(),
             shard: ShardConfig::default(),
         }
+    }
+
+    /// Registers one standing query and returns the [`QueryId`] its
+    /// results will be emitted under (ids are assigned densely in
+    /// registration order). Rejects queries whose stream schemas conflict
+    /// with an already-registered query of the same stream *name* — shared
+    /// per-stream state requires identical schemas.
+    pub fn register(&mut self, query: JoinQuery) -> Result<QueryId, BuildError> {
+        for earlier in &self.queries {
+            check_catalogs_compatible(earlier, &query)?;
+        }
+        let id = QueryId(self.queries.len() as u32);
+        self.queries.push(query);
+        Ok(id)
     }
 
     /// Sets the shedding policy.
@@ -116,7 +274,7 @@ impl EngineBuilder {
     /// release in timestamp order as the watermark advances, and
     /// late-drop (counted in `EngineMetrics::late_dropped`) once later
     /// than the bound. Without this, timestamps are trusted as given and
-    /// processed in arrival order.
+    /// processed in arrival order. Single-query engines only.
     pub fn disorder_bound(mut self, bound: mstream_types::VDur) -> Self {
         self.config.disorder = Some(bound);
         self
@@ -154,51 +312,144 @@ impl EngineBuilder {
         self
     }
 
-    /// Validates everything the engine constructors assume: memory
-    /// capacities, sketch bank sizing, epoch derivability for the chosen
-    /// policy, and the shard count.
-    fn validate(&self) -> Result<()> {
-        resolve_capacities(&self.config.memory, self.query.n_streams())?;
+    /// The one query of a single-query builder.
+    fn single_query(&self) -> Result<&JoinQuery, BuildError> {
+        match self.queries.len() {
+            0 => Err(BuildError::NoQueries),
+            1 => Ok(&self.queries[0]),
+            got => Err(BuildError::QueryCountForSingle { got }),
+        }
+    }
+
+    /// Validates everything the single-query engine constructors assume:
+    /// memory capacities, sketch bank sizing, epoch derivability for the
+    /// chosen policy, and the shard count.
+    fn validate_single(&self) -> Result<(), BuildError> {
+        let query = self.single_query()?;
+        resolve_capacities(&self.config.memory, query.n_streams())?;
         if self.config.bank.s1 == 0 || self.config.bank.s2 == 0 {
-            return Err(Error::InvalidConfig(
-                "sketch bank needs s1 >= 1 and s2 >= 1".into(),
-            ));
+            return Err(BuildError::ZeroSketchBank);
         }
         let reqs = self.policy.requirements();
         if (reqs.sketches || reqs.partner_freq) && self.config.epoch.is_none() {
             // Surfaces the mixed-window error at build time instead of
             // deep inside engine construction.
-            default_epoch(&self.query)?;
+            default_epoch(query)?;
         }
         if self.shard.shards == 0 {
-            return Err(Error::InvalidConfig("shard count must be >= 1".into()));
+            return Err(BuildError::ZeroShards);
+        }
+        Ok(())
+    }
+
+    /// Validates the query-set configuration for the multi-query engines.
+    fn validate_multi(&self) -> Result<(), BuildError> {
+        if self.queries.is_empty() {
+            return Err(BuildError::NoQueries);
+        }
+        match &self.config.memory {
+            MemoryMode::PerWindow(0) => return Err(BuildError::ZeroWindowCapacity),
+            MemoryMode::PerWindow(_) => {}
+            MemoryMode::PerWindowEach(_) => {
+                // A per-stream capacity list is ambiguous once stores are
+                // keyed by *global* stream: which query's stream order
+                // would it follow?
+                return Err(BuildError::UnsupportedMulti {
+                    what: "MemoryMode::PerWindowEach",
+                });
+            }
+            MemoryMode::GlobalPool(_) => {
+                return Err(BuildError::UnsupportedMulti {
+                    what: "MemoryMode::GlobalPool",
+                });
+            }
+        }
+        if self.config.disorder.is_some() {
+            return Err(BuildError::UnsupportedMulti {
+                what: "a disorder bound",
+            });
+        }
+        if self.config.bank.s1 == 0 || self.config.bank.s2 == 0 {
+            return Err(BuildError::ZeroSketchBank);
+        }
+        if self.shard.shards == 0 {
+            return Err(BuildError::ZeroShards);
+        }
+        let reqs = self.policy.requirements();
+        if (reqs.sketches || reqs.partner_freq) && self.config.epoch.is_none() {
+            for query in &self.queries {
+                default_epoch(query)?;
+            }
         }
         Ok(())
     }
 
     /// Builds the single-threaded engine.
     ///
-    /// Errors if [`EngineBuilder::shards`] requested more than one worker —
-    /// use [`EngineBuilder::build_sharded`] for that.
-    pub fn build(self) -> Result<ShedJoinEngine> {
-        self.validate()?;
+    /// Errors if [`EngineBuilder::shards`] requested more than one worker
+    /// (use [`EngineBuilder::build_sharded`]) or if more than one query
+    /// was registered (use [`EngineBuilder::build_multi`]).
+    pub fn build(self) -> Result<ShedJoinEngine, BuildError> {
+        self.validate_single()?;
         if self.shard.shards > 1 {
-            return Err(Error::InvalidConfig(format!(
-                "{} shards requested; call build_sharded()",
-                self.shard.shards
-            )));
+            return Err(BuildError::MultiShardBuild {
+                shards: self.shard.shards,
+            });
         }
-        ShedJoinEngine::new(self.query, self.policy, self.config)
+        let mut queries = self.queries;
+        let query = queries.pop().expect("validated non-empty");
+        ShedJoinEngine::new(query, self.policy, self.config).map_err(BuildError::Engine)
     }
 
     /// Builds the sharded parallel engine (spawns its worker threads).
     ///
     /// A shard count of 1 is valid and runs the same code path with a
-    /// single worker.
-    pub fn build_sharded(self) -> Result<ShardedJoinEngine> {
-        self.validate()?;
-        ShardedJoinEngine::new(self.query, self.policy, self.config, self.shard)
+    /// single worker. Exactly one registered query; use
+    /// [`EngineBuilder::build_multi_sharded`] for query sets.
+    pub fn build_sharded(self) -> Result<ShardedJoinEngine, BuildError> {
+        self.validate_single()?;
+        let mut queries = self.queries;
+        let query = queries.pop().expect("validated non-empty");
+        ShardedJoinEngine::new(query, self.policy, self.config, self.shard)
+            .map_err(BuildError::Engine)
     }
+
+    /// Builds the shared-data-plane multi-query engine over every
+    /// registered query. Single-query sets are valid (the engine then
+    /// behaves like [`ShedJoinEngine`] addressed by global stream ids).
+    pub fn build_multi(self) -> Result<MultiQueryEngine, BuildError> {
+        self.validate_multi()?;
+        if self.shard.shards > 1 {
+            return Err(BuildError::MultiShardBuild {
+                shards: self.shard.shards,
+            });
+        }
+        MultiQueryEngine::new(self.queries, self.policy, self.config)
+    }
+
+    /// Builds the sharded multi-query engine: the coordinator routes each
+    /// arrival once and fans it out to every registered query on the
+    /// owning shard. Degrades to one shard (with a reason) unless every
+    /// query is key-partitionable and all queries agree on each shared
+    /// stream's partition attribute.
+    pub fn build_multi_sharded(self) -> Result<ShardedMultiEngine, BuildError> {
+        self.validate_multi()?;
+        ShardedMultiEngine::new(self.queries, self.policy, self.config, self.shard)
+    }
+}
+
+/// Rejects two queries that name the same stream with different schemas.
+fn check_catalogs_compatible(a: &JoinQuery, b: &JoinQuery) -> Result<(), BuildError> {
+    for (_, sb) in b.catalog().iter() {
+        for (_, sa) in a.catalog().iter() {
+            if sa.name == sb.name && sa.attrs != sb.attrs {
+                return Err(BuildError::SchemaMismatch {
+                    stream: sb.name.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -255,10 +506,18 @@ mod tests {
 
     #[test]
     fn builder_rejects_bad_capacities() {
-        assert!(EngineBuilder::new(pair_query())
+        let err = EngineBuilder::new(pair_query())
             .capacities(vec![1])
             .build()
-            .is_err());
+            .err()
+            .expect("capacity count mismatch rejected");
+        assert_eq!(
+            err,
+            BuildError::CapacityCountMismatch {
+                got: 1,
+                expected: 2
+            }
+        );
     }
 
     #[test]
@@ -267,8 +526,14 @@ mod tests {
             s1: 0,
             ..BankConfig::default()
         };
-        assert!(EngineBuilder::new(pair_query()).bank(bank).build().is_err());
-        assert!(EngineBuilder::new(pair_query()).shards(0).build().is_err());
+        assert_eq!(
+            EngineBuilder::new(pair_query()).bank(bank).build().err(),
+            Some(BuildError::ZeroSketchBank)
+        );
+        assert_eq!(
+            EngineBuilder::new(pair_query()).shards(0).build().err(),
+            Some(BuildError::ZeroShards)
+        );
     }
 
     #[test]
@@ -278,6 +543,7 @@ mod tests {
             .build()
             .err()
             .expect("multi-shard build() must be rejected");
+        assert_eq!(err, BuildError::MultiShardBuild { shards: 4 });
         assert!(err.to_string().contains("build_sharded"));
     }
 
@@ -319,5 +585,70 @@ mod tests {
     fn window_len_out_of_range_is_none() {
         let e = EngineBuilder::new(pair_query()).build().unwrap();
         assert_eq!(e.window_len(StreamId(7)), None);
+    }
+
+    #[test]
+    fn register_assigns_dense_ids_and_checks_schemas() {
+        let mut b = EngineBuilder::new_multi();
+        assert_eq!(b.register(pair_query()).unwrap(), QueryId(0));
+        assert_eq!(b.register(pair_query()).unwrap(), QueryId(1));
+        // Same stream name `L`, different schema: rejected.
+        let mut c = Catalog::new();
+        c.add_stream(StreamSchema::new("L", &["k", "extra"]));
+        c.add_stream(StreamSchema::new("Z", &["k"]));
+        let clash =
+            JoinQuery::from_names(c, &[("L.k", "Z.k")], WindowSpec::secs(60)).unwrap();
+        assert_eq!(
+            b.register(clash).err(),
+            Some(BuildError::SchemaMismatch {
+                stream: "L".into()
+            })
+        );
+    }
+
+    #[test]
+    fn build_refuses_query_sets_and_build_multi_refuses_empty() {
+        let mut b = EngineBuilder::new_multi();
+        b.register(pair_query()).unwrap();
+        b.register(pair_query()).unwrap();
+        assert_eq!(
+            b.build().err(),
+            Some(BuildError::QueryCountForSingle { got: 2 })
+        );
+        assert_eq!(
+            EngineBuilder::new_multi().build_multi().err(),
+            Some(BuildError::NoQueries)
+        );
+        assert_eq!(
+            EngineBuilder::new_multi().build().err(),
+            Some(BuildError::NoQueries)
+        );
+    }
+
+    #[test]
+    fn build_multi_rejects_unsupported_modes() {
+        let mut b = EngineBuilder::new_multi().global_pool(64);
+        b.register(pair_query()).unwrap();
+        assert_eq!(
+            b.build_multi().err(),
+            Some(BuildError::UnsupportedMulti {
+                what: "MemoryMode::GlobalPool"
+            })
+        );
+        let mut b = EngineBuilder::new_multi().disorder_bound(mstream_types::VDur::from_secs(1));
+        b.register(pair_query()).unwrap();
+        assert_eq!(
+            b.build_multi().err(),
+            Some(BuildError::UnsupportedMulti {
+                what: "a disorder bound"
+            })
+        );
+    }
+
+    #[test]
+    fn build_errors_convert_to_workspace_errors() {
+        let err: Error = BuildError::ZeroShards.into();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+        assert!(err.to_string().contains("shard count"));
     }
 }

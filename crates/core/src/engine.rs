@@ -1,11 +1,13 @@
 //! The shedding multi-way join engine (paper §4, Algorithm 1).
 
-use crate::ingest::{Arrival, CountSink, EmitSink, FnSink, IngestOutcome, IngestRole};
+use crate::ingest::{Arrival, EmitSink, IngestOutcome, IngestRole};
 use crate::report::EngineMetrics;
-use mstream_join::{probe_each, Bindings, ProbePlan};
+use mstream_join::{probe_each, ProbePlan};
 use mstream_shed_policies::{clamp_score, PriorityCtx, Requirements, ShedPolicy};
 use mstream_sketch::{BankConfig, EpochSpec, TumblingFreq, TumblingSketches};
-use mstream_types::{Error, JoinQuery, Result, Row, SeqNo, StreamId, Tuple, VDur, VTime, WindowSpec};
+use mstream_types::{
+    JoinQuery, QueryId, Result, SeqNo, StreamId, Tuple, VDur, VTime, WindowSpec,
+};
 use mstream_window::{QueueVictim, ReorderBuffer, Slot, WindowStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -418,33 +420,6 @@ impl ShedJoinEngine {
             .map_or(0, |f| f.buffers.iter().map(ReorderBuffer::len).sum())
     }
 
-    /// Mints the next tuple (assigns the arrival sequence number).
-    #[deprecated(since = "0.3.0", note = "use `mint(Arrival)` instead")]
-    pub fn make_tuple(&mut self, stream: StreamId, values: impl Into<Row>, ts: VTime) -> Tuple {
-        self.mint(Arrival::new(stream, values, ts))
-    }
-
-    /// Convenience entry point: mints a tuple arriving (and being
-    /// processed) at `now` and runs it through the operator. Returns the
-    /// number of join results it produced.
-    #[deprecated(since = "0.3.0", note = "use `ingest(Arrival, &mut CountSink)` instead")]
-    pub fn process_arrival(&mut self, stream: StreamId, values: impl Into<Row>, now: VTime) -> u64 {
-        self.ingest(Arrival::new(stream, values, now), &mut CountSink::default())
-            .produced
-    }
-
-    /// Runs one tuple through the join operator at time `now`, invoking
-    /// `on_match` for every result combination it produces.
-    #[deprecated(since = "0.3.0", note = "use `ingest_tuple(tuple, now, &mut FnSink(f))` instead")]
-    pub fn process_tuple_with<F: FnMut(&Bindings<'_>)>(
-        &mut self,
-        tuple: Tuple,
-        now: VTime,
-        on_match: F,
-    ) -> u64 {
-        self.ingest_tuple(tuple, now, &mut FnSink(on_match)).produced
-    }
-
     /// Runs one already-minted tuple through the join operator at time
     /// `now` (its arrival timestamp may be earlier if it waited in an input
     /// queue or a shard channel), passing every result combination to
@@ -517,7 +492,7 @@ impl ShedJoinEngine {
                         }
                     }
                 }
-                sink.emit(b);
+                sink.emit(QueryId::SOLO, b);
             })
         } else {
             0
@@ -771,32 +746,31 @@ impl ShedJoinEngine {
 /// *local* minimum when it alone exceeds the pool — the wrong victim
 /// (possibly the just-inserted tuple out of tie order), and one the
 /// metrics would never see.
-pub(crate) fn resolve_capacities(memory: &MemoryMode, n: usize) -> Result<Vec<usize>> {
+pub(crate) fn resolve_capacities(
+    memory: &MemoryMode,
+    n: usize,
+) -> core::result::Result<Vec<usize>, crate::builder::BuildError> {
+    use crate::builder::BuildError;
     let capacities: Vec<usize> = match memory {
         MemoryMode::PerWindow(c) => vec![*c; n],
         MemoryMode::PerWindowEach(cs) => {
             if cs.len() != n {
-                return Err(Error::InvalidConfig(format!(
-                    "{} capacities for {} streams",
-                    cs.len(),
-                    n
-                )));
+                return Err(BuildError::CapacityCountMismatch {
+                    got: cs.len(),
+                    expected: n,
+                });
             }
             cs.clone()
         }
         MemoryMode::GlobalPool(total) => {
             if *total == 0 {
-                return Err(Error::InvalidConfig(
-                    "window capacity must be positive".into(),
-                ));
+                return Err(BuildError::ZeroWindowCapacity);
             }
             vec![usize::MAX / 2; n]
         }
     };
     if capacities.contains(&0) {
-        return Err(Error::InvalidConfig(
-            "window capacity must be positive".into(),
-        ));
+        return Err(BuildError::ZeroWindowCapacity);
     }
     Ok(capacities)
 }
@@ -804,7 +778,9 @@ pub(crate) fn resolve_capacities(memory: &MemoryMode, n: usize) -> Result<Vec<us
 /// The paper's default epoch: `n = p` for time windows; per-stream tuple
 /// counts for tuple-based windows (§4.1). Mixed window kinds require an
 /// explicit epoch choice.
-pub(crate) fn default_epoch(query: &JoinQuery) -> Result<EpochSpec> {
+pub(crate) fn default_epoch(
+    query: &JoinQuery,
+) -> core::result::Result<EpochSpec, crate::builder::BuildError> {
     if query.all_tuple_based() {
         let count = query
             .windows()
@@ -821,17 +797,16 @@ pub(crate) fn default_epoch(query: &JoinQuery) -> Result<EpochSpec> {
         Some(p) if query.windows().iter().all(|w| matches!(w, WindowSpec::Time(_))) => {
             Ok(EpochSpec::Time(p))
         }
-        _ => Err(Error::InvalidConfig(
-            "mixed time/tuple windows need an explicit EngineConfig::epoch".into(),
-        )),
+        _ => Err(crate::builder::BuildError::EpochUnderivable),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ingest::CountSink;
     use mstream_shed_policies::{Bjoin, Fifo, MSketch, MSketchRs, RandomLoad};
-    use mstream_types::{Catalog, StreamSchema, VDur, Value};
+    use mstream_types::{Catalog, Error, StreamSchema, VDur, Value};
 
     fn chain3(window_secs: u64) -> JoinQuery {
         let mut c = Catalog::new();

@@ -19,10 +19,16 @@
 //! * [`VecSink`] — collects every result as owned tuples in stream order
 //!   (what the audit harness and the sharded merge consume).
 //! * [`FnSink`] — wraps any `FnMut(&Bindings)` closure (streaming
-//!   aggregation, forwarding, printing).
+//!   aggregation, forwarding, printing); [`QueryFnSink`] is the
+//!   query-aware variant for multi-query engines.
+//!
+//! Every emission is tagged with the [`QueryId`] of the standing query
+//! that produced it. Single-query engines always emit under
+//! [`QueryId::SOLO`]; the multi-query engine fans one arrival out to every
+//! registered query and tags each result with its owner.
 
 use mstream_join::Bindings;
-use mstream_types::{Row, StreamId, Tuple, VTime};
+use mstream_types::{QueryId, Row, StreamId, Tuple, VTime};
 
 /// One raw stream event, before the engine assigns it a sequence number.
 ///
@@ -106,12 +112,14 @@ pub struct IngestOutcome {
 
 /// A consumer of join results.
 ///
-/// The engine calls [`EmitSink::emit`] once per result combination, with a
-/// zero-copy [`Bindings`] view valid only for the duration of the call —
-/// sinks that keep results must copy what they need.
+/// The engine calls [`EmitSink::emit`] once per result combination, with
+/// the emitting query's [`QueryId`] and a zero-copy [`Bindings`] view
+/// valid only for the duration of the call — sinks that keep results must
+/// copy what they need. Single-query engines always pass
+/// [`QueryId::SOLO`]; sinks that serve one query may ignore the id.
 pub trait EmitSink {
-    /// Receives one join result.
-    fn emit(&mut self, bindings: &Bindings<'_>);
+    /// Receives one join result emitted by query `query`.
+    fn emit(&mut self, query: QueryId, bindings: &Bindings<'_>);
 }
 
 /// Counts results and otherwise discards them.
@@ -122,7 +130,7 @@ pub struct CountSink {
 }
 
 impl EmitSink for CountSink {
-    fn emit(&mut self, _bindings: &Bindings<'_>) {
+    fn emit(&mut self, _query: QueryId, _bindings: &Bindings<'_>) {
         self.produced += 1;
     }
 }
@@ -136,7 +144,7 @@ pub struct VecSink {
 }
 
 impl EmitSink for VecSink {
-    fn emit(&mut self, bindings: &Bindings<'_>) {
+    fn emit(&mut self, _query: QueryId, bindings: &Bindings<'_>) {
         let n = bindings.n_streams();
         let row = (0..n)
             .map(|k| bindings.tuple(StreamId(k)).clone())
@@ -145,12 +153,47 @@ impl EmitSink for VecSink {
     }
 }
 
-/// Adapts any `FnMut(&Bindings)` closure into a sink.
+/// Adapts any `FnMut(&Bindings)` closure into a sink, discarding the
+/// emitting query id (the right shape for single-query consumers).
 pub struct FnSink<F: FnMut(&Bindings<'_>)>(pub F);
 
 impl<F: FnMut(&Bindings<'_>)> EmitSink for FnSink<F> {
-    fn emit(&mut self, bindings: &Bindings<'_>) {
+    fn emit(&mut self, _query: QueryId, bindings: &Bindings<'_>) {
         (self.0)(bindings);
+    }
+}
+
+/// Adapts any `FnMut(QueryId, &Bindings)` closure into a query-aware sink
+/// for multi-query engines.
+pub struct QueryFnSink<F: FnMut(QueryId, &Bindings<'_>)>(pub F);
+
+impl<F: FnMut(QueryId, &Bindings<'_>)> EmitSink for QueryFnSink<F> {
+    fn emit(&mut self, query: QueryId, bindings: &Bindings<'_>) {
+        (self.0)(query, bindings);
+    }
+}
+
+/// Collects result rows per query: `rows[q]` holds query `q`'s results in
+/// emission order, each row being the participating tuples in the query's
+/// local stream order. The engine's query-id space is dense, so a `Vec`
+/// indexed by [`QueryId::index`] suffices (removed queries leave an empty
+/// slot).
+#[derive(Clone, Debug, Default)]
+pub struct QueryRowsSink {
+    /// Collected rows, indexed by query id.
+    pub rows: Vec<Vec<Vec<Tuple>>>,
+}
+
+impl EmitSink for QueryRowsSink {
+    fn emit(&mut self, query: QueryId, bindings: &Bindings<'_>) {
+        if self.rows.len() <= query.index() {
+            self.rows.resize_with(query.index() + 1, Vec::new);
+        }
+        let n = bindings.n_streams();
+        let row = (0..n)
+            .map(|k| bindings.tuple(StreamId(k)).clone())
+            .collect();
+        self.rows[query.index()].push(row);
     }
 }
 

@@ -71,15 +71,19 @@
 pub mod builder;
 pub mod engine;
 pub mod ingest;
+pub mod multi;
+mod multi_shard;
 pub mod report;
 pub mod shard;
 pub mod sim;
 
-pub use builder::EngineBuilder;
-#[allow(deprecated)]
-pub use builder::ShedJoinBuilder;
+pub use builder::{BuildError, EngineBuilder};
 pub use engine::{EngineConfig, MemoryMode, ShedJoinEngine};
-pub use ingest::{Arrival, CountSink, EmitSink, FnSink, IngestOutcome, IngestRole, VecSink};
+pub use ingest::{
+    Arrival, CountSink, EmitSink, FnSink, IngestOutcome, IngestRole, QueryFnSink, QueryRowsSink,
+    VecSink,
+};
+pub use multi::{MultiQueryEngine, MultiRunReport, QueryStats, ShardedMultiEngine};
 pub use report::{EngineMetrics, RunReport};
 pub use shard::{Backpressure, HotKeyConfig, ShardConfig, ShardedJoinEngine, ShardedRunReport};
 pub use sim::{run_exact_trace, run_trace, RunOptions, SimConfig};
@@ -95,11 +99,13 @@ pub use mstream_workload;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
-    pub use crate::builder::EngineBuilder;
-    #[allow(deprecated)]
-    pub use crate::builder::ShedJoinBuilder;
+    pub use crate::builder::{BuildError, EngineBuilder};
     pub use crate::engine::{EngineConfig, MemoryMode, ShedJoinEngine};
-    pub use crate::ingest::{Arrival, CountSink, EmitSink, FnSink, IngestOutcome, IngestRole, VecSink};
+    pub use crate::ingest::{
+        Arrival, CountSink, EmitSink, FnSink, IngestOutcome, IngestRole, QueryFnSink,
+        QueryRowsSink, VecSink,
+    };
+    pub use crate::multi::{MultiQueryEngine, MultiRunReport, QueryStats, ShardedMultiEngine};
     pub use crate::report::{EngineMetrics, RunReport};
     pub use crate::shard::{Backpressure, HotKeyConfig, ShardConfig, ShardedJoinEngine, ShardedRunReport};
     pub use crate::sim::{run_exact_trace, run_trace, RunOptions, SimConfig};
@@ -111,8 +117,8 @@ pub mod prelude {
     };
     pub use mstream_sketch::{BankConfig, EpochSpec};
     pub use mstream_types::{
-        AttrRef, Catalog, EquiPredicate, JoinQuery, Partitioning, SeqNo, StreamId, StreamSchema,
-        Tuple, VDur, VTime, Value, WindowSpec,
+        AttrRef, Catalog, EquiPredicate, JoinQuery, Partitioning, QueryId, SeqNo, StreamId,
+        StreamSchema, Tuple, VDur, VTime, Value, WindowSpec,
     };
     pub use mstream_workload::{
         CensusConfig, CensusGenerator, FeedOrder, RegionsConfig, RegionsGenerator, Trace,

@@ -1194,7 +1194,7 @@ fn worker_loop(
 
 /// Splits a total memory budget evenly across `shards` workers (each
 /// window keeps at least one slot).
-fn split_memory(memory: &MemoryMode, shards: usize) -> MemoryMode {
+pub(crate) fn split_memory(memory: &MemoryMode, shards: usize) -> MemoryMode {
     if shards <= 1 {
         return memory.clone();
     }
@@ -1249,7 +1249,7 @@ fn broadcast_memory(
 /// budget funds `S` independent, narrower estimators instead of `S`
 /// replicas of the full-width one. A 1-shard run keeps the master bank
 /// untouched (bit-identical to the single engine).
-fn split_bank(bank: &BankConfig, shards: usize) -> BankConfig {
+pub(crate) fn split_bank(bank: &BankConfig, shards: usize) -> BankConfig {
     if shards <= 1 {
         return *bank;
     }
@@ -1262,7 +1262,7 @@ fn split_bank(bank: &BankConfig, shards: usize) -> BankConfig {
 /// SplitMix64: the fixed avalanche hash used for both shard routing and
 /// per-worker seed derivation (stable across platforms and runs, unlike
 /// `std`'s `RandomState`).
-fn splitmix64(x: u64) -> u64 {
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -45,4 +45,4 @@ pub use exact::ExactJoin;
 pub use plan::{PlanStep, ProbePlan};
 #[doc(hidden)]
 pub use probe::probe_each_recursive;
-pub use probe::{probe_count, probe_each, Bindings};
+pub use probe::{probe_count, probe_each, Bindings, StoreLookup};

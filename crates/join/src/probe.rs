@@ -16,6 +16,26 @@ use crate::plan::{PlanStep, ProbePlan};
 use mstream_types::{StreamId, Tuple, Value};
 use mstream_window::{Slot, WindowStore};
 
+/// Resolves a query-local stream id to the window store backing it.
+///
+/// The single-query engines keep their stores in a dense `Vec` indexed by
+/// stream, so a plain slice implements this directly. The multi-query
+/// engine owns one store table shared by all registered queries and hands
+/// each query a *mapped* view (query-local stream `k` → some shared store),
+/// which is why [`Bindings`] reads tuples through this trait instead of
+/// indexing a slice.
+pub trait StoreLookup {
+    /// The window store holding tuples of query-local stream `stream`.
+    fn store(&self, stream: StreamId) -> &WindowStore;
+}
+
+impl StoreLookup for &[WindowStore] {
+    #[inline]
+    fn store(&self, stream: StreamId) -> &WindowStore {
+        &self[stream.index()]
+    }
+}
+
 /// A zero-copy view of one join match: the arriving tuple plus one bound
 /// window tuple per other stream.
 pub struct Bindings<'a> {
@@ -24,17 +44,36 @@ pub struct Bindings<'a> {
     /// `slots[k]` = the bound window slot of stream `k` (`None` for the
     /// origin stream).
     slots: &'a [Option<Slot>],
-    stores: &'a [WindowStore],
+    stores: &'a dyn StoreLookup,
 }
 
 impl<'a> Bindings<'a> {
+    /// Assembles a match view from raw parts. Engine-internal: consumers
+    /// receive `Bindings` from probe callbacks; only join executors (the
+    /// probe kernels here and the multi-query trie walker) construct them.
+    #[doc(hidden)]
+    pub fn from_parts(
+        origin: StreamId,
+        origin_tuple: &'a Tuple,
+        slots: &'a [Option<Slot>],
+        stores: &'a dyn StoreLookup,
+    ) -> Self {
+        Bindings {
+            origin,
+            origin_tuple,
+            slots,
+            stores,
+        }
+    }
+
     /// The value of `attr` on `stream` within this match.
     pub fn value(&self, stream: StreamId, attr: usize) -> Value {
         if stream == self.origin {
             self.origin_tuple.values[attr]
         } else {
             let slot = self.slots[stream.index()].expect("stream bound in match");
-            self.stores[stream.index()]
+            self.stores
+                .store(stream)
                 .tuple(slot)
                 .expect("bound slot is live")
                 .values[attr]
@@ -55,7 +94,8 @@ impl<'a> Bindings<'a> {
             self.origin_tuple
         } else {
             let slot = self.slots[stream.index()].expect("stream bound in match");
-            self.stores[stream.index()]
+            self.stores
+                .store(stream)
                 .tuple(slot)
                 .expect("bound slot is live")
         }
@@ -105,7 +145,7 @@ pub fn probe_each<F: FnMut(&Bindings<'_>)>(
                 origin,
                 origin_tuple,
                 slots: &slots,
-                stores,
+                stores: &stores,
             });
             1
         }
@@ -149,7 +189,7 @@ fn probe_1<F: FnMut(&Bindings<'_>)>(
                     origin,
                     origin_tuple,
                     slots,
-                    stores,
+                    stores: &stores,
                 });
             }
         }
@@ -172,7 +212,7 @@ fn probe_1<F: FnMut(&Bindings<'_>)>(
                     origin,
                     origin_tuple,
                     slots,
-                    stores,
+                    stores: &stores,
                 });
             }
         }
@@ -213,7 +253,7 @@ fn probe_2<F: FnMut(&Bindings<'_>)>(
                         origin,
                         origin_tuple,
                         slots,
-                        stores,
+                        stores: &stores,
                     });
                 }
             }
@@ -235,7 +275,7 @@ fn probe_2<F: FnMut(&Bindings<'_>)>(
                     origin,
                     origin_tuple,
                     slots,
-                    stores,
+                    stores: &stores,
                 });
             }
         }
@@ -340,7 +380,7 @@ fn probe_n<F: FnMut(&Bindings<'_>)>(
                         origin,
                         origin_tuple,
                         slots,
-                        stores,
+                        stores: &stores,
                     });
                 }
             }
@@ -423,7 +463,7 @@ fn recurse<F: FnMut(&Bindings<'_>)>(
             origin: plan.origin(),
             origin_tuple,
             slots,
-            stores,
+            stores: &stores,
         };
         on_match(&bindings);
         return;

@@ -30,7 +30,7 @@ pub mod tuple;
 pub mod value;
 
 pub use error::{Error, Result};
-pub use query::{EquiPredicate, JoinQuery, Partitioning, WindowSpec};
+pub use query::{EquiPredicate, JoinQuery, Partitioning, QueryId, WindowSpec};
 pub use row::{Row, ROW_INLINE};
 pub use schema::{AttrRef, Catalog, StreamId, StreamSchema};
 pub use time::{VDur, VTime};

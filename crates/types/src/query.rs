@@ -17,6 +17,33 @@ use crate::time::VDur;
 use crate::tuple::SeqNo;
 use serde::{Deserialize, Serialize};
 
+/// Handle for one standing query registered with a multi-query engine.
+///
+/// Ids are dense and assigned in registration order by the engine builder;
+/// a query added at runtime receives the next unused id. Ids are never
+/// reused within one engine's lifetime, so a [`QueryId`] stays a stable key
+/// for sinks, reports and metrics even after other queries are removed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// The id a single-query engine emits under (registration index 0).
+    pub const SOLO: QueryId = QueryId(0);
+
+    /// The dense registration index of this query.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
 /// How each stream's sliding window is bounded.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WindowSpec {

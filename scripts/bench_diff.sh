@@ -8,8 +8,10 @@
 # Every "shard_scaling*" section — uniform, the Zipf hot-key
 # "shard_scaling_zipf", and the bounded-disorder
 # "shard_scaling_disorder" (rows keyed by shard count AND disorder
-# bound) — is compared when present in both snapshots (a section
-# missing on either side is noted and skipped).
+# bound) — plus the "multi_query" section of BENCH_multi.json (rows
+# keyed by execution mode AND query count) is compared when present in
+# both snapshots (a section missing on either side is noted and
+# skipped).
 # Prints a per-shard-count table (old/new seconds, delta, speedups,
 # steady allocs) and exits nonzero if any shard count present in both
 # snapshots regressed by more than the tolerance (default 10%).
@@ -36,10 +38,17 @@ def load(path):
     # Accept either the merged artifact ({"shard_scaling": [...], ...}) or
     # the raw --json row list written by the shard_scaling binary.
     if isinstance(doc, dict):
-        sections = {k: v for k, v in doc.items() if k.startswith("shard_scaling")}
+        sections = {
+            k: v
+            for k, v in doc.items()
+            if k.startswith("shard_scaling") or k == "multi_query"
+        }
     else:
         sections = {"shard_scaling": doc}
     def row_key(r):
+        # Multi-query rows are keyed by execution mode and query count.
+        if "mode" in r:
+            return (r["mode"], int(r["queries"]))
         # Disorder rows repeat shard counts across bounds; key on both.
         k = r.get("disorder_k_ms")
         return int(r["shards"]) if k is None else (int(r["shards"]), int(k))
@@ -71,16 +80,22 @@ for name in shared_sections:
         print(f"note: {name}: S={s} only present in {side}, skipped")
 
     print(f"[{name}]")
-    header = f"{'S':>7}  {'old s':>9}  {'new s':>9}  {'delta':>8}  {'old spd':>8}  {'new spd':>8}  {'allocs':>7}"
+    key_col = "mode/N" if name == "multi_query" else "S"
+    header = f"{key_col:>15}  {'old s':>9}  {'new s':>9}  {'delta':>8}  {'old spd':>8}  {'new spd':>8}  {'allocs':>7}"
     print(header)
     print("-" * len(header))
     for s in shared:
         o, n = old[s], new[s]
-        label = s if isinstance(s, int) else f"{s[0]}/K{s[1]}"
+        if isinstance(s, int):
+            label = str(s)
+        elif isinstance(s[0], int):
+            label = f"{s[0]}/K{s[1]}"
+        else:
+            label = f"{s[0]}/N{s[1]}"
         delta = (n["seconds"] - o["seconds"]) / o["seconds"]
         allocs = n.get("steady_allocs", "-")
         print(
-            f"{label:>7}  {o['seconds']:>9.5f}  {n['seconds']:>9.5f}  {delta:>+7.1%} "
+            f"{label:>15}  {o['seconds']:>9.5f}  {n['seconds']:>9.5f}  {delta:>+7.1%} "
             f" {o.get('speedup', 1.0):>8.2f}  {n.get('speedup', 1.0):>8.2f}  {allocs:>7}"
         )
         compared += 1

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the multi-query sharing sweep and writes BENCH_multi.json at the
+# repo root: N ∈ {1, 8, 64} standing pair joins in three execution modes
+# (duplicate / distinct on the shared plane, independent engines as the
+# one-query-one-engine baseline), full memory, exactness asserted in-bin
+# (each duplicate reproduces the solo output count).
+#
+# Usage: scripts/bench_multi.sh [--scale S]
+#
+# Artifact layout (BENCH_multi.json):
+#   {
+#     "multi_query": [ {"mode": "duplicate", "queries": 64,
+#                       "seconds": ..., "resident": ..., "vs_n1": ...}, ... ]
+#   }
+#
+# scripts/bench_diff.sh OLD.json NEW.json compares two snapshots (rows
+# keyed by mode AND query count) and fails on >10% wall-time regressions.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="1.0"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --scale) SCALE="$2"; shift 2 ;;
+    *) echo "usage: $0 [--scale S]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== multi_query sharing sweep (scale $SCALE) =="
+cargo run --release -p mstream-bench --bin multi_query -- \
+  --scale "$SCALE" --json target/multi_query.json
+
+echo "== merging BENCH_multi.json =="
+python3 - <<'EOF'
+import json
+
+with open("target/multi_query.json") as f:
+    rows = json.load(f)
+with open("BENCH_multi.json", "w") as f:
+    json.dump({"multi_query": rows}, f, indent=2, sort_keys=True)
+print(f"wrote BENCH_multi.json ({len(rows)} rows)")
+EOF

@@ -85,6 +85,52 @@ for name, want_hot in [("uniform", False), ("zipf", True)]:
           f"hot_promoted={by_s[4]['hot_promoted']})")
 EOF
 
+# Multi-query sharing smoke (DESIGN.md §14): multi-query differential
+# audit over fuzzed 2-4-query sets (each query vs its own solo exact
+# oracle, in-process and sharded S in {1,2}), then the bench acceptance
+# gate — at full memory, N=64 duplicate standing queries must cost
+# <= 1.5x the wall time and <= 2x the resident state of N=1 on the
+# shared plane while each duplicate reproduces the solo output count,
+# and the independent-engine baseline must cost more than the shared
+# plane at N=64.
+cargo run --release -p mstream-audit -- multi --cases 25 --seed 7
+cargo run --release -p mstream-bench --bin multi_query -- \
+  --scale 0.1 --queries 1,64 --min-secs 0.05 --json target/check_multi.json
+python3 - <<'EOF'
+import json
+rows = json.load(open("target/check_multi.json"))
+by = {(r["mode"], r["queries"]): r for r in rows}
+need = {("duplicate", 1), ("duplicate", 64), ("independent", 64)}
+assert need <= set(by), f"missing rows: {sorted(need - set(by))}"
+d1, d64, i64 = by[("duplicate", 1)], by[("duplicate", 64)], by[("independent", 64)]
+for r in (d1, d64):
+    if r["produced_per_query"] != r["solo_produced"]:
+        raise SystemExit(
+            f"FAIL: duplicate N={r['queries']} produced {r['produced_per_query']} "
+            f"per query, solo produced {r['solo_produced']}"
+        )
+if d64["seconds"] > 1.5 * d1["seconds"]:
+    raise SystemExit(
+        f"FAIL: N=64 duplicates took {d64['seconds']:.3f}s, "
+        f"more than 1.5x N=1 ({d1['seconds']:.3f}s)"
+    )
+if d64["resident"] > 2 * d1["resident"]:
+    raise SystemExit(
+        f"FAIL: N=64 duplicates hold {d64['resident']} resident tuples, "
+        f"more than 2x N=1 ({d1['resident']})"
+    )
+if i64["seconds"] <= d64["seconds"]:
+    raise SystemExit(
+        f"FAIL: 64 independent engines ({i64['seconds']:.3f}s) did not cost "
+        f"more than the shared plane ({d64['seconds']:.3f}s)"
+    )
+print(
+    f"multi-query smoke: N=64 duplicates {d64['seconds'] / d1['seconds']:.2f}x "
+    f"wall, {d64['resident'] / d1['resident']:.2f}x resident of N=1 "
+    f"(independent baseline {i64['seconds'] / d64['seconds']:.1f}x the shared plane)"
+)
+EOF
+
 # Route-only data-plane smoke: mint + route + channel round-trip with the
 # join disabled must reach a zero-allocation steady state at some S.
 cargo run --release -p mstream-bench --bin shard_scaling -- \

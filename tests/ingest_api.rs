@@ -1,9 +1,8 @@
-//! The unified ingest API and its compatibility wrappers.
+//! The unified ingest API.
 //!
-//! One regression contract: every way of feeding the engine — the new
-//! `ingest`/`ingest_tuple` entry points through any sink, and the
-//! deprecated `process_arrival`/`process_tuple_with` wrappers — must
-//! produce identical results and identical metrics on the same trace.
+//! One regression contract: every way of feeding the engine — the
+//! `ingest`/`ingest_tuple` entry points through any sink — must produce
+//! identical results and identical metrics on the same trace.
 
 use mstream_core::prelude::*;
 use rand::rngs::StdRng;
@@ -80,37 +79,28 @@ fn sinks_agree_with_outcome_counts() {
     assert!(counted.metrics().shed_window > 0, "capacity 16 must shed");
 }
 
-/// The deprecated wrappers are thin: counted results and final metrics
-/// are identical to the ingest path, arrival for arrival.
+/// The tuple-level entry point (`mint` + `ingest_tuple`) is equivalent to
+/// `ingest`, arrival for arrival — including the minted sequence numbers.
 #[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_match_ingest_path() {
-    let mut old = engine(16, 3);
-    let mut new = engine(16, 3);
-    for arrival in trace(500) {
-        let got_old =
-            old.process_arrival(arrival.stream, arrival.values.clone(), arrival.ts);
-        let got_new = new
-            .ingest(arrival, &mut CountSink::default())
-            .produced;
-        assert_eq!(got_old, got_new);
-    }
-    assert_eq!(det(old.metrics()), det(new.metrics()));
-
-    // And the tuple-level wrapper against ingest_tuple.
-    let mut old = engine(16, 3);
-    let mut new = engine(16, 3);
+fn tuple_level_ingest_matches_arrival_level() {
+    let mut minted = engine(16, 3);
+    let mut direct = engine(16, 3);
     for arrival in trace(300) {
-        let t_old = old.make_tuple(arrival.stream, arrival.values.clone(), arrival.ts);
-        let t_new = new.mint(arrival.clone());
-        assert_eq!(t_old.seq, t_new.seq, "both paths mint the same seqs");
-        let mut emitted = 0u64;
-        let got_old = old.process_tuple_with(t_old, arrival.ts, |_| emitted += 1);
-        let got_new = new.ingest_tuple(t_new, arrival.ts, &mut CountSink::default());
-        assert_eq!(got_old, emitted, "counted == emitted through the wrapper");
-        assert_eq!(got_old, got_new.produced);
+        let t = minted.mint(arrival.clone());
+        let got_minted = minted.ingest_tuple(t.clone(), arrival.ts, &mut CountSink::default());
+        let got_direct = direct.ingest(arrival, &mut CountSink::default());
+        assert_eq!(got_minted, got_direct);
+        let t_direct = direct.mint(Arrival::new(t.stream, t.values.clone(), t.ts));
+        assert_eq!(
+            t_direct.seq,
+            SeqNo(t.seq.0 + 1),
+            "both paths advance the same seq counter"
+        );
+        // The probe mint advanced `direct`'s counter; re-sync by minting
+        // a throwaway on the other engine too.
+        minted.mint(Arrival::new(t.stream, t.values, t.ts));
     }
-    assert_eq!(det(old.metrics()), det(new.metrics()));
+    assert_eq!(det(minted.metrics()), det(direct.metrics()));
 }
 
 /// `IngestOutcome` reports residency truthfully: at huge capacity
