@@ -45,7 +45,7 @@
 //! the audit harness do exactly this.
 
 use crate::builder::BuildError;
-use crate::engine::{default_epoch, EngineConfig, MemoryMode};
+use crate::engine::{default_epoch, EngineConfig, MemoryMode, ProducedScratch};
 use crate::ingest::{Arrival, EmitSink, IngestOutcome};
 use crate::report::EngineMetrics;
 use mstream_join::{Bindings, ProbePlan, StoreLookup};
@@ -141,26 +141,36 @@ struct TrieNode {
     children: Vec<TrieNode>,
 }
 
-/// Sparse per-store accumulator of produced-output credits gathered during
-/// the walk and applied as one coalesced heap update per touched slot (the
-/// multi-query twin of the single engine's scratch).
-#[derive(Default)]
-struct ProducedScratch {
-    delta: Vec<u64>,
-    touched: Vec<Slot>,
-}
-
-impl ProducedScratch {
-    #[inline]
-    fn add(&mut self, slot: Slot, n: u64) {
-        let i = slot.index();
-        if i >= self.delta.len() {
-            self.delta.resize(i + 1, 0);
+/// Applies every pending produced-output credit of every store: one
+/// coalesced `add_produced` + priority refresh per touched live slot,
+/// refreshed by the store owner's policy (credits are only accrued by
+/// owner-class emissions, keeping the owner's counters solo-identical).
+/// The multi-query twin of the solo engine's `flush_produced`; shares its
+/// generation-safe [`ProducedScratch`]. A store removed while credits were
+/// pending just drops them (its tuples are gone with it).
+fn flush_credit_stores(
+    stores: &mut [Option<StoreEntry>],
+    scratches: &mut [ProducedScratch],
+    classes: &[Option<QueryClass>],
+) {
+    for (slot, scratch) in stores.iter_mut().zip(scratches.iter_mut()) {
+        if scratch.touched.is_empty() {
+            continue;
         }
-        if self.delta[i] == 0 {
-            self.touched.push(slot);
-        }
-        self.delta[i] += n;
+        let Some(entry) = slot.as_mut() else {
+            scratch.drain_credits(|_, _| {});
+            continue;
+        };
+        let owner = entry.users[0];
+        let policy = &classes[owner].as_ref().expect("owner is live").policy;
+        scratch.drain_credits(|slot, cnt| {
+            let Some(total) = entry.store.add_produced(slot, cnt) else {
+                return;
+            };
+            let state = entry.store.state(slot).expect("credited slot is live");
+            let score = clamp_score(policy.refresh_priority(state, total));
+            entry.store.update_priority(slot, score);
+        });
     }
 }
 
@@ -202,6 +212,8 @@ pub struct MultiQueryEngine {
     tries: Vec<Vec<TrieNode>>,
     next_seq: SeqNo,
     metrics: EngineMetrics,
+    /// Recycled buffer behind [`MultiQueryEngine::ingest_batch`].
+    batch_scratch: Vec<(Tuple, VTime)>,
 }
 
 /// Maps `query`'s local streams into `catalog` by stream *name*, appending
@@ -265,6 +277,7 @@ impl MultiQueryEngine {
             tries: Vec::new(),
             next_seq: SeqNo(0),
             metrics: EngineMetrics::default(),
+            batch_scratch: Vec::new(),
         };
         engine.per_window_capacity()?;
         // Group into classes first so structurally identical queries share
@@ -609,6 +622,77 @@ impl MultiQueryEngine {
         now: VTime,
         sink: &mut impl EmitSink,
     ) -> IngestOutcome {
+        self.ingest_tuple_inner(tuple, now, sink, false)
+    }
+
+    /// Runs a pre-minted batch through the shared data plane, replaying
+    /// the per-arrival path bit-identically (same fan-out emissions in the
+    /// same order, same shed decisions) with the batch amortizations of
+    /// the solo engine: an upfront pass software-prefetches each tuple's
+    /// origin-driven trie-root probes, and produced-credit rescoring is
+    /// deferred — flushed before any owner rollover rebuild, before any
+    /// at-capacity insert, and at batch end. Items are drained; the
+    /// vector's capacity is retained for recycling.
+    pub fn ingest_tuple_batch(
+        &mut self,
+        items: &mut Vec<(Tuple, VTime)>,
+        sink: &mut impl EmitSink,
+    ) -> IngestOutcome {
+        for (tuple, _) in items.iter() {
+            let Some(roots) = self.tries.get(tuple.stream.index()) else {
+                continue;
+            };
+            for node in roots {
+                // Trie roots are driven by the arriving tuple itself.
+                let (PathRef::Origin, attr) = &node.drive else {
+                    continue;
+                };
+                if let Some(entry) = self.stores[node.store].as_ref() {
+                    entry.store.prefetch(node.probe_attr, tuple.values[*attr]);
+                }
+            }
+        }
+        let mut total = IngestOutcome {
+            produced: 0,
+            stored: true,
+            shed: 0,
+        };
+        for (tuple, now) in items.drain(..) {
+            let out = self.ingest_tuple_inner(tuple, now, sink, true);
+            total.produced += out.produced;
+            total.shed += out.shed;
+            total.stored = out.stored;
+        }
+        flush_credit_stores(&mut self.stores, &mut self.scratches, &self.classes);
+        total
+    }
+
+    /// Batch counterpart of [`MultiQueryEngine::ingest`]: mints every
+    /// arrival and feeds [`MultiQueryEngine::ingest_tuple_batch`].
+    pub fn ingest_batch(
+        &mut self,
+        arrivals: impl IntoIterator<Item = Arrival>,
+        sink: &mut impl EmitSink,
+    ) -> IngestOutcome {
+        let mut items = std::mem::take(&mut self.batch_scratch);
+        items.clear();
+        for arrival in arrivals {
+            let now = arrival.ts;
+            let tuple = self.mint(arrival);
+            items.push((tuple, now));
+        }
+        let out = self.ingest_tuple_batch(&mut items, sink);
+        self.batch_scratch = items;
+        out
+    }
+
+    fn ingest_tuple_inner(
+        &mut self,
+        tuple: Tuple,
+        now: VTime,
+        sink: &mut impl EmitSink,
+        defer_credits: bool,
+    ) -> IngestOutcome {
         let g = tuple.stream;
         assert!(
             g.index() < self.catalog.len(),
@@ -628,8 +712,8 @@ impl MultiQueryEngine {
         //    state under its *local* stream id; a class whose epoch rolls
         //    over rebuilds the priorities of the stores it owns (exactly
         //    its solo rollover, store tuples already carry its tags).
-        for (cid, slot) in classes.iter_mut().enumerate() {
-            let Some(class) = slot.as_mut() else {
+        for cid in 0..classes.len() {
+            let Some(class) = classes[cid].as_mut() else {
                 continue;
             };
             let Some(k) = class.local_of(g) else { continue };
@@ -647,6 +731,11 @@ impl MultiQueryEngine {
             if !class.reqs.recompute_on_epoch {
                 continue;
             }
+            // The rebuild reads produced counts: land any credits still
+            // pending from earlier arrivals of a batch first (no-op on the
+            // per-arrival path, whose scratches are always drained).
+            flush_credit_stores(stores, scratches, classes);
+            let class = classes[cid].as_mut().expect("class observed above");
             let QueryClass {
                 query,
                 policy,
@@ -708,30 +797,23 @@ impl MultiQueryEngine {
         metrics.total_output += produced;
         metrics.processed += 1;
         // 4. Apply produced-output credits: one coalesced heap update per
-        //    touched slot, refreshed by the store owner's policy (credits
-        //    are only accrued by owner-class emissions, keeping the
-        //    owner's counters solo-identical).
-        for si in 0..stores.len() {
-            if scratches[si].touched.is_empty() {
-                continue;
-            }
-            let entry = stores[si].as_mut().expect("credited store is live");
-            let owner = entry.users[0];
-            let policy = &classes[owner].as_ref().expect("owner is live").policy;
-            let mut touched = std::mem::take(&mut scratches[si].touched);
-            for slot in touched.drain(..) {
-                let cnt = std::mem::take(&mut scratches[si].delta[slot.index()]);
-                let Some(total) = entry.store.add_produced(slot, cnt) else {
-                    continue;
-                };
-                let state = entry.store.state(slot).expect("credited slot is live");
-                let score = clamp_score(policy.refresh_priority(state, total));
-                entry.store.update_priority(slot, score);
-            }
-            scratches[si].touched = touched;
+        //    touched slot (see `flush_credit_stores`). Batched arrivals
+        //    leave them pending instead, so a slot matched by many batch
+        //    members still costs one update.
+        if !defer_credits {
+            flush_credit_stores(stores, scratches, classes);
         }
         // 5. Store the arrival once per (stream, window) store, scored and
-        //    tagged by the store's owner; shed if full.
+        //    tagged by the store's owner; shed if full. A full store evicts
+        //    by priority, so the batched path lands pending refreshes
+        //    first to pick the same victim the per-arrival replay would.
+        if defer_credits
+            && stores.iter().flatten().any(|e| {
+                e.gstream == g && e.store.len() >= e.store.capacity()
+            })
+        {
+            flush_credit_stores(stores, scratches, classes);
+        }
         let mut stored = false;
         let mut shed = 0u64;
         for (si, slot) in stores.iter_mut().enumerate() {

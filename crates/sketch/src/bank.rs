@@ -265,17 +265,21 @@ impl SketchBank {
 /// group-major, reusing `groups` as the scratch buffer for the group means
 /// (no allocation once it has grown to `s2`). Shared by [`SketchBank`] and
 /// the tumbling-epoch layer.
+///
+/// The mean stage runs through [`kernel::group_sums`], which keeps each
+/// group's fold strictly serial in every kernel mode (f64 addition is not
+/// associative) and lane-parallelizes only across independent groups, so
+/// the estimate is bit-identical regardless of dispatch.
 pub fn median_of_means_into(
     s1: usize,
     s2: usize,
     per_copy: &[f64],
     groups: &mut Vec<f64>,
 ) -> f64 {
-    assert_eq!(per_copy.len(), s1 * s2, "copy count must be s1*s2");
     groups.clear();
-    for g in 0..s2 {
-        let sum: f64 = per_copy[g * s1..(g + 1) * s1].iter().sum();
-        groups.push(sum / s1 as f64);
+    kernel::group_sums(per_copy, s1, s2, groups);
+    for g in groups.iter_mut() {
+        *g /= s1 as f64;
     }
     median_in_place(groups)
 }

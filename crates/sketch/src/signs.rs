@@ -120,7 +120,22 @@ impl SignFamilies {
     /// Evaluates predicate `pred` at `x` across **all** copies and packs
     /// the signs into `out` (bit `c % 64` of word `c / 64` set ⇔ copy `c`
     /// has sign −1). `out` is cleared and resized to [`words_for`] words.
+    ///
+    /// Dispatches between the scalar reference loop and a lane-blocked
+    /// form ([`crate::kernel::LANES`] independent Horner chains per step);
+    /// the arithmetic is pure integer math, so both are exact and
+    /// bit-identical — proven by [`Self::eval_packed_scalar`] /
+    /// [`Self::eval_packed_lanes`] comparisons in the equivalence suite.
     pub fn eval_packed_into(&self, pred: usize, x: u64, out: &mut Vec<u64>) {
+        match crate::kernel::kernel_mode() {
+            crate::kernel::KernelMode::Scalar => self.eval_packed_scalar(pred, x, out),
+            _ => self.eval_packed_lanes(pred, x, out),
+        }
+    }
+
+    /// Scalar reference body of [`Self::eval_packed_into`]: one Horner
+    /// chain per copy, ascending copy order.
+    pub fn eval_packed_scalar(&self, pred: usize, x: u64, out: &mut Vec<u64>) {
         let n = self.copies;
         out.clear();
         out.resize(words_for(n), 0);
@@ -135,6 +150,45 @@ impl SignFamilies {
             acc = mod_mersenne(acc as u128 * x as u128 + c1[c] as u128);
             acc = mod_mersenne(acc as u128 * x as u128 + c0[c] as u128);
             out[c / WORD_BITS] |= (acc & 1) << (c % WORD_BITS);
+        }
+    }
+
+    /// Lane-blocked body of [`Self::eval_packed_into`]:
+    /// [`crate::kernel::LANES`] independent Horner chains advance together
+    /// (the copy-major coefficient layout makes each degree a contiguous
+    /// load), with a scalar tail for `copies % LANES != 0`. Exact — every
+    /// chain performs the identical integer operations as the scalar loop.
+    pub fn eval_packed_lanes(&self, pred: usize, x: u64, out: &mut Vec<u64>) {
+        const LANES: usize = crate::kernel::LANES;
+        let n = self.copies;
+        out.clear();
+        out.resize(words_for(n), 0);
+        let bank = &self.coeffs[pred];
+        let x = mod_mersenne(x as u128) as u128;
+        let (c0, rest) = bank.split_at(n);
+        let (c1, rest) = rest.split_at(n);
+        let (c2, c3) = rest.split_at(n);
+        let mut c = 0usize;
+        while c + LANES <= n {
+            let mut acc = [0u64; LANES];
+            acc.copy_from_slice(&c3[c..c + LANES]);
+            for coeffs in [c2, c1, c0] {
+                for l in 0..LANES {
+                    acc[l] = mod_mersenne(acc[l] as u128 * x + coeffs[c + l] as u128);
+                }
+            }
+            for (l, a) in acc.iter().enumerate() {
+                let i = c + l;
+                out[i / WORD_BITS] |= (a & 1) << (i % WORD_BITS);
+            }
+            c += LANES;
+        }
+        for i in c..n {
+            let mut acc = c3[i];
+            acc = mod_mersenne(acc as u128 * x + c2[i] as u128);
+            acc = mod_mersenne(acc as u128 * x + c1[i] as u128);
+            acc = mod_mersenne(acc as u128 * x + c0[i] as u128);
+            out[i / WORD_BITS] |= (acc & 1) << (i % WORD_BITS);
         }
     }
 }

@@ -8,6 +8,10 @@
 #   - disorder: the regions trace at S=4 under bounded-disorder delivery
 #     with K in {0,16,256} ms (DESIGN.md §13 reorder-buffer overhead row;
 #     output invariance across K is the headline)
+#   - batch:   the regions trace at S in {1,4} with worker ingest batch
+#     in {0,64,256} (0 = per-arrival reference; DESIGN.md §15
+#     batch-amortized probe path; output invariance across batch sizes
+#     is the headline)
 #
 # Usage: scripts/bench_shard.sh [--scale S] [--zipf-only]
 #
@@ -24,6 +28,8 @@
 #     "shard_scaling_zipf":     [ {"shards": 1, "imbalance": ...,
 #                                  "hot_promoted": ..., "cores": ...}, ... ],
 #     "shard_scaling_disorder": [ {"shards": 4, "disorder_k_ms": 0,
+#                                  "seconds": ..., "output": ...}, ... ],
+#     "shard_scaling_batch":    [ {"shards": 1, "batch": 0,
 #                                  "seconds": ..., "output": ...}, ... ]
 #   }
 set -euo pipefail
@@ -48,6 +54,11 @@ if [ "$ZIPF_ONLY" = 0 ]; then
   cargo run --release -p mstream-bench --bin shard_scaling -- \
     --scale "$SCALE" --shards 4 --disorder 0,16,256 \
     --json target/shard_scaling_disorder.json
+
+  echo "== shard_scaling batch (ingest batch in {0,64,256}) =="
+  cargo run --release -p mstream-bench --bin shard_scaling -- \
+    --scale "$SCALE" --shards 1,4 --batch 0,64,256 \
+    --json target/shard_scaling_batch.json
 fi
 
 echo "== shard_scaling zipf (theta 2.0) =="
@@ -68,6 +79,8 @@ else:
         doc["shard_scaling"] = json.load(f)
     with open("target/shard_scaling_disorder.json") as f:
         doc["shard_scaling_disorder"] = json.load(f)
+    with open("target/shard_scaling_batch.json") as f:
+        doc["shard_scaling_batch"] = json.load(f)
 with open("target/shard_scaling_zipf.json") as f:
     doc["shard_scaling_zipf"] = json.load(f)
 
@@ -76,8 +89,9 @@ with open("BENCH_shard.json", "w") as f:
 uniform = len(doc.get("shard_scaling", []))
 zipf = len(doc["shard_scaling_zipf"])
 disorder = len(doc.get("shard_scaling_disorder", []))
+batch = len(doc.get("shard_scaling_batch", []))
 print(
     f"wrote BENCH_shard.json ({uniform} uniform + {zipf} zipf "
-    f"+ {disorder} disorder rows)"
+    f"+ {disorder} disorder + {batch} batch rows)"
 )
 EOF

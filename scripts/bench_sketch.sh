@@ -16,7 +16,7 @@ SCALE="${2:-0.25}"
 if [ "${1:-}" = "--scale" ] && [ -n "${2:-}" ]; then SCALE="$2"; fi
 
 echo "== criterion: sketch kernels =="
-cargo bench -p mstream-bench --bench bench_sketch
+cargo bench -p mstream-bench --bench bench_sketch | tee target/bench_sketch.out
 
 echo "== fig3_time stage timings (scale $SCALE) =="
 cargo run --release -p mstream-bench --bin fig3_time -- \
@@ -24,11 +24,13 @@ cargo run --release -p mstream-bench --bin fig3_time -- \
 
 echo "== merging BENCH_sketch.json =="
 python3 - <<'EOF'
-import json, os, glob
+import json, os, re, glob
 
 out = {"criterion": {}, "fig3_stages": []}
 
-# Criterion drops one estimates.json per benchmark under target/criterion.
+# Upstream criterion drops one estimates.json per benchmark under
+# target/criterion; the vendored harness instead prints one
+# "<group>/<bench>: X ms/iter (N iters)" line per benchmark. Accept both.
 for path in sorted(glob.glob("target/criterion/**/new/estimates.json", recursive=True)):
     parts = path.split(os.sep)
     # .../criterion/<group>[/<bench>]/new/estimates.json
@@ -41,6 +43,18 @@ for path in sorted(glob.glob("target/criterion/**/new/estimates.json", recursive
         "mean_ns": est["mean"]["point_estimate"],
         "median_ns": est["median"]["point_estimate"],
     }
+if not out["criterion"] and os.path.exists("target/bench_sketch.out"):
+    line = re.compile(r"^([\w/ -]+): ([0-9.]+) ms/iter \((\d+) iters\)$")
+    with open("target/bench_sketch.out") as f:
+        for raw in f:
+            m = line.match(raw.strip())
+            if m:
+                ns = float(m.group(2)) * 1e6
+                out["criterion"][m.group(1)] = {
+                    "mean_ns": ns,
+                    "median_ns": ns,
+                    "iters": int(m.group(3)),
+                }
 
 stages = "target/fig3_stages.json"
 if os.path.exists(stages):

@@ -53,6 +53,36 @@ cargo run --release -p mstream-bench --bin probe_micro -- --quick
 # arrival accounting.
 cargo test -q --test sharded_join
 
+# Vectorized kernel + batch-amortized ingest suite (DESIGN.md §15):
+# vector-vs-scalar bit-equality proptests over every kernel and dispatch
+# mode, then the batched-vs-per-arrival differential (batch in {1,7,64};
+# single engine, sharded S in {1,4}, multi-query) which pins emissions,
+# metrics, and shed decisions bit-identical to per-arrival replay.
+cargo test -q -p mstream-sketch --test equivalence
+cargo test -q --test batched_ingest
+# Batch-knob output-invariance smoke: the same trace at S in {1,4} with
+# worker ingest batching off (0 = per-arrival) and on (64) must produce
+# identical output counts per shard count without shedding.
+cargo run --release -p mstream-bench --bin shard_scaling -- \
+  --scale 0.1 --mem-pct 100 --shards 1,4 --batch 0,64 --min-secs 0.05 \
+  --json target/check_batch.json
+python3 - <<'EOF'
+import json
+rows = json.load(open("target/check_batch.json"))
+by = {(r["shards"], r["batch"]): r for r in rows}
+need = {(1, 0), (1, 64), (4, 0), (4, 64)}
+assert need <= set(by), f"missing rows: {sorted(need - set(by))}"
+for s in (1, 4):
+    off, on = by[(s, 0)], by[(s, 64)]
+    if off["output"] != on["output"]:
+        raise SystemExit(
+            f"FAIL: S={s} batch=64 output {on['output']} != per-arrival {off['output']}"
+        )
+    if off["shed_window"] or on["shed_window"]:
+        raise SystemExit(f"FAIL: S={s} lossless batch smoke shed windows")
+    print(f"batch smoke: S={s} per-arrival == B64 ({off['output']} rows)")
+EOF
+
 # Skew-adaptive routing differential smoke (DESIGN.md §12): at provably
 # lossless memory (--mem-pct 100: every window can hold the whole trace on
 # every shard) the same trace must produce the identical output multiset

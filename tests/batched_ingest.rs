@@ -1,0 +1,338 @@
+//! Differential acceptance tests for the batch-amortized ingest path
+//! (DESIGN.md "Vectorized kernels and batch-amortized probes").
+//!
+//! The contract under test: feeding a trace through `ingest_batch` /
+//! `ingest_tuple_batch` — any chunking — must replay the per-arrival
+//! reference **bit-identically**: same result rows in the same emission
+//! order, same sequence numbers, same shed decisions, same deterministic
+//! metrics. Batching may only amortize work (one prefetched lookup pass,
+//! coalesced priority rescoring); it must never reorder or change an
+//! observable outcome. This holds at full memory, under per-window and
+//! global-pool shedding, across the sharded engine (where the worker's
+//! `batch_ingest` knob flips the path), and on the multi-query plane.
+
+use mstream_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Batch granularities under test: the degenerate run, a non-divisor of
+/// every trace length, and one larger than most per-epoch runs.
+const BATCHES: [usize; 3] = [1, 7, 64];
+
+/// All predicates on attribute 0 — key-partitionable, so sharded runs
+/// keep their requested width.
+fn keyed3(window: WindowSpec) -> JoinQuery {
+    let mut c = Catalog::new();
+    c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+    JoinQuery::from_names(c, &[("R1.A1", "R2.A1"), ("R2.A1", "R3.A1")], window).unwrap()
+}
+
+/// The paper's chain through two different attributes of R2 — not
+/// key-partitionable, so sharded runs exercise broadcast mode.
+fn chain3(window: WindowSpec) -> JoinQuery {
+    let mut c = Catalog::new();
+    c.add_stream(StreamSchema::new("R1", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R2", &["A1", "A2"]));
+    c.add_stream(StreamSchema::new("R3", &["A1", "A2"]));
+    JoinQuery::from_names(c, &[("R1.A1", "R2.A1"), ("R2.A2", "R3.A1")], window).unwrap()
+}
+
+fn trace(n: usize, key_domain: u64, seed: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            Arrival::new(
+                StreamId(rng.gen_range(0..3)),
+                vec![
+                    Value(rng.gen_range(0..key_domain)),
+                    Value(rng.gen_range(0..key_domain)),
+                ],
+                VTime::from_secs(i as u64 / 4),
+            )
+        })
+        .collect()
+}
+
+/// Metrics with the wall-clock timing counters zeroed — everything else
+/// is deterministic and must match exactly across equivalent runs.
+fn det(m: &EngineMetrics) -> EngineMetrics {
+    EngineMetrics {
+        sketch_observe_ns: 0,
+        priority_rebuild_ns: 0,
+        score_ns: 0,
+        ..m.clone()
+    }
+}
+
+/// Result rows in emission order as per-stream sequence numbers. No sort:
+/// batching must preserve the exact emission sequence, not just the set.
+fn emitted(rows: &[Vec<Tuple>]) -> Vec<Vec<SeqNo>> {
+    rows.iter()
+        .map(|row| row.iter().map(|t| t.seq).collect())
+        .collect()
+}
+
+fn build(query: JoinQuery, policy: &str, memory: &Memory) -> ShedJoinEngine {
+    let builder = EngineBuilder::new(query)
+        .boxed_policy(parse_policy(policy).unwrap())
+        .seed(5);
+    match memory {
+        Memory::PerWindow(c) => builder.capacity_per_window(*c),
+        Memory::GlobalPool(t) => builder.global_pool(*t),
+    }
+    .build()
+    .unwrap()
+}
+
+enum Memory {
+    PerWindow(usize),
+    GlobalPool(usize),
+}
+
+fn run_per_arrival(
+    query: JoinQuery,
+    policy: &str,
+    memory: &Memory,
+    arrivals: &[Arrival],
+) -> (Vec<Vec<SeqNo>>, EngineMetrics, usize) {
+    let mut engine = build(query, policy, memory);
+    let mut sink = VecSink::default();
+    for a in arrivals {
+        engine.ingest(a.clone(), &mut sink);
+    }
+    (emitted(&sink.rows), det(engine.metrics()), engine.total_resident())
+}
+
+fn run_batched(
+    query: JoinQuery,
+    policy: &str,
+    memory: &Memory,
+    arrivals: &[Arrival],
+    batch: usize,
+) -> (Vec<Vec<SeqNo>>, EngineMetrics, usize) {
+    let mut engine = build(query, policy, memory);
+    let mut sink = VecSink::default();
+    for chunk in arrivals.chunks(batch) {
+        engine.ingest_batch(chunk.iter().cloned(), &mut sink);
+    }
+    (emitted(&sink.rows), det(engine.metrics()), engine.total_resident())
+}
+
+/// Full memory: the batched path replays the per-arrival reference
+/// bit-identically for a sketch policy and a deterministic one, on both
+/// the keyed and the chain shape.
+#[test]
+fn batched_ingest_is_bit_identical_at_full_memory() {
+    let arrivals = trace(600, 8, 7);
+    for (label, query) in [
+        ("keyed3", keyed3(WindowSpec::secs(25))),
+        ("chain3", chain3(WindowSpec::secs(25))),
+    ] {
+        for policy in ["MSketch", "FIFO"] {
+            let memory = Memory::PerWindow(100_000);
+            let reference = run_per_arrival(query.clone(), policy, &memory, &arrivals);
+            assert!(!reference.0.is_empty(), "{label}: trace must produce joins");
+            for batch in BATCHES {
+                let got = run_batched(query.clone(), policy, &memory, &arrivals, batch);
+                assert_eq!(
+                    got, reference,
+                    "{label}/{policy}: batch={batch} diverged from per-arrival"
+                );
+            }
+        }
+    }
+}
+
+/// Reduced memory is the hard case: evictions force priority reads, so
+/// every deferred produced-credit must be flushed at exactly the right
+/// point. Per-window and global-pool disciplines, every policy whose
+/// priorities depend on produced counts plus the sketch family.
+#[test]
+fn batched_ingest_is_bit_identical_under_shedding() {
+    let arrivals = trace(600, 5, 11);
+    let query = keyed3(WindowSpec::secs(30));
+    for memory in [Memory::PerWindow(6), Memory::GlobalPool(20)] {
+        for policy in ["MSketch", "Bjoin", "Life", "FIFO", "Age"] {
+            let reference = run_per_arrival(query.clone(), policy, &memory, &arrivals);
+            assert!(
+                reference.1.shed_window > 0,
+                "{policy}: this capacity must actually shed"
+            );
+            for batch in BATCHES {
+                let got = run_batched(query.clone(), policy, &memory, &arrivals, batch);
+                assert_eq!(
+                    got, reference,
+                    "{policy}: batch={batch} diverged from per-arrival under shedding"
+                );
+            }
+        }
+    }
+}
+
+/// Tuple-count windows roll epochs and expire on arrival counts — the
+/// rollover flush point in the batched path must land identically.
+#[test]
+fn batched_ingest_is_bit_identical_on_tuple_windows() {
+    let arrivals = trace(400, 5, 13);
+    let query = keyed3(WindowSpec::Tuples(9));
+    for policy in ["MSketch", "Life"] {
+        let memory = Memory::PerWindow(6);
+        let reference = run_per_arrival(query.clone(), policy, &memory, &arrivals);
+        for batch in BATCHES {
+            let got = run_batched(query.clone(), policy, &memory, &arrivals, batch);
+            assert_eq!(
+                got, reference,
+                "{policy}: batch={batch} diverged on tuple windows"
+            );
+        }
+    }
+}
+
+/// With a disorder bound the event-time front end owns arrival order;
+/// `ingest_batch` must fall back to the per-arrival path and stay exact.
+#[test]
+fn batched_ingest_defers_to_event_time_front_end() {
+    let arrivals = trace(300, 6, 17);
+    let build_with_bound = || {
+        EngineBuilder::new(keyed3(WindowSpec::secs(25)))
+            .policy(Fifo)
+            .capacity_per_window(100_000)
+            .seed(5)
+            .disorder_bound(VDur::from_secs(2))
+            .build()
+            .unwrap()
+    };
+    let mut reference = build_with_bound();
+    let mut ref_sink = VecSink::default();
+    for a in &arrivals {
+        reference.ingest(a.clone(), &mut ref_sink);
+    }
+    let mut batched = build_with_bound();
+    let mut sink = VecSink::default();
+    for chunk in arrivals.chunks(7) {
+        batched.ingest_batch(chunk.iter().cloned(), &mut sink);
+    }
+    assert_eq!(emitted(&sink.rows), emitted(&ref_sink.rows));
+    assert_eq!(det(batched.metrics()), det(reference.metrics()));
+}
+
+fn sharded_report(
+    query: JoinQuery,
+    shards: usize,
+    capacity: usize,
+    arrivals: &[Arrival],
+    batch_ingest: bool,
+) -> ShardedRunReport {
+    let mut engine = EngineBuilder::new(query)
+        .policy(MSketch)
+        .capacity_per_window(capacity)
+        .seed(5)
+        .shard_config(ShardConfig {
+            shards,
+            channel_capacity: 4,
+            batch_size: 7,
+            backpressure: Backpressure::Block,
+            collect_rows: true,
+            batch_ingest,
+            ..ShardConfig::default()
+        })
+        .build_sharded()
+        .unwrap();
+    for a in arrivals {
+        engine.ingest(a.clone());
+    }
+    engine.finish().unwrap()
+}
+
+/// The worker's `batch_ingest` knob must be invisible: batched and
+/// per-arrival workers produce the same merged rows and deterministic
+/// metrics at S ∈ {1, 4}, at full memory and while shedding.
+#[test]
+fn sharded_batch_knob_is_observably_invisible() {
+    let arrivals = trace(700, 12, 19);
+    for shards in [1usize, 4] {
+        for capacity in [100_000usize, 32] {
+            let on = sharded_report(
+                keyed3(WindowSpec::secs(25)),
+                shards,
+                capacity,
+                &arrivals,
+                true,
+            );
+            let off = sharded_report(
+                keyed3(WindowSpec::secs(25)),
+                shards,
+                capacity,
+                &arrivals,
+                false,
+            );
+            let mut rows_on = emitted(on.rows.as_ref().unwrap());
+            let mut rows_off = emitted(off.rows.as_ref().unwrap());
+            // Merge order across shard outputs is canonicalized by the
+            // report; per-shard emission order is what batching must
+            // preserve, and equal sorted sets + equal per-shard metrics
+            // pin exactly that.
+            rows_on.sort();
+            rows_off.sort();
+            assert_eq!(
+                rows_on, rows_off,
+                "S={shards} cap={capacity}: batch knob changed the row set"
+            );
+            assert_eq!(
+                det(&on.combined.metrics),
+                det(&off.combined.metrics),
+                "S={shards} cap={capacity}: batch knob changed the metrics"
+            );
+            for (a, b) in on.per_shard.iter().zip(off.per_shard.iter()) {
+                assert_eq!(det(a), det(b), "S={shards} cap={capacity}: per-shard drift");
+            }
+        }
+    }
+}
+
+/// The multi-query plane: `ingest_batch` chunks must replay the
+/// per-arrival reference bit-identically for every registered query.
+#[test]
+fn multi_query_batched_ingest_is_bit_identical() {
+    let queries = vec![keyed3(WindowSpec::secs(20)), chain3(WindowSpec::secs(30))];
+    let arrivals = trace(500, 6, 23);
+    let run = |batch: Option<usize>| {
+        let mut b = EngineBuilder::new_multi()
+            .policy(MSketch)
+            .capacity_per_window(8)
+            .seed(5);
+        for q in &queries {
+            b.register(q.clone()).unwrap();
+        }
+        let mut engine = b.build_multi().unwrap();
+        let mut sink = QueryRowsSink::default();
+        match batch {
+            None => {
+                for a in &arrivals {
+                    engine.ingest(a.clone(), &mut sink);
+                }
+            }
+            Some(b) => {
+                for chunk in arrivals.chunks(b) {
+                    engine.ingest_batch(chunk.iter().cloned(), &mut sink);
+                }
+            }
+        }
+        let rows: Vec<Vec<Vec<SeqNo>>> = sink.rows.iter().map(|r| emitted(r)).collect();
+        (rows, det(engine.metrics()), engine.total_resident())
+    };
+    let reference = run(None);
+    assert!(
+        reference.0.iter().any(|r| !r.is_empty()),
+        "trace must produce joins for at least one query"
+    );
+    for batch in BATCHES {
+        assert_eq!(
+            run(Some(batch)),
+            reference,
+            "multi-query batch={batch} diverged from per-arrival"
+        );
+    }
+}
