@@ -20,10 +20,10 @@
 //! sweep covers `S ∈ {1, 2, 4}`.
 
 use crate::gen::{Arrival, Case, ReducedMemory};
-use crate::run::{first_diff, panic_message, row, Failure, FailureKind};
+use crate::run::{first_diff, normalized_metrics, panic_message, row, Failure, FailureKind};
 use mstream_core::ingest::FnSink;
 use mstream_core::shard::{Backpressure, HotKeyConfig, ShardConfig};
-use mstream_core::EngineBuilder;
+use mstream_core::{EngineBuilder, EngineMetrics};
 use mstream_join::Bindings;
 use mstream_shed_policies::{parse_policy, ALL_POLICY_NAMES};
 use mstream_sketch::BankConfig;
@@ -157,22 +157,67 @@ pub fn run_disorder_case(case: &Case) -> Result<(), Failure> {
 }
 
 /// One single-engine drive's observables: result rows in emit order (the
-/// bit-identity comparisons need order, not just the multiset) and the
-/// final late-drop counter.
+/// bit-identity comparisons need order, not just the multiset), the final
+/// late-drop counter, and the full engine metrics (the score-cache A/B
+/// compares their cache/ns-normalized form).
 struct Drive {
     rows: Vec<Vec<u64>>,
     late_dropped: u64,
+    metrics: EngineMetrics,
 }
 
-/// Drives `arrivals` through a single engine via the public ingest path
-/// (front end included when `disorder` is set) plus the end-of-trace
-/// flush, re-checking structural invariants after every arrival.
+/// Drives `arrivals` through a single engine. On a `cache_ab` case with
+/// the event-time front end engaged, the trace runs twice — score cache
+/// forced on and off — and must be bit-identical; this is the only audit
+/// path that exercises the cache's previous-epoch (`generation - 1`)
+/// keying, because late-released arrivals score against frozen prior
+/// sketches via `productivity_at`.
 fn drive(
     case: &Case,
     arrivals: &[Arrival],
     policy: &str,
     disorder: Option<VDur>,
     full_memory: bool,
+) -> Result<Drive, Failure> {
+    if !(case.cache_ab && disorder.is_some()) {
+        return drive_with(case, arrivals, policy, disorder, full_memory, None);
+    }
+    let on = drive_with(case, arrivals, policy, disorder, full_memory, Some(true))?;
+    let off = drive_with(case, arrivals, policy, disorder, full_memory, Some(false))?;
+    let fail = |detail: String| Failure {
+        policy: policy.into(),
+        kind: FailureKind::ScoreCacheDivergence,
+        detail,
+    };
+    if on.rows != off.rows {
+        return Err(fail(format!(
+            "event-time emissions diverge: {}",
+            first_diff(&on.rows, &off.rows)
+        )));
+    }
+    if on.late_dropped != off.late_dropped
+        || normalized_metrics(&on.metrics) != normalized_metrics(&off.metrics)
+    {
+        return Err(fail(format!(
+            "event-time normalized metrics diverge: on {:?} vs off {:?}",
+            normalized_metrics(&on.metrics),
+            normalized_metrics(&off.metrics)
+        )));
+    }
+    Ok(on)
+}
+
+/// The single-run body behind [`drive`]: the public ingest path (front
+/// end included when `disorder` is set) plus the end-of-trace flush,
+/// re-checking structural invariants after every arrival. `cache` pins
+/// the productivity score cache for this instance.
+fn drive_with(
+    case: &Case,
+    arrivals: &[Arrival],
+    policy: &str,
+    disorder: Option<VDur>,
+    full_memory: bool,
+    cache: Option<bool>,
 ) -> Result<Drive, Failure> {
     let n = case.n_streams();
     let fail = |detail: String| Failure {
@@ -183,6 +228,9 @@ fn drive(
     let mut builder = configured(case, arrivals, policy, full_memory);
     if let Some(bound) = disorder {
         builder = builder.disorder_bound(bound);
+    }
+    if let Some(on) = cache {
+        builder = builder.score_cache(on);
     }
     let mut engine = builder
         .build()
@@ -209,9 +257,11 @@ fn drive(
     if let Err(payload) = outcome {
         return Err(fail(format!("flush: {}", panic_message(&payload))));
     }
+    let metrics = engine.metrics().clone();
     Ok(Drive {
         rows,
-        late_dropped: engine.metrics().late_dropped,
+        late_dropped: metrics.late_dropped,
+        metrics,
     })
 }
 

@@ -59,6 +59,12 @@ pub struct Case {
     /// bit-identically). Rotates `1, 1, 7, 64` with the seed so every
     /// sweep covers both paths and two batch granularities.
     pub batch: usize,
+    /// Whether this case pins the score-cache A/B class (every odd seed):
+    /// each engine run is driven twice — productivity score cache on and
+    /// off — and the two runs must be bit-identical in rows and in every
+    /// metric except the cache counters and wall-clock ns themselves
+    /// (DESIGN.md §16).
+    pub cache_ab: bool,
     /// The arrival trace.
     pub arrivals: Vec<Arrival>,
 }
@@ -195,6 +201,7 @@ pub fn generate_case(seed: u64) -> Case {
         // Derived arithmetically (no rng draw) so the pinned seed classes
         // above keep generating byte-identical cases.
         batch: [1, 1, 7, 64][(seed % 4) as usize],
+        cache_ab: seed % 2 == 1,
         arrivals,
     }
 }
@@ -234,6 +241,10 @@ pub struct MultiCase {
     /// key-partitionable class, pinned on even seeds so the sharded multi
     /// differential regularly runs on two real shards.
     pub keyed: bool,
+    /// The score-cache A/B class (odd seeds, mirroring the solo sweep):
+    /// the in-process engine runs cache-on and cache-off and must match
+    /// bit for bit (DESIGN.md §16).
+    pub cache_ab: bool,
     /// The arrival trace. `stream` is the *pool* index; the runner
     /// resolves it to the engine's union-catalog id by name (`R<pool+1>`).
     pub arrivals: Vec<Arrival>,
@@ -337,6 +348,8 @@ pub fn generate_multi_case(seed: u64) -> MultiCase {
         epoch,
         capacity,
         keyed,
+        // Arithmetic (no rng draw): pinned classes stay byte-identical.
+        cache_ab: seed % 2 == 1,
         arrivals,
     }
 }

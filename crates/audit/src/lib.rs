@@ -32,6 +32,13 @@
 //! memory — for every policy, in-process and sharded S ∈ {1, 2}
 //! (`mstream-audit multi --cases N`).
 //!
+//! Every **odd-seed case** additionally pins the score-cache A/B class:
+//! each engine run in the three audits above (single-engine, sharded,
+//! event-time, multi-query) is driven twice — the epoch-memoized
+//! productivity score cache forced on and forced off — and the two runs
+//! must agree bit for bit on emissions and on every metric except the
+//! cache counters and stage timers themselves (DESIGN.md §16).
+//!
 //! Failures print a replay line (`cargo run -p mstream-audit -- replay
 //! <seed>`) and a greedily shrunk minimal trace ([`shrink`]).
 
@@ -130,6 +137,27 @@ mod tests {
         assert!(pw && pwe && pool, "all three memory modes generated");
         assert!(s2 && s4, "both shard counts generated");
         assert!(keyed && single, "both partitionability outcomes generated");
+    }
+
+    /// The score-cache A/B class is exactly the odd seeds, in both the
+    /// solo and the multi-query generator, and a sweep of either parity
+    /// exists (so the A/B and the plain classes both keep rotating).
+    #[test]
+    fn cache_ab_class_is_the_odd_seeds() {
+        let (mut ab, mut plain) = (false, false);
+        for i in 0..20u64 {
+            let seed = case_seed(17, i);
+            let case = generate_case(seed);
+            assert_eq!(case.cache_ab, seed % 2 == 1);
+            let multi = generate_multi_case(seed);
+            assert_eq!(multi.cache_ab, seed % 2 == 1);
+            if case.cache_ab {
+                ab = true;
+            } else {
+                plain = true;
+            }
+        }
+        assert!(ab && plain, "both parities must appear in a sweep");
     }
 
     #[test]

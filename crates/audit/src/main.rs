@@ -79,7 +79,8 @@ fn sweep(args: &[String]) -> i32 {
     println!(
         "audit sweep: {cases} cases ({arrivals_total} arrivals) — all policies match the \
          exact oracle at 100% memory (single-engine and sharded), all shed runs are \
-         sub-multisets, sharded runs honour the partitioning contract, zero invariant \
+         sub-multisets, sharded runs honour the partitioning contract, score-cache \
+         on/off A/B runs are bit-identical on every odd-seed case, zero invariant \
          violations"
     );
     0
@@ -143,8 +144,9 @@ fn disorder(args: &[String]) -> i32 {
     println!(
         "disorder audit: {cases} cases ({arrivals_total} arrivals) — K=0 runs are \
          bit-identical to the trusting engine, covered disorder reproduces the in-order \
-         output for every policy (single-engine and sharded, S ∈ {{1, 2, 4}}), and \
-         beyond-bound lateness is dropped, counted, and never joined"
+         output for every policy (single-engine and sharded, S ∈ {{1, 2, 4}}), \
+         beyond-bound lateness is dropped, counted, and never joined, and event-time \
+         score-cache A/B runs are bit-identical on every odd-seed case"
     );
     0
 }
@@ -210,7 +212,8 @@ fn multi(args: &[String]) -> i32 {
         "multi-query audit: {cases} cases ({queries_total} standing queries, \
          {arrivals_total} arrivals) — every query's shared-plane output matches its solo \
          exact oracle at 100% memory for every policy (in-process and sharded S ∈ {{1, 2}}), \
-         every shed run is a per-query sub-multiset, keyed sets run at full width, zero \
+         every shed run is a per-query sub-multiset, keyed sets run at full width, \
+         score-cache on/off A/B runs are bit-identical on every odd-seed case, zero \
          invariant violations"
     );
     0

@@ -17,10 +17,10 @@
 //!    the requested width, nothing is dropped under blocking backpressure.
 
 use crate::gen::{Arrival as GenArrival, MultiCase};
-use crate::run::{first_diff, not_in_multiset, panic_message, Failure, FailureKind};
+use crate::run::{first_diff, normalized_metrics, not_in_multiset, panic_message, Failure, FailureKind};
 use mstream_core::ingest::QueryFnSink;
 use mstream_core::shard::ShardConfig;
-use mstream_core::{Arrival, EngineBuilder};
+use mstream_core::{Arrival, EngineBuilder, EngineMetrics};
 use mstream_join::{Bindings, ExactJoin};
 use mstream_shed_policies::{parse_policy, ALL_POLICY_NAMES};
 use mstream_sketch::BankConfig;
@@ -168,14 +168,62 @@ fn pool_map(
     map
 }
 
-/// Drives the trace through the in-process [`mstream_core::MultiQueryEngine`],
-/// collecting per-query canonical rows and re-checking structural
-/// invariants after every arrival.
+/// Drives the trace through the in-process shared data plane. On a
+/// `cache_ab` case the trace runs twice — score cache forced on and off —
+/// and every query's output plus the cache/ns-normalized engine metrics
+/// must be bit-identical (the shared plane's per-class sketch banks and
+/// `remove_query` retirement baseline must not leak into scoring).
 fn drive_multi(
     case: &MultiCase,
     policy: &str,
     full_memory: bool,
 ) -> Result<Vec<Vec<Vec<u64>>>, Failure> {
+    if !case.cache_ab {
+        return Ok(drive_multi_with(case, policy, full_memory, None)?.0);
+    }
+    let (rows_on, metrics_on) = drive_multi_with(case, policy, full_memory, Some(true))?;
+    let (rows_off, metrics_off) = drive_multi_with(case, policy, full_memory, Some(false))?;
+    let fail = |detail: String| Failure {
+        policy: policy.into(),
+        kind: FailureKind::ScoreCacheDivergence,
+        detail,
+    };
+    if rows_on != rows_off {
+        let q = rows_on
+            .iter()
+            .zip(&rows_off)
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return Err(fail(format!(
+            "multi-query emissions diverge (memory {}, q{q}): {}",
+            if full_memory { "full" } else { "reduced" },
+            first_diff(&rows_on[q], &rows_off[q])
+        )));
+    }
+    if normalized_metrics(&metrics_on) != normalized_metrics(&metrics_off) {
+        return Err(fail(format!(
+            "multi-query normalized metrics diverge (memory {}): on {:?} vs off {:?}",
+            if full_memory { "full" } else { "reduced" },
+            normalized_metrics(&metrics_on),
+            normalized_metrics(&metrics_off)
+        )));
+    }
+    Ok(rows_on)
+}
+
+/// Per-query canonical rows, as produced by one multi-engine drive.
+type PerQueryRows = Vec<Vec<Vec<u64>>>;
+
+/// The single-run body behind [`drive_multi`]: collects per-query
+/// canonical rows, re-checks structural invariants after every arrival,
+/// and returns the final engine metrics. `cache` pins the productivity
+/// score cache for this instance.
+fn drive_multi_with(
+    case: &MultiCase,
+    policy: &str,
+    full_memory: bool,
+    cache: Option<bool>,
+) -> Result<(PerQueryRows, EngineMetrics), Failure> {
     let fail = |detail: String, kind| Failure {
         policy: policy.into(),
         kind,
@@ -186,7 +234,11 @@ fn drive_multi(
     } else {
         case.capacity
     };
-    let mut engine = builder(case, policy, capacity)
+    let mut b = builder(case, policy, capacity);
+    if let Some(on) = cache {
+        b = b.score_cache(on);
+    }
+    let mut engine = b
         .build_multi()
         .map_err(|e| fail(format!("engine construction failed: {e:?}"), FailureKind::InvariantPanic))?;
     let globals = pool_map(&case.arrivals, |name| engine.stream_id(name));
@@ -215,7 +267,8 @@ fn drive_multi(
     for r in &mut rows {
         r.sort();
     }
-    Ok(rows)
+    let metrics = engine.metrics().clone();
+    Ok((rows, metrics))
 }
 
 /// Drives the trace through the sharded coordinator at `shards` workers,

@@ -4,7 +4,7 @@
 use crate::gen::{Arrival, Case, ReducedMemory};
 use mstream_core::ingest::{FnSink, IngestRole};
 use mstream_core::shard::{Backpressure, HotKeyConfig, ShardConfig};
-use mstream_core::{BatchItem, EngineBuilder};
+use mstream_core::{BatchItem, EngineBuilder, EngineMetrics};
 use mstream_join::{Bindings, ExactJoin};
 use mstream_shed_policies::{parse_policy, ALL_POLICY_NAMES};
 use mstream_sketch::BankConfig;
@@ -37,6 +37,11 @@ pub enum FailureKind {
     /// run failed to reproduce the in-order output, or a beyond-bound
     /// arrival was not dropped-and-counted cleanly.
     DisorderContract,
+    /// A score-cache A/B pair diverged: with the productivity score cache
+    /// forced on, the engine emitted different rows or different
+    /// (cache/ns-normalized) metrics than with it forced off. The memo is
+    /// supposed to be a pure evaluation shortcut (DESIGN.md §16).
+    ScoreCacheDivergence,
 }
 
 impl std::fmt::Display for FailureKind {
@@ -48,6 +53,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::QueuePanic => "queue-invariant-violation",
             FailureKind::ShardContract => "shard-contract-violation",
             FailureKind::DisorderContract => "disorder-contract-violation (event time)",
+            FailureKind::ScoreCacheDivergence => "score-cache-divergence (on/off A/B)",
         };
         f.write_str(s)
     }
@@ -155,23 +161,89 @@ pub fn run_case_on(case: &Case, arrivals: &[Arrival]) -> Result<(), Failure> {
     queue_audit(case, arrivals)
 }
 
-/// Builds the engine for one (policy, memory-mode) run and drives the
-/// trace through it, collecting canonical rows and re-checking structural
-/// invariants after every arrival. Panics anywhere inside the engine are
-/// converted into [`FailureKind::InvariantPanic`].
+/// Strips the metric fields that legitimately differ between a
+/// score-cache-on and score-cache-off run of the same trace: the
+/// wall-clock stage timers, the score-cache counters themselves, and the
+/// packed-sign cache counters (a score-cache hit skips the packed-sign
+/// computation entirely, so sign traffic diverges by design). Everything
+/// else — shed counts, emissions, replication, late drops — must match
+/// bit for bit.
+pub(crate) fn normalized_metrics(m: &EngineMetrics) -> EngineMetrics {
+    let mut m = m.clone();
+    m.sketch_observe_ns = 0;
+    m.priority_rebuild_ns = 0;
+    m.score_ns = 0;
+    m.sign_cache_hits = 0;
+    m.sign_cache_misses = 0;
+    m.score_cache_hits = 0;
+    m.score_cache_misses = 0;
+    m
+}
+
+/// Runs one (policy, memory-mode) configuration. On a plain case this is
+/// a single engine run; on a `cache_ab` case the trace is driven twice —
+/// productivity score cache forced on, then forced off — and any
+/// divergence in rows or normalized metrics is a
+/// [`FailureKind::ScoreCacheDivergence`].
 fn drive_engine(
     case: &Case,
     arrivals: &[Arrival],
     policy: &str,
     full_memory: bool,
 ) -> Result<Vec<Vec<u64>>, Failure> {
+    if !case.cache_ab {
+        return Ok(drive_engine_with(case, arrivals, policy, full_memory, None)?.0);
+    }
+    let (rows_on, metrics_on) = drive_engine_with(case, arrivals, policy, full_memory, Some(true))?;
+    let (rows_off, metrics_off) =
+        drive_engine_with(case, arrivals, policy, full_memory, Some(false))?;
+    let fail = |detail: String| Failure {
+        policy: policy.into(),
+        kind: FailureKind::ScoreCacheDivergence,
+        detail,
+    };
+    if rows_on != rows_off {
+        return Err(fail(format!(
+            "emissions diverge (memory {}): {}",
+            if full_memory { "full" } else { "reduced" },
+            first_diff(&rows_on, &rows_off)
+        )));
+    }
+    if normalized_metrics(&metrics_on) != normalized_metrics(&metrics_off) {
+        return Err(fail(format!(
+            "normalized metrics diverge (memory {}): on {:?} vs off {:?}",
+            if full_memory { "full" } else { "reduced" },
+            normalized_metrics(&metrics_on),
+            normalized_metrics(&metrics_off)
+        )));
+    }
+    Ok(rows_on)
+}
+
+/// Builds the engine for one (policy, memory-mode) run and drives the
+/// trace through it, collecting canonical rows and re-checking structural
+/// invariants after every arrival. Panics anywhere inside the engine are
+/// converted into [`FailureKind::InvariantPanic`]. `cache` pins the
+/// productivity score cache on/off for this instance (`None` leaves the
+/// process-wide default).
+fn drive_engine_with(
+    case: &Case,
+    arrivals: &[Arrival],
+    policy: &str,
+    full_memory: bool,
+    cache: Option<bool>,
+) -> Result<(Vec<Vec<u64>>, EngineMetrics), Failure> {
     let n = case.n_streams();
     let fail = |detail: String, kind| Failure {
         policy: policy.into(),
         kind,
         detail,
     };
-    let mut engine = configured_builder(case, arrivals, policy, full_memory)
+    let mut builder = configured_builder(case, arrivals, policy, full_memory);
+    if let Some(on) = cache {
+        builder = builder.score_cache(on);
+    }
+    let mut engine = builder
         .build()
         .map_err(|e| fail(format!("engine construction failed: {e:?}"), FailureKind::InvariantPanic))?;
 
@@ -221,7 +293,8 @@ fn drive_engine(
         }
     }
     rows.sort();
-    Ok(rows)
+    let metrics = engine.metrics().clone();
+    Ok((rows, metrics))
 }
 
 /// The shared [`EngineBuilder`] setup for one (policy, memory-mode) run:
@@ -267,12 +340,55 @@ fn drive_sharded(
     policy: &str,
     full_memory: bool,
 ) -> Result<Vec<Vec<u64>>, Failure> {
+    if !case.cache_ab {
+        return Ok(drive_sharded_with(case, arrivals, policy, full_memory, None)?.0);
+    }
+    let (rows_on, metrics_on) =
+        drive_sharded_with(case, arrivals, policy, full_memory, Some(true))?;
+    let (rows_off, metrics_off) =
+        drive_sharded_with(case, arrivals, policy, full_memory, Some(false))?;
+    let fail = |detail: String| Failure {
+        policy: format!("{policy}@x{}", case.shards),
+        kind: FailureKind::ScoreCacheDivergence,
+        detail,
+    };
+    if rows_on != rows_off {
+        return Err(fail(format!(
+            "sharded emissions diverge (memory {}): {}",
+            if full_memory { "full" } else { "reduced" },
+            first_diff(&rows_on, &rows_off)
+        )));
+    }
+    if normalized_metrics(&metrics_on) != normalized_metrics(&metrics_off) {
+        return Err(fail(format!(
+            "sharded normalized metrics diverge (memory {}): on {:?} vs off {:?}",
+            if full_memory { "full" } else { "reduced" },
+            normalized_metrics(&metrics_on),
+            normalized_metrics(&metrics_off)
+        )));
+    }
+    Ok(rows_on)
+}
+
+/// The single-run body behind [`drive_sharded`]: returns the merged rows
+/// plus the combined cross-shard metrics so the A/B wrapper can compare
+/// both. `cache` pins the score cache for every worker in the instance.
+fn drive_sharded_with(
+    case: &Case,
+    arrivals: &[Arrival],
+    policy: &str,
+    full_memory: bool,
+    cache: Option<bool>,
+) -> Result<(Vec<Vec<u64>>, EngineMetrics), Failure> {
     let fail = |detail: String, kind| Failure {
         policy: format!("{policy}@x{}", case.shards),
         kind,
         detail,
     };
     let mut builder = configured_builder(case, arrivals, policy, full_memory);
+    if let Some(on) = cache {
+        builder = builder.score_cache(on);
+    }
     if full_memory {
         // The shard layer splits the budget S ways; skewed routing may put
         // most tuples on one shard, so "full memory" must survive the
@@ -383,7 +499,7 @@ fn drive_sharded(
         })
         .collect();
     rows.sort();
-    Ok(rows)
+    Ok((rows, report.combined.metrics))
 }
 
 /// Exercises [`ShedQueue`] with a seeded churn of offers and pops derived

@@ -191,6 +191,82 @@ fn bench_productivity_repeated(c: &mut Criterion) {
     group.finish();
 }
 
+/// The epoch-memoized productivity score cache (DESIGN.md §16) on the
+/// frozen cross-product path at the paper's sizing (`s1 = 1000`): a hot
+/// 50-key working set served from the memo, an always-fresh key stream
+/// paying the miss-and-insert cost (with the bounded table's periodic
+/// wholesale clears), and the same hot set with the cache pinned off —
+/// the raw signed-fold every lookup would pay without memoization.
+fn bench_score_cache(c: &mut Criterion) {
+    let query = chain3();
+    let mut seed_sketches = || {
+        let mut sk = TumblingSketches::new(
+            &query,
+            BankConfig {
+                s1: 1000,
+                s2: 1,
+                seed: 9,
+            },
+            EpochSpec::Time(VDur::from_secs(100)),
+        );
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..3000 {
+            let s = StreamId(rng.gen_range(0..3));
+            sk.observe(
+                s,
+                &[
+                    Value(rng.gen_range(0..50)),
+                    Value(rng.gen_range(0..50)),
+                ],
+                VTime::ZERO,
+            );
+        }
+        // Cross the epoch boundary so every probe runs the frozen
+        // cross-product path — the one the memo covers.
+        sk.observe(StreamId(0), &[Value(0), Value(0)], VTime::from_secs(150));
+        sk
+    };
+    let mut group = c.benchmark_group("score_cache");
+    {
+        let mut sk = seed_sketches();
+        sk.set_score_cache(true);
+        // Warm the memo: one lap over the working set.
+        for v in 0..50u64 {
+            black_box(sk.productivity(StreamId(0), &[Value(v), Value(0)]));
+        }
+        let mut v = 0u64;
+        group.bench_function("hit", |b| {
+            b.iter(|| {
+                v = (v + 1) % 50;
+                black_box(sk.productivity(StreamId(0), &[Value(v), Value(0)]))
+            })
+        });
+    }
+    {
+        let mut sk = seed_sketches();
+        sk.set_score_cache(true);
+        let mut x = 0u64;
+        group.bench_function("miss", |b| {
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                black_box(sk.productivity(StreamId(0), &[Value(x), Value(0)]))
+            })
+        });
+    }
+    {
+        let mut sk = seed_sketches();
+        sk.set_score_cache(false);
+        let mut v = 0u64;
+        group.bench_function("uncached", |b| {
+            b.iter(|| {
+                v = (v + 1) % 50;
+                black_box(sk.productivity(StreamId(0), &[Value(v), Value(0)]))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Vector-vs-scalar on the raw kernels, every mode the build supports:
 /// the pinned scalar reference, the lane-parallel safe form, the AVX2
 /// sign specializations when the host has them, and the dispatched entry
@@ -295,6 +371,7 @@ criterion_group!(
     bench_productivity,
     bench_packed_signs,
     bench_productivity_repeated,
+    bench_score_cache,
     bench_kernel_modes
 );
 criterion_main!(benches);

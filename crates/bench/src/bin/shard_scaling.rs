@@ -355,6 +355,8 @@ fn main() {
         "imbalance".to_string(),
         "promoted".to_string(),
         "steady allocs".to_string(),
+        "score (ms)".to_string(),
+        "rebuild (ms)".to_string(),
         "speedup".to_string(),
     ];
     if disorder_ms.is_some() {
@@ -383,6 +385,8 @@ fn main() {
         let mut replicated = 0u64;
         let mut shed_window = 0u64;
         let mut hot_promoted = 0u64;
+        let mut score_ns = 0u64;
+        let mut priority_rebuild_ns = 0u64;
         let mut steady_allocs = u64::MAX;
         let mut skew = 1.0f64;
         let mut routed = Vec::new();
@@ -400,6 +404,10 @@ fn main() {
             replicated = pass.report.combined.metrics.replicated;
             shed_window = pass.report.combined.metrics.shed_window;
             hot_promoted = pass.report.hot_promoted;
+            // Summed across shards (the coordinator merge): the shedding
+            // decision + rollover rescoring cost the score cache targets.
+            score_ns = pass.report.combined.metrics.score_ns;
+            priority_rebuild_ns = pass.report.combined.metrics.priority_rebuild_ns;
             // Keep the *minimum* steady-state count: any single pass with
             // zero allocations proves the plane itself allocates nothing
             // (other passes can be polluted by OS/runtime noise).
@@ -428,6 +436,8 @@ fn main() {
             format!("{skew:.2}"),
             hot_promoted.to_string(),
             steady_allocs.to_string(),
+            format!("{:.2}", score_ns as f64 / 1e6),
+            format!("{:.2}", priority_rebuild_ns as f64 / 1e6),
             format!("{:.2}x", base_secs / secs),
         ];
         if let Some(k) = k_ms {
@@ -452,6 +462,8 @@ fn main() {
             "resident": resident,
             "hot_promoted": hot_promoted,
             "steady_allocs": steady_allocs,
+            "score_ns": score_ns,
+            "priority_rebuild_ns": priority_rebuild_ns,
             "route_only": route_only,
             "workload": workload,
             "zipf_theta": zipf_theta,

@@ -7,6 +7,21 @@ use mstream_core::prelude::*;
 use std::io::Write;
 use std::time::Instant;
 
+/// The `--stage-json` view of one engine's counters: per-stage wall-clock
+/// nanoseconds plus the estimation-cache statistics (packed-sign and
+/// productivity-score memos, DESIGN.md §16).
+fn stage_view(m: &EngineMetrics) -> serde_json::Value {
+    serde_json::json!({
+        "sketch_observe_ns": m.sketch_observe_ns,
+        "priority_rebuild_ns": m.priority_rebuild_ns,
+        "score_ns": m.score_ns,
+        "sign_cache_hits": m.sign_cache_hits,
+        "sign_cache_misses": m.sign_cache_misses,
+        "score_cache_hits": m.score_cache_hits,
+        "score_cache_misses": m.score_cache_misses,
+    })
+}
+
 /// `mstream run`: execute a query over a trace with shedding.
 pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     if flags.get("--queries").is_some() {
@@ -109,6 +124,10 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             report.end_time.as_secs_f64(),
             report.wall_time.as_secs_f64()
         )?;
+    }
+    if flags.has("--stage-json") {
+        let body = serde_json::json!({ "stages": stage_view(&report.metrics) });
+        writeln!(out, "{}", serde_json::to_string_pretty(&body).expect("serializable"))?;
     }
     Ok(())
 }
@@ -224,6 +243,13 @@ fn run_sharded(
             report.combined.end_time.as_secs_f64(),
             report.combined.wall_time.as_secs_f64()
         )?;
+    }
+    if flags.has("--stage-json") {
+        let body = serde_json::json!({
+            "stages": stage_view(&report.combined.metrics),
+            "per_shard": report.per_shard.iter().map(stage_view).collect::<Vec<_>>(),
+        });
+        writeln!(out, "{}", serde_json::to_string_pretty(&body).expect("serializable"))?;
     }
     Ok(())
 }
@@ -415,6 +441,10 @@ fn run_multi(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             "virtual span:    {span_secs:.1}s   wall: {:.3}s",
             o.wall.as_secs_f64()
         )?;
+    }
+    if flags.has("--stage-json") {
+        let body = serde_json::json!({ "stages": stage_view(&o.metrics) });
+        writeln!(out, "{}", serde_json::to_string_pretty(&body).expect("serializable"))?;
     }
     Ok(())
 }
@@ -744,6 +774,64 @@ mod tests {
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&json_report).unwrap();
         assert_eq!(v["arrivals"], 600);
+    }
+
+    #[test]
+    fn stage_json_surfaces_stage_ns_and_cache_counters() {
+        let dir = std::env::temp_dir().join("mstream_cli_test_stage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.csv");
+        let trace_path = trace_path.to_str().unwrap();
+        run_cli(&[
+            "generate", "--workload", "regions", "--tuples", "200", "--out", trace_path,
+        ])
+        .unwrap();
+        let chain = "SELECT * FROM R1(A1, A2) [RANGE 30 SECONDS], R2(A1, A2), R3(A1, A2) \
+                     WHERE R1.A1 = R2.A1 AND R2.A2 = R3.A1";
+        // Single-engine run: the stage object rides after the text report.
+        let text = run_cli(&[
+            "run", "--query", chain, "--trace", trace_path, "--capacity", "50",
+            "--stage-json",
+        ])
+        .unwrap();
+        let json_start = text.find('{').expect("stage object present");
+        let v: serde_json::Value = serde_json::from_str(&text[json_start..]).unwrap();
+        let stages = &v["stages"];
+        for key in [
+            "sketch_observe_ns",
+            "priority_rebuild_ns",
+            "score_ns",
+            "sign_cache_hits",
+            "sign_cache_misses",
+            "score_cache_hits",
+            "score_cache_misses",
+        ] {
+            assert!(stages[key].as_u64().is_some(), "missing stage counter {key}: {v:?}");
+        }
+        assert!(
+            stages["score_ns"].as_u64().unwrap() > 0,
+            "a sketch policy spends time scoring: {v:?}"
+        );
+        // Sharded run: a per_shard breakdown accompanies the merged view.
+        let keyed = "SELECT * FROM R1(A1, A2) [RANGE 30 SECONDS], R2(A1, A2), R3(A1, A2) \
+                     WHERE R1.A1 = R2.A1 AND R2.A1 = R3.A1";
+        let text = run_cli(&[
+            "run", "--query", keyed, "--trace", trace_path, "--capacity", "400",
+            "--shards", "2", "--stage-json",
+        ])
+        .unwrap();
+        let json_start = text.find('{').expect("stage object present");
+        let v: serde_json::Value = serde_json::from_str(&text[json_start..]).unwrap();
+        assert_eq!(v["per_shard"].as_array().unwrap().len(), 2);
+        let merged: u64 = v["per_shard"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s["score_cache_hits"].as_u64().unwrap() + s["score_cache_misses"].as_u64().unwrap())
+            .sum();
+        let combined = v["stages"]["score_cache_hits"].as_u64().unwrap()
+            + v["stages"]["score_cache_misses"].as_u64().unwrap();
+        assert_eq!(merged, combined, "coordinator sums per-shard cache counters");
     }
 
     #[test]

@@ -77,6 +77,11 @@ RUN OPTIONS:
                          as the watermark advances, and drop (with accounting)
                          anything later; omit to trust timestamps as given
     --json               print the report as JSON instead of text
+    --stage-json         append a JSON object of per-stage wall-clock
+                         nanoseconds (sketch_observe_ns, priority_rebuild_ns,
+                         score_ns) and estimation-cache counters (packed-sign
+                         and productivity score memos); sharded runs include a
+                         per_shard breakdown
 
 GENERATE OPTIONS:
     --workload <w>       regions (Table-1 synthetic) | census

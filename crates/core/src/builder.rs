@@ -280,6 +280,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Forces the epoch-memoized productivity score cache on or off for
+    /// this engine (DESIGN.md §16), overriding the process-wide
+    /// `MSTREAM_SCORE_CACHE` environment pin. Cached and uncached runs
+    /// are bit-identical; the cache only changes how often the estimation
+    /// kernel runs. Sharded builds propagate the setting to every worker.
+    pub fn score_cache(mut self, enabled: bool) -> Self {
+        self.config.score_cache = Some(enabled);
+        self
+    }
+
     /// Requests `shards` parallel workers. The engine must then be built
     /// with [`EngineBuilder::build_sharded`]; queries whose predicates do
     /// not all share one partition attribute degrade to a single shard

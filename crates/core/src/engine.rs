@@ -52,6 +52,13 @@ pub struct EngineConfig {
     /// bound. `Some(VDur::ZERO)` is valid: no lateness tolerance, but
     /// cross-stream timestamp alignment still applies.
     pub disorder: Option<VDur>,
+    /// Epoch-memoized productivity scoring (DESIGN.md §16). `None` (the
+    /// default) defers to the process-wide `MSTREAM_SCORE_CACHE`
+    /// environment pin; `Some(on)` overrides it for this engine instance
+    /// (the audit harness A/B-compares cached and uncached runs in one
+    /// process). Cached and uncached runs are bit-identical by
+    /// construction — the memo stores the exact `f64` under an exact key.
+    pub score_cache: Option<bool>,
 }
 
 impl Default for EngineConfig {
@@ -62,6 +69,7 @@ impl Default for EngineConfig {
             epoch: None,
             seed: 0xEA51,
             disorder: None,
+            score_cache: None,
         }
     }
 }
@@ -243,9 +251,12 @@ impl ShedJoinEngine {
         } else {
             None
         };
-        let sketches = reqs
+        let mut sketches = reqs
             .sketches
             .then(|| TumblingSketches::new(&query, config.bank, epoch.expect("resolved above")));
+        if let (Some(on), Some(s)) = (config.score_cache, sketches.as_mut()) {
+            s.set_score_cache(on);
+        }
         let partner_freq = reqs
             .partner_freq
             .then(|| TumblingFreq::new(&query, epoch.expect("resolved above")));
@@ -277,8 +288,19 @@ impl ShedJoinEngine {
         self.policy.name()
     }
 
-    /// Accumulated counters.
-    pub fn metrics(&self) -> &EngineMetrics {
+    /// Accumulated counters. Sketch-side cache statistics (packed-sign and
+    /// productivity-score memos) are snapshotted here, at read time — not
+    /// on every arrival, which put two counter copies on the per-ingest
+    /// hot path for values nobody reads mid-run.
+    pub fn metrics(&mut self) -> &EngineMetrics {
+        if let Some(sketches) = self.sketches.as_ref() {
+            let signs = sketches.sign_cache_stats();
+            self.metrics.sign_cache_hits = signs.hits;
+            self.metrics.sign_cache_misses = signs.misses;
+            let scores = sketches.score_cache_stats();
+            self.metrics.score_cache_hits = scores.hits;
+            self.metrics.score_cache_misses = scores.misses;
+        }
         &self.metrics
     }
 
@@ -724,11 +746,6 @@ impl ShedJoinEngine {
         let (score, state) = self.score_window_with_state(&tuple, 0, now);
         self.metrics.score_ns += t0.elapsed().as_nanos() as u64;
         let (stored, shed) = self.insert_with_shedding(tuple, score, state);
-        if let Some(sketches) = self.sketches.as_ref() {
-            let stats = sketches.sign_cache_stats();
-            self.metrics.sign_cache_hits = stats.hits;
-            self.metrics.sign_cache_misses = stats.misses;
-        }
         IngestOutcome {
             produced,
             stored,
@@ -835,28 +852,50 @@ impl ShedJoinEngine {
             rng,
             ..
         } = self;
+        // Residents are rescored against the *current* epoch snapshot even
+        // in event-time mode: the paper's rollover rescoring asks "how
+        // productive will this tuple be from now on", not "which epoch did
+        // it arrive in" — and the trusting engine does exactly this, which
+        // the K = 0 bit-identity contract (DESIGN.md §13) pins. Event-time
+        // epoch targeting applies only where a tuple's own timestamp is the
+        // scoring instant: admission scoring and queue admission.
+        let grouped = policy.groupable_estimate();
         for store in stores.iter_mut() {
-            store.rebuild_priorities(|tuple, produced| {
-                // Residents are rescored against the *current* epoch
-                // snapshot even in event-time mode: the paper's rollover
-                // rescoring asks "how productive will this tuple be from
-                // now on", not "which epoch did it arrive in" — and the
-                // trusting engine does exactly this, which the K = 0
-                // bit-identity contract (DESIGN.md §13) pins. Event-time
-                // epoch targeting applies only where a tuple's own
-                // timestamp is the scoring instant: admission scoring and
-                // queue admission.
-                let mut ctx = PriorityCtx {
-                    query,
-                    sketches: sketches.as_mut(),
-                    partner_freq: partner_freq.as_ref(),
-                    now,
-                    rng,
-                    event_time: false,
-                };
-                let (score, state) = policy.window_priority_with_state(&mut ctx, tuple, produced);
-                (clamp_score(score), state)
-            });
+            if grouped {
+                // Walk residents grouped by distinct join key: one
+                // estimation-kernel run per key, fanned out to every slot
+                // holding that key through the cheap produced-count
+                // combiner (DESIGN.md §16).
+                store.rebuild_priorities_grouped(|tuple, produced, shared| {
+                    let mut ctx = PriorityCtx {
+                        query,
+                        sketches: sketches.as_mut(),
+                        partner_freq: partner_freq.as_ref(),
+                        now,
+                        rng,
+                        event_time: false,
+                    };
+                    let estimate =
+                        shared.unwrap_or_else(|| policy.window_estimate(&mut ctx, tuple));
+                    let (score, state) =
+                        policy.window_priority_from_estimate(&mut ctx, tuple, produced, estimate);
+                    (clamp_score(score), state, estimate)
+                });
+            } else {
+                store.rebuild_priorities(|tuple, produced| {
+                    let mut ctx = PriorityCtx {
+                        query,
+                        sketches: sketches.as_mut(),
+                        partner_freq: partner_freq.as_ref(),
+                        now,
+                        rng,
+                        event_time: false,
+                    };
+                    let (score, state) =
+                        policy.window_priority_with_state(&mut ctx, tuple, produced);
+                    (clamp_score(score), state)
+                });
+            }
         }
     }
 
@@ -1024,6 +1063,7 @@ mod tests {
             epoch: None,
             seed: 3,
             disorder: None,
+            score_cache: None,
         }
     }
 
@@ -1091,6 +1131,60 @@ mod tests {
             assert!(
                 engine.metrics().shed_window > 0,
                 "{name}: tight memory must shed"
+            );
+        }
+    }
+
+    #[test]
+    fn score_cache_on_and_off_runs_are_bit_identical() {
+        // The epoch memo stores the exact f64 under an exact key, so a
+        // cached run must replay the uncached run bit for bit: same
+        // emissions in the same order, same shed decisions, same counters
+        // — up to the cache statistics themselves (a score-cache hit skips
+        // the packed-sign path, so sign-cache traffic legitimately
+        // differs) and wall-clock ns.
+        use crate::ingest::VecSink;
+        use rand::Rng;
+        let policies: &[fn() -> Box<dyn ShedPolicy>] = &[
+            || Box::new(MSketch),
+            || Box::new(MSketchRs),
+            || Box::new(mstream_shed_policies::Age),
+        ];
+        for mk in policies {
+            let run = |cached: bool| {
+                let config = EngineConfig {
+                    score_cache: Some(cached),
+                    ..cfg(16)
+                };
+                let mut engine = ShedJoinEngine::new(chain3(40), mk(), config).unwrap();
+                let mut sink = VecSink::default();
+                let mut rng = StdRng::seed_from_u64(9);
+                for i in 0..600u64 {
+                    let now = VTime::from_secs(i / 3);
+                    let s = StreamId(rng.gen_range(0..3));
+                    let vals = v(rng.gen_range(0..4), rng.gen_range(0..4));
+                    engine.ingest(Arrival::new(s, vals, now), &mut sink);
+                }
+                let mut metrics = engine.metrics().clone();
+                let cache = (metrics.score_cache_hits, metrics.score_cache_misses);
+                metrics.sketch_observe_ns = 0;
+                metrics.priority_rebuild_ns = 0;
+                metrics.score_ns = 0;
+                metrics.sign_cache_hits = 0;
+                metrics.sign_cache_misses = 0;
+                metrics.score_cache_hits = 0;
+                metrics.score_cache_misses = 0;
+                (sink.rows, metrics, cache)
+            };
+            let name = mk().name();
+            let (rows_on, metrics_on, cache_on) = run(true);
+            let (rows_off, metrics_off, cache_off) = run(false);
+            assert_eq!(rows_on, rows_off, "{name}: emissions diverged");
+            assert_eq!(metrics_on, metrics_off, "{name}: metrics diverged");
+            assert_eq!(cache_off, (0, 0), "{name}: disabled cache counts nothing");
+            assert!(
+                cache_on.0 + cache_on.1 > 0,
+                "{name}: a groupable sketch policy must exercise the cache"
             );
         }
     }

@@ -212,8 +212,34 @@ pub struct MultiQueryEngine {
     tries: Vec<Vec<TrieNode>>,
     next_seq: SeqNo,
     metrics: EngineMetrics,
+    /// Cache counters of classes dismantled by
+    /// [`MultiQueryEngine::remove_query`], folded in at teardown so the
+    /// engine-level cache statistics stay monotone as classes (and the
+    /// sketch banks carrying the live counters) come and go.
+    retired_cache: RetiredCacheStats,
     /// Recycled buffer behind [`MultiQueryEngine::ingest_batch`].
     batch_scratch: Vec<(Tuple, VTime)>,
+}
+
+/// Sketch-side cache counters surviving their class (see
+/// [`MultiQueryEngine::remove_query`]).
+#[derive(Clone, Copy, Debug, Default)]
+struct RetiredCacheStats {
+    sign_hits: u64,
+    sign_misses: u64,
+    score_hits: u64,
+    score_misses: u64,
+}
+
+impl RetiredCacheStats {
+    fn absorb(&mut self, sketches: &TumblingSketches) {
+        let signs = sketches.sign_cache_stats();
+        self.sign_hits += signs.hits;
+        self.sign_misses += signs.misses;
+        let scores = sketches.score_cache_stats();
+        self.score_hits += scores.hits;
+        self.score_misses += scores.misses;
+    }
 }
 
 /// Maps `query`'s local streams into `catalog` by stream *name*, appending
@@ -277,6 +303,7 @@ impl MultiQueryEngine {
             tries: Vec::new(),
             next_seq: SeqNo(0),
             metrics: EngineMetrics::default(),
+            retired_cache: RetiredCacheStats::default(),
             batch_scratch: Vec::new(),
         };
         engine.per_window_capacity()?;
@@ -436,8 +463,22 @@ impl MultiQueryEngine {
         self.classes[state.class].as_ref().map(|c| &c.query)
     }
 
-    /// Accumulated engine-level counters.
-    pub fn metrics(&self) -> &EngineMetrics {
+    /// Accumulated engine-level counters. Sketch-side cache statistics
+    /// are snapshotted here, at read time: the sum over every live class's
+    /// sketch bank plus the folded baseline of classes already dismantled
+    /// by [`MultiQueryEngine::remove_query`] — so the counters stay
+    /// monotone across query churn.
+    pub fn metrics(&mut self) -> &EngineMetrics {
+        let mut total = self.retired_cache;
+        for class in self.classes.iter().flatten() {
+            if let Some(sk) = class.sketches.as_ref() {
+                total.absorb(sk);
+            }
+        }
+        self.metrics.sign_cache_hits = total.sign_hits;
+        self.metrics.sign_cache_misses = total.sign_misses;
+        self.metrics.score_cache_hits = total.score_hits;
+        self.metrics.score_cache_misses = total.score_misses;
         &self.metrics
     }
 
@@ -582,7 +623,13 @@ impl MultiQueryEngine {
         let class = self.classes[cid].as_mut().expect("member's class is live");
         class.members.retain(|&q| q != id);
         if class.members.is_empty() {
-            let store_of = std::mem::take(&mut self.classes[cid]).expect("checked").store_of;
+            let retired = std::mem::take(&mut self.classes[cid]).expect("checked");
+            if let Some(sk) = retired.sketches.as_ref() {
+                // The class's sketch bank dies here; bank its cache
+                // counters so engine-level stats stay monotone.
+                self.retired_cache.absorb(sk);
+            }
+            let store_of = retired.store_of;
             for si in store_of {
                 let entry = self.stores[si].as_mut().expect("class store is live");
                 entry.users.retain(|&c| c != cid);
@@ -745,23 +792,47 @@ impl MultiQueryEngine {
                 store_of,
                 ..
             } = class;
+            let grouped = policy.groupable_estimate();
             for &si in store_of.iter() {
                 let entry = stores[si].as_mut().expect("class store is live");
                 if entry.users.first() != Some(&cid) {
                     continue;
                 }
-                entry.store.rebuild_priorities(|t, produced| {
-                    let mut ctx = PriorityCtx {
-                        query,
-                        sketches: sketches.as_mut(),
-                        partner_freq: partner_freq.as_ref(),
-                        now,
-                        rng,
-                        event_time: false,
-                    };
-                    let (score, state) = policy.window_priority_with_state(&mut ctx, t, produced);
-                    (clamp_score(score), state)
-                });
+                if grouped {
+                    // One estimation-kernel run per distinct join key,
+                    // fanned out to every slot holding that key
+                    // (DESIGN.md §16) — same grouped walk as the solo
+                    // engine's rollover.
+                    entry.store.rebuild_priorities_grouped(|t, produced, shared| {
+                        let mut ctx = PriorityCtx {
+                            query,
+                            sketches: sketches.as_mut(),
+                            partner_freq: partner_freq.as_ref(),
+                            now,
+                            rng,
+                            event_time: false,
+                        };
+                        let estimate =
+                            shared.unwrap_or_else(|| policy.window_estimate(&mut ctx, t));
+                        let (score, state) =
+                            policy.window_priority_from_estimate(&mut ctx, t, produced, estimate);
+                        (clamp_score(score), state, estimate)
+                    });
+                } else {
+                    entry.store.rebuild_priorities(|t, produced| {
+                        let mut ctx = PriorityCtx {
+                            query,
+                            sketches: sketches.as_mut(),
+                            partner_freq: partner_freq.as_ref(),
+                            now,
+                            rng,
+                            event_time: false,
+                        };
+                        let (score, state) =
+                            policy.window_priority_with_state(&mut ctx, t, produced);
+                        (clamp_score(score), state)
+                    });
+                }
             }
         }
         // 2. Expire every live store. Expirations always proceed
@@ -987,9 +1058,12 @@ fn make_class(
     } else {
         None
     };
-    let sketches = reqs.sketches.then(|| {
+    let mut sketches = reqs.sketches.then(|| {
         TumblingSketches::new(&query, config.bank, epoch.expect("resolved above"))
     });
+    if let (Some(on), Some(s)) = (config.score_cache, sketches.as_mut()) {
+        s.set_score_cache(on);
+    }
     let partner_freq = reqs
         .partner_freq
         .then(|| TumblingFreq::new(&query, epoch.expect("resolved above")));
@@ -1296,6 +1370,42 @@ mod tests {
         assert_eq!(sink.rows[1].len(), before, "removed query emits nothing");
         assert!(sink.rows[0].len() > 0);
         assert!(e.query_stats(QueryId(1)).is_none());
+    }
+
+    #[test]
+    fn remove_query_keeps_cache_counters_monotone() {
+        // Engine-level cache statistics live in the per-class sketch
+        // banks; dismantling a class must fold its counts into the retired
+        // baseline, never lose them.
+        let mut b = EngineBuilder::new_multi()
+            .policy(mstream_shed_policies::MSketch)
+            .capacity_per_window(16);
+        b.register(pair_query("L", "R", 30)).unwrap();
+        b.register(pair_query("A", "B", 30)).unwrap();
+        let mut e = b.build_multi().unwrap();
+        let t = trace(&["L", "R", "A", "B"], 200);
+        let mut sink = QueryRowsSink::default();
+        feed(&mut e, &t, &mut sink);
+        let before = e.metrics().clone();
+        let activity = before.score_cache_hits + before.score_cache_misses;
+        assert!(activity > 0, "sketch scoring must exercise the cache");
+        assert!(e.remove_query(QueryId(1)));
+        let after = e.metrics().clone();
+        assert!(
+            after.score_cache_hits >= before.score_cache_hits
+                && after.score_cache_misses >= before.score_cache_misses
+                && after.sign_cache_hits >= before.sign_cache_hits
+                && after.sign_cache_misses >= before.sign_cache_misses,
+            "cache counters went backwards across remove_query:\n{before:?}\n{after:?}"
+        );
+        // The survivor keeps counting on top of the retired baseline.
+        feed(&mut e, &t, &mut sink);
+        let later = e.metrics().clone();
+        assert!(
+            later.score_cache_hits + later.score_cache_misses
+                >= after.score_cache_hits + after.score_cache_misses,
+            "counters stay monotone after churn"
+        );
     }
 
     #[test]

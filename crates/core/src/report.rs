@@ -47,6 +47,15 @@ pub struct EngineMetrics {
     /// Packed-sign cache misses inside the sketch bank.
     #[serde(default)]
     pub sign_cache_misses: u64,
+    /// Productivity score-cache hits: cacheable estimate lookups served
+    /// from the epoch memo (DESIGN.md §16); 0 when sketch-free or with
+    /// `MSTREAM_SCORE_CACHE=off`.
+    #[serde(default)]
+    pub score_cache_hits: u64,
+    /// Productivity score-cache misses: cacheable estimate lookups that
+    /// ran the estimation kernel.
+    #[serde(default)]
+    pub score_cache_misses: u64,
 }
 
 impl EngineMetrics {
@@ -66,6 +75,8 @@ impl EngineMetrics {
         self.score_ns += other.score_ns;
         self.sign_cache_hits += other.sign_cache_hits;
         self.sign_cache_misses += other.sign_cache_misses;
+        self.score_cache_hits += other.score_cache_hits;
+        self.score_cache_misses += other.score_cache_misses;
     }
 }
 
@@ -147,6 +158,8 @@ mod tests {
             score_ns: 9,
             sign_cache_hits: 10,
             sign_cache_misses: 11,
+            score_cache_hits: 14,
+            score_cache_misses: 15,
         };
         let mut m = a.clone();
         m.merge(&a);

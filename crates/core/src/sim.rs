@@ -302,6 +302,7 @@ mod tests {
                 epoch: None,
                 seed: 2,
                 disorder: None,
+                score_cache: None,
             },
         )
         .unwrap()

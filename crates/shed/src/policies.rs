@@ -72,6 +72,53 @@ pub trait ShedPolicy: Send {
         unreachable!("policy did not declare Requirements::produced_counters")
     }
 
+    /// Whether this policy's window priority factors into a **shareable
+    /// estimate** ([`ShedPolicy::window_estimate`]) recombined per tuple by
+    /// [`ShedPolicy::window_priority_from_estimate`]. Declaring `true` is a
+    /// contract with two clauses the engine exploits at epoch rollovers
+    /// (DESIGN.md §16):
+    ///
+    /// 1. `window_priority_from_estimate(ctx, t, p, window_estimate(ctx, t))`
+    ///    returns bit-identically what `window_priority_with_state(ctx, t, p)`
+    ///    would, and
+    /// 2. `window_estimate` depends on the tuple only through the values of
+    ///    its stream's indexed join attributes — tuples agreeing on those
+    ///    values share one estimate, so the rollover rebuild computes it
+    ///    once per distinct key and fans it out to every resident slot.
+    ///
+    /// Defaults to `false`: undeclared (e.g. third-party) policies are
+    /// rescored per slot exactly as before — they still inherit the
+    /// estimate memo underneath [`PriorityCtx::productivity`], just not
+    /// the grouped walk.
+    fn groupable_estimate(&self) -> bool {
+        false
+    }
+
+    /// The shareable component of the window priority (see
+    /// [`ShedPolicy::groupable_estimate`]). Defaults to the clamped
+    /// sketch-estimated productivity — the partner-side quantity every
+    /// built-in sketch policy prices tuples with.
+    fn window_estimate(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple) -> f64 {
+        ctx.productivity(tuple)
+    }
+
+    /// Recombines a previously computed `estimate` with the tuple's
+    /// per-slot inputs (produced count, lifetime, …) into
+    /// `(priority, policy state)`. The default delegates to the full
+    /// scoring path — correct for any policy, just without the saving —
+    /// so only policies that declare [`ShedPolicy::groupable_estimate`]
+    /// need to override it.
+    fn window_priority_from_estimate(
+        &mut self,
+        ctx: &mut PriorityCtx<'_>,
+        tuple: &Tuple,
+        produced: u64,
+        estimate: f64,
+    ) -> (f64, f64) {
+        let _ = estimate;
+        self.window_priority_with_state(ctx, tuple, produced)
+    }
+
     /// Priority of `tuple` as a *queue* resident. Defaults to the window
     /// priority with `produced = 0` (a queued tuple has produced nothing).
     fn queue_priority(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple) -> f64 {
@@ -116,6 +163,21 @@ impl ShedPolicy for MSketch {
     fn window_priority(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple, _produced: u64) -> f64 {
         ctx.productivity(tuple)
     }
+
+    fn groupable_estimate(&self) -> bool {
+        true
+    }
+
+    fn window_priority_from_estimate(
+        &mut self,
+        _ctx: &mut PriorityCtx<'_>,
+        _tuple: &Tuple,
+        _produced: u64,
+        estimate: f64,
+    ) -> (f64, f64) {
+        // The priority IS the shared estimate.
+        (estimate, 0.0)
+    }
 }
 
 /// `MSketch-RS` (paper §3.2, Random Sampling): evict the tuple that has
@@ -155,7 +217,26 @@ impl ShedPolicy for MSketchRs {
         tuple: &Tuple,
         produced: u64,
     ) -> (f64, f64) {
-        let expected = (ctx.n_streams() as f64 - 1.0) * ctx.productivity(tuple);
+        let estimate = ctx.productivity(tuple);
+        self.window_priority_from_estimate(ctx, tuple, produced, estimate)
+    }
+
+    fn groupable_estimate(&self) -> bool {
+        true
+    }
+
+    /// Recombine: scale the shared estimate to the expected output
+    /// `(n−1)·prod(t)`, then apply the per-tuple produced count. This is
+    /// the cacheable-estimate / cheap-combiner split — a credit refresh or
+    /// a grouped rebuild reprices the tuple without re-estimating.
+    fn window_priority_from_estimate(
+        &mut self,
+        ctx: &mut PriorityCtx<'_>,
+        _tuple: &Tuple,
+        produced: u64,
+        estimate: f64,
+    ) -> (f64, f64) {
+        let expected = (ctx.n_streams() as f64 - 1.0) * estimate;
         (self.refresh_priority(expected, produced), expected)
     }
 
@@ -219,6 +300,22 @@ impl ShedPolicy for Age {
     fn window_priority(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple, _produced: u64) -> f64 {
         let life = ctx.remaining_lifetime_secs(tuple);
         life * ctx.productivity(tuple)
+    }
+
+    fn groupable_estimate(&self) -> bool {
+        true
+    }
+
+    /// Recombine: the per-tuple remaining lifetime scales the shared
+    /// productivity estimate (same factor order as the full path).
+    fn window_priority_from_estimate(
+        &mut self,
+        ctx: &mut PriorityCtx<'_>,
+        tuple: &Tuple,
+        _produced: u64,
+        estimate: f64,
+    ) -> (f64, f64) {
+        (ctx.remaining_lifetime_secs(tuple) * estimate, 0.0)
     }
 }
 
@@ -363,6 +460,27 @@ impl ShedPolicy for MSketchCurrentEpoch {
 
     fn window_priority(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple, _produced: u64) -> f64 {
         ctx.current_productivity(tuple)
+    }
+
+    fn groupable_estimate(&self) -> bool {
+        // The live bank does not change *during* a rebuild pass, so equal
+        // join-key values still share one current-epoch estimate there —
+        // the estimate is simply never memoized across arrivals.
+        true
+    }
+
+    fn window_estimate(&mut self, ctx: &mut PriorityCtx<'_>, tuple: &Tuple) -> f64 {
+        ctx.current_productivity(tuple)
+    }
+
+    fn window_priority_from_estimate(
+        &mut self,
+        _ctx: &mut PriorityCtx<'_>,
+        _tuple: &Tuple,
+        _produced: u64,
+        estimate: f64,
+    ) -> (f64, f64) {
+        (estimate, 0.0)
     }
 }
 
@@ -748,6 +866,65 @@ mod tests {
         }
         assert!(parse_policy("nope").is_none());
         assert_eq!(parse_policy("rs").unwrap().name(), "MSketch-RS");
+    }
+
+    #[test]
+    fn estimate_split_recombines_bit_identically() {
+        // The groupable-estimate contract (clause 1): for every policy
+        // declaring the split, recombining window_estimate through
+        // window_priority_from_estimate must reproduce the full scoring
+        // path bit for bit — this is what lets the rollover rebuild share
+        // one estimate across every slot of a join key.
+        let q = chain3();
+        let policies: Vec<Box<dyn ShedPolicy>> = vec![
+            Box::new(MSketch),
+            Box::new(MSketchRs),
+            Box::new(Age),
+            Box::new(MSketchCurrentEpoch),
+        ];
+        for mut p in policies {
+            assert!(p.groupable_estimate(), "{} declares the split", p.name());
+            for produced in [0u64, 200, 800] {
+                for (a, b) in [(9, 0), (1, 0), (3, 3)] {
+                    let t = tup(0, 0, 0, a, b);
+                    let mut sk = hot_sketches(&q);
+                    let mut rng = StdRng::seed_from_u64(0);
+                    let full = p.window_priority_with_state(
+                        &mut ctx(&q, Some(&mut sk), None, 80, &mut rng),
+                        &t,
+                        produced,
+                    );
+                    let mut sk2 = hot_sketches(&q);
+                    let mut rng2 = StdRng::seed_from_u64(0);
+                    let est =
+                        p.window_estimate(&mut ctx(&q, Some(&mut sk2), None, 80, &mut rng2), &t);
+                    let split = p.window_priority_from_estimate(
+                        &mut ctx(&q, Some(&mut sk2), None, 80, &mut rng2),
+                        &t,
+                        produced,
+                        est,
+                    );
+                    assert_eq!(
+                        full.0.to_bits(),
+                        split.0.to_bits(),
+                        "{} score, produced={produced} value=({a},{b})",
+                        p.name()
+                    );
+                    assert_eq!(
+                        full.1.to_bits(),
+                        split.1.to_bits(),
+                        "{} state, produced={produced} value=({a},{b})",
+                        p.name()
+                    );
+                }
+            }
+        }
+        // The non-sketch built-ins keep the per-slot path.
+        for p in [parse_policy("life").unwrap(), parse_policy("bjoin").unwrap()] {
+            assert!(!p.groupable_estimate(), "{} stays per-slot", p.name());
+        }
+        assert!(!RandomLoad.groupable_estimate());
+        assert!(!Fifo.groupable_estimate());
     }
 
     #[test]

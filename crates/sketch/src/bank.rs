@@ -123,6 +123,14 @@ impl SketchBank {
         self.n_streams
     }
 
+    /// The `(predicate index, attribute index)` pairs incident to `stream`
+    /// — the attribute positions whose values determine the tuple's sign
+    /// product (and therefore its productivity estimate, once the partner
+    /// snapshots are frozen).
+    pub fn incidence(&self, stream: StreamId) -> &[(usize, usize)] {
+        &self.incidence[stream.index()]
+    }
+
     /// Folds a tuple of `stream` (given its full value row) into every copy.
     ///
     /// Cost: one packed-sign lookup per incident predicate (a polynomial

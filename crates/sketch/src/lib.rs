@@ -62,6 +62,7 @@ pub mod bank;
 pub mod freq;
 pub mod hash;
 pub mod kernel;
+pub mod score_cache;
 pub mod signs;
 pub mod tumbling;
 
@@ -70,5 +71,6 @@ pub use bank::{median_of_means_into, median_of_means_slice, BankConfig, SketchBa
 pub use freq::{FreqTable, PartnerFrequency, SpaceSaving, TumblingFreq};
 pub use hash::FourWiseHash;
 pub use kernel::{kernel_mode, KernelMode, LANES};
+pub use score_cache::{score_cache_env_default, ScoreCache, ScoreCacheStats, ScoreKey};
 pub use signs::{SignCache, SignCacheStats, SignFamilies};
 pub use tumbling::{EpochSpec, TumblingSketches};

@@ -23,6 +23,7 @@
 
 use crate::bank::{median_of_means_into, BankConfig, SketchBank};
 use crate::kernel;
+use crate::score_cache::{ScoreCache, ScoreCacheStats, ScoreKey, MAX_CACHED_ATTRS};
 use crate::signs::SignCacheStats;
 use mstream_types::{JoinQuery, StreamId, VDur, VTime, Value};
 use serde::{Deserialize, Serialize};
@@ -72,6 +73,14 @@ pub struct TumblingSketches {
     cross: Vec<f64>,
     /// Whether `cross` row `i` reflects the current `last` snapshot.
     cross_valid: Vec<bool>,
+    /// Epoch-scoped memo of exact productivity estimates (DESIGN.md §16).
+    /// Only fully-frozen lookups are memoized, so a hit returns the same
+    /// bits a recomputation would.
+    score_cache: ScoreCache,
+    /// Monotone roll counter: bumped by every roll of any stream, in
+    /// either epoch discipline. Score-cache keys carry it so no entry can
+    /// outlive the snapshot it was computed from.
+    generation: u64,
 }
 
 impl TumblingSketches {
@@ -104,6 +113,8 @@ impl TumblingSketches {
             words: Vec::new(),
             cross: vec![0.0; n_streams * copies],
             cross_valid: vec![false; n_streams],
+            score_cache: ScoreCache::default(),
+            generation: 0,
         }
     }
 
@@ -161,6 +172,8 @@ impl TumblingSketches {
         self.bank.reset();
         self.has_last.fill(true);
         self.cross_valid.fill(false);
+        self.generation += 1;
+        self.score_cache.clear();
     }
 
     /// Rolls a single stream (tuple-based epochs).
@@ -179,6 +192,8 @@ impl TumblingSketches {
                 *valid = false;
             }
         }
+        self.generation += 1;
+        self.score_cache.clear();
     }
 
     /// Rebuilds the frozen cross-product row excluding stream `i` from the
@@ -201,14 +216,41 @@ impl TumblingSketches {
     ///
     /// Steady state (every other stream past its first epoch) runs the
     /// frozen-cross-product fast path: a memoized packed-sign lookup and a
-    /// signed copy of a precomputed `f64` row.
+    /// signed copy of a precomputed `f64` row — or, on repeated key values
+    /// within one epoch, a score-cache hit that skips the kernel entirely
+    /// and returns the exact bits of the first computation.
     pub fn productivity(&mut self, stream: StreamId, values: &[Value]) -> f64 {
+        let i = stream.index();
+        let n = self.has_last.len();
+        // Only the fully-frozen path is memoizable: the mixed paths fold
+        // live bank rows that change on every arrival.
+        let frozen = (0..n).all(|k| k == i || self.has_last[k]);
+        let key = if frozen {
+            self.cache_key(stream, values, self.generation)
+        } else {
+            None
+        };
+        if let Some(key) = &key {
+            if let Some(v) = self.score_cache.get(key) {
+                return v;
+            }
+        }
+        let v = self.productivity_uncached(stream, values, frozen);
+        if let Some(key) = key {
+            self.score_cache.insert(key, v);
+        }
+        v
+    }
+
+    /// The kernel path behind [`TumblingSketches::productivity`]:
+    /// `frozen` is the precomputed "every other stream past its first
+    /// epoch" flag (passed in so the memoized wrapper derives it once).
+    fn productivity_uncached(&mut self, stream: StreamId, values: &[Value], frozen: bool) -> f64 {
         let i = stream.index();
         let n = self.has_last.len();
         let copies = self.bank.config().copies();
         self.bank.packed_signs_into(stream, values, &mut self.words);
         self.scratch.resize(copies, 0.0);
-        let frozen = (0..n).all(|k| k == i || self.has_last[k]);
         if frozen {
             self.ensure_cross_row(i);
             let row = &self.cross[i * copies..(i + 1) * copies];
@@ -301,8 +343,25 @@ impl TumblingSketches {
         // Cold path (late tuples only): fold the per-stream rows of the
         // previous-epoch snapshot, falling back per stream to the newest
         // state we have for streams that had not completed two epochs.
+        //
+        // Cacheable only when every partner row is frozen (prev or last
+        // snapshot — never the live bank), keyed at `generation − 1`: the
+        // prev bank this path reads is the snapshot that was `last` one
+        // roll ago, so late lookups can never alias same-epoch lookups of
+        // the same key values.
         let i = stream.index();
         let n = self.has_last.len();
+        let frozen = (0..n).all(|k| k == i || self.has_prev[k] || self.has_last[k]);
+        let key = if frozen {
+            self.cache_key(stream, values, self.generation.wrapping_sub(1))
+        } else {
+            None
+        };
+        if let Some(key) = &key {
+            if let Some(v) = self.score_cache.get(key) {
+                return v;
+            }
+        }
         let copies = self.bank.config().copies();
         self.bank.packed_signs_into(stream, values, &mut self.words);
         self.scratch.resize(copies, 0.0);
@@ -322,11 +381,41 @@ impl TumblingSketches {
         }
         kernel::apply_packed_signs(&self.words, &mut self.scratch);
         let cfg = self.bank.config();
-        median_of_means_into(cfg.s1, cfg.s2, &self.scratch, &mut self.groups)
+        let v = median_of_means_into(cfg.s1, cfg.s2, &self.scratch, &mut self.groups);
+        if let Some(key) = key {
+            self.score_cache.insert(key, v);
+        }
+        v
+    }
+
+    /// The score-cache key of a frozen lookup: the raw values of the
+    /// stream's incident join attributes (the only tuple inputs the sign
+    /// product — and hence the estimate — depends on), in incidence order.
+    /// `None` when memoization is off or the stream has more incident
+    /// attributes than the inline key holds.
+    fn cache_key(&self, stream: StreamId, values: &[Value], generation: u64) -> Option<ScoreKey> {
+        if !self.score_cache.enabled() {
+            return None;
+        }
+        let incidence = self.bank.incidence(stream);
+        if incidence.len() > MAX_CACHED_ATTRS {
+            return None;
+        }
+        let mut vals = [0u64; MAX_CACHED_ATTRS];
+        for (slot, &(_, attr)) in vals.iter_mut().zip(incidence) {
+            *slot = values[attr].raw();
+        }
+        Some(ScoreKey {
+            generation,
+            stream: stream.index() as u32,
+            values: vals,
+            n_values: incidence.len() as u8,
+        })
     }
 
     /// Productivity computed against the *current* epoch's sketches
     /// (the expensive variant; exposed for the recompute-policy ablation).
+    /// Never memoized — the live bank changes on every arrival.
     pub fn current_productivity(&self, stream: StreamId, values: &[Value]) -> f64 {
         self.bank.productivity(stream, values)
     }
@@ -349,6 +438,30 @@ impl TumblingSketches {
     /// Hit/miss/occupancy counters of the bank's packed-sign memo.
     pub fn sign_cache_stats(&self) -> SignCacheStats {
         self.bank.sign_cache_stats()
+    }
+
+    /// Hit/miss/occupancy counters of the epoch-scoped productivity memo.
+    pub fn score_cache_stats(&self) -> ScoreCacheStats {
+        self.score_cache.stats()
+    }
+
+    /// Whether productivity memoization is active.
+    pub fn score_cache_enabled(&self) -> bool {
+        self.score_cache.enabled()
+    }
+
+    /// Overrides the process-wide `MSTREAM_SCORE_CACHE` default for this
+    /// instance (the audit harness A/B-compares cached and uncached runs
+    /// inside one process). Disabling drops every resident estimate.
+    pub fn set_score_cache(&mut self, enabled: bool) {
+        self.score_cache.set_enabled(enabled);
+    }
+
+    /// Rebinds the memo's capacity bound (tests exercise the wholesale
+    /// drop with tiny bounds); drops resident entries.
+    pub fn set_score_cache_bound(&mut self, max_entries: usize) {
+        let enabled = self.score_cache.enabled();
+        self.score_cache = ScoreCache::with_capacity_bound(max_entries, enabled);
     }
 
     /// Structural audit of the tumbling state:
@@ -394,6 +507,7 @@ impl TumblingSketches {
                 }
             }
         }
+        self.score_cache.check_invariants(self.generation);
         let mut fresh = vec![0.0f64; copies];
         for i in 0..n {
             if !self.cross_valid[i] {
@@ -415,6 +529,7 @@ impl TumblingSketches {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::score_cache::score_cache_env_default;
     use mstream_types::{Catalog, StreamSchema, WindowSpec};
 
     fn chain_query() -> JoinQuery {
@@ -630,6 +745,146 @@ mod tests {
         let stats = ts.sign_cache_stats();
         assert!(stats.misses >= 1);
         assert!(stats.hits >= 1, "repeated value must hit the memo");
+    }
+
+    /// Builds tumbling sketches past their first roll (frozen fast path
+    /// live on every stream) with a hot value on R2/R3.
+    fn frozen_sketches(s1: usize, seed: u64) -> TumblingSketches {
+        let q = chain_query();
+        let mut ts = TumblingSketches::new(&q, cfg(s1, seed), EpochSpec::Time(VDur::from_secs(10)));
+        for _ in 0..20 {
+            ts.observe(StreamId(1), &v(7, 3), VTime::from_secs(1));
+        }
+        for _ in 0..10 {
+            ts.observe(StreamId(2), &v(3, 0), VTime::from_secs(2));
+        }
+        ts.observe(StreamId(1), &v(0, 0), VTime::from_secs(11));
+        assert!((0..3).all(|k| ts.has_last_epoch(StreamId(k))));
+        ts
+    }
+
+    #[test]
+    fn score_cache_hits_are_bit_identical_to_uncached() {
+        let mut cached = frozen_sketches(64, 2);
+        let mut plain = frozen_sketches(64, 2);
+        plain.set_score_cache(false);
+        assert!(cached.score_cache_enabled() || !score_cache_env_default());
+        for a in 0..40u64 {
+            let val = v(a % 5, a % 3);
+            let s = StreamId((a % 3) as usize);
+            let want = plain.productivity(s, &val);
+            let got = cached.productivity(s, &val);
+            assert_eq!(got.to_bits(), want.to_bits(), "stream {s:?} value {a}");
+        }
+        if score_cache_env_default() {
+            let stats = cached.score_cache_stats();
+            assert!(stats.hits >= 1, "repeated keys must hit: {stats:?}");
+            assert!(stats.misses >= 1);
+            let off = plain.score_cache_stats();
+            assert_eq!((off.hits, off.entries), (0, 0), "disabled memo is inert");
+        }
+    }
+
+    #[test]
+    fn score_cache_flushes_at_rollover() {
+        let mut ts = frozen_sketches(32, 5);
+        ts.set_score_cache(true);
+        let before = ts.productivity(StreamId(0), &v(7, 0));
+        let _ = ts.productivity(StreamId(0), &v(7, 0));
+        assert!(ts.score_cache_stats().entries >= 1);
+        // Roll: the snapshot the entries were computed from is gone.
+        assert!(ts.observe(StreamId(1), &v(7, 3), VTime::from_secs(25)));
+        assert_eq!(ts.score_cache_stats().entries, 0, "rollover flushes wholesale");
+        ts.check_invariants();
+        let after = ts.productivity(StreamId(0), &v(7, 0));
+        assert_ne!(
+            before.to_bits(),
+            after.to_bits(),
+            "post-roll estimate reflects the new snapshot, not a stale entry"
+        );
+    }
+
+    #[test]
+    fn score_cache_bound_evicts_wholesale_and_stays_exact() {
+        let mut ts = frozen_sketches(32, 6);
+        ts.set_score_cache(true);
+        ts.set_score_cache_bound(4);
+        let mut firsts = Vec::new();
+        for a in 0..12u64 {
+            firsts.push(ts.productivity(StreamId(0), &v(a, 0)));
+        }
+        assert!(ts.score_cache_stats().entries <= 4, "bound respected");
+        ts.check_invariants();
+        // Re-query every value: some hit, some were dropped by the bound —
+        // either way the bits match the first computation.
+        for (a, want) in firsts.iter().enumerate() {
+            let again = ts.productivity(StreamId(0), &v(a as u64, 0));
+            assert_eq!(again.to_bits(), want.to_bits(), "value {a}");
+        }
+    }
+
+    #[test]
+    fn score_cache_keys_late_lookups_at_the_prev_generation() {
+        // Same shape as productivity_at_consults_the_previous_epoch...:
+        // `last` is empty of 7s, `prev` is partner-rich. The late and
+        // current lookups of the SAME key values must not alias.
+        let q = chain_query();
+        let mut ts = TumblingSketches::new(&q, cfg(300, 2), EpochSpec::Time(VDur::from_secs(10)));
+        ts.set_score_cache(true);
+        for _ in 0..20 {
+            ts.observe(StreamId(1), &v(7, 3), VTime::from_secs(1));
+        }
+        for _ in 0..10 {
+            ts.observe(StreamId(2), &v(3, 0), VTime::from_secs(2));
+        }
+        ts.observe(StreamId(1), &v(0, 0), VTime::from_secs(11));
+        ts.observe(StreamId(1), &v(0, 0), VTime::from_secs(21));
+        for _ in 0..2 {
+            // Twice: second round exercises the memoized path of each.
+            let current = ts.productivity_at(StreamId(0), &v(7, 0), VTime::from_secs(22));
+            let late = ts.productivity_at(StreamId(0), &v(7, 0), VTime::from_secs(15));
+            assert!(current.abs() < 40.0, "current epoch saw no 7s: {current}");
+            assert!((late - 200.0).abs() / 200.0 < 0.5, "late={late}");
+            ts.check_invariants();
+        }
+        let stats = ts.score_cache_stats();
+        assert!(stats.hits >= 2, "second round must hit both entries: {stats:?}");
+        // And the memoized late answer is bit-identical to an uncached run.
+        let mut plain = ts.clone();
+        plain.set_score_cache(false);
+        assert_eq!(
+            ts.productivity_at(StreamId(0), &v(7, 0), VTime::from_secs(15)).to_bits(),
+            plain
+                .productivity_at(StreamId(0), &v(7, 0), VTime::from_secs(15))
+                .to_bits()
+        );
+    }
+
+    #[test]
+    fn score_cache_skips_unfrozen_streams() {
+        // Stream 2 never completes an epoch: productivity folds its live
+        // bank row, which changes with every arrival — nothing may be
+        // memoized, and repeated queries must track the live row.
+        let q = chain_query();
+        let mut ts = TumblingSketches::new(&q, cfg(200, 4), EpochSpec::PerStreamTuples(10));
+        ts.set_score_cache(true);
+        for i in 0..10 {
+            ts.observe(StreamId(1), &v(4, i % 2), VTime::ZERO);
+        }
+        for _ in 0..5 {
+            ts.observe(StreamId(2), &v(0, 9), VTime::ZERO);
+        }
+        assert!(!ts.has_last_epoch(StreamId(2)));
+        let before = ts.productivity(StreamId(0), &v(4, 0));
+        assert_eq!(ts.score_cache_stats().entries, 0, "mixed path never memoizes");
+        for _ in 0..4 {
+            ts.observe(StreamId(2), &v(0, 9), VTime::ZERO);
+        }
+        let after = ts.productivity(StreamId(0), &v(4, 0));
+        assert!(
+            (after - before).abs() > 1e-9,
+            "estimate must follow the live row: {before} vs {after}"
+        );
     }
 
     #[test]

@@ -339,6 +339,59 @@ impl WindowStore {
         }
     }
 
+    /// Key-grouped variant of [`WindowStore::rebuild_priorities`] for
+    /// policies whose score factors into a per-key estimate recombined per
+    /// tuple (DESIGN.md §16): residents are walked **grouped by distinct
+    /// join-key value** via the hash index, so the scoring callback can
+    /// compute the expensive estimate once per distinct key and fan it out
+    /// to every slot holding that key — O(distinct keys × kernel +
+    /// residents) instead of O(residents × kernel).
+    ///
+    /// The callback sees `(tuple, produced, shared)` where `shared` is
+    /// `None` for the first slot of each key group and `Some(estimate)` —
+    /// the third element of the previous return — for the rest; it returns
+    /// `(score, policy state, estimate)`.
+    ///
+    /// Stores indexing more than one join attribute fall back to the
+    /// per-slot walk with `shared = None` throughout (a bucket of one
+    /// index does not pin the other indexed values, so no estimate may be
+    /// shared). Either walk visits every resident exactly once, and the
+    /// heap orders strictly by `(score, seq)` — a total order, since
+    /// sequence numbers are unique — so the visit order is unobservable:
+    /// grouped and arena-order rebuilds yield identical eviction behavior.
+    pub fn rebuild_priorities_grouped(
+        &mut self,
+        mut score: impl FnMut(&Tuple, u64, Option<f64>) -> (f64, f64, f64),
+    ) {
+        if self.join_attrs.len() != 1 {
+            self.rebuild_priorities(|tuple, produced| {
+                let (sc, st, _) = score(tuple, produced, None);
+                (sc, st)
+            });
+            return;
+        }
+        self.heap.clear();
+        let Self {
+            arena,
+            indexes,
+            heap,
+            produced,
+            state,
+            ..
+        } = self;
+        for (_value, cands) in indexes[0].iter_keys() {
+            let mut shared: Option<f64> = None;
+            for slot in cands.iter() {
+                let entry = arena.get(slot).expect("indexed slot is live");
+                let i = slot.index();
+                let (sc, st, est) = score(&entry.tuple, produced[i], shared);
+                shared = Some(est);
+                state[i] = st;
+                heap.insert(slot, sc, entry.tuple.seq.0);
+            }
+        }
+    }
+
     /// Iterates over `(Slot, &Tuple)` for all resident tuples in slot order.
     pub fn iter(&self) -> impl Iterator<Item = (Slot, &Tuple)> {
         self.arena.iter().map(|(slot, e)| (slot, &e.tuple))
@@ -616,6 +669,58 @@ mod tests {
         let (victim, score) = w.evict_min().unwrap();
         assert_eq!(victim.seq, SeqNo(2));
         assert_eq!(score, 98.0);
+        w.check_consistency();
+    }
+
+    #[test]
+    fn grouped_rebuild_shares_one_estimate_per_key() {
+        let mut w = WindowStore::new(WindowSpec::secs(10), vec![0], 16);
+        // Keys on attr 0: value 7 held by three slots, value 8 by two,
+        // value 9 by one.
+        for (seq, a) in [(0, 7), (1, 7), (2, 8), (3, 9), (4, 7), (5, 8)] {
+            w.insert(tup(seq, 0, a, seq), 1.0);
+        }
+        let mut estimates = 0u32;
+        w.rebuild_priorities_grouped(|t, _produced, shared| {
+            let est = shared.unwrap_or_else(|| {
+                estimates += 1;
+                (t.values[0].0 * 10) as f64
+            });
+            // Score = shared estimate + per-slot recombine (seq here).
+            (est + t.seq.0 as f64, est, est)
+        });
+        assert_eq!(estimates, 3, "one estimate per distinct key, not per slot");
+        // Every slot carries the recombined score and the shared state.
+        for (slot, t) in w.iter().collect::<Vec<_>>() {
+            let want = (t.values[0].0 * 10) as f64;
+            assert_eq!(w.priority(slot), Some(want + t.seq.0 as f64));
+            assert_eq!(w.state(slot), Some(want));
+        }
+        w.check_consistency();
+        // Eviction order matches a per-slot rebuild with the same scores.
+        let (victim, score) = w.evict_min().unwrap();
+        assert_eq!(victim.seq, SeqNo(0), "lowest key, oldest slot");
+        assert_eq!(score, 70.0);
+    }
+
+    #[test]
+    fn grouped_rebuild_multi_attr_falls_back_per_slot() {
+        // Two indexed attributes: one bucket does not pin the other value,
+        // so the walk must degrade to per-slot with no sharing.
+        let mut w = WindowStore::new(WindowSpec::secs(10), vec![0, 1], 16);
+        w.insert(tup(0, 0, 7, 1), 1.0);
+        w.insert(tup(1, 0, 7, 2), 1.0);
+        let mut shared_seen = 0u32;
+        let mut calls = 0u32;
+        w.rebuild_priorities_grouped(|t, _p, shared| {
+            calls += 1;
+            if shared.is_some() {
+                shared_seen += 1;
+            }
+            (t.seq.0 as f64, 0.0, 0.0)
+        });
+        assert_eq!(calls, 2);
+        assert_eq!(shared_seen, 0, "no estimate sharing across multi-attr keys");
         w.check_consistency();
     }
 

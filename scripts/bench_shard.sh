@@ -12,6 +12,11 @@
 #     in {0,64,256} (0 = per-arrival reference; DESIGN.md §15
 #     batch-amortized probe path; output invariance across batch sizes
 #     is the headline)
+#   - score cache: the Zipf hot-key trace at theta in {1.5, 2.0}, S=4,
+#     with the epoch-memoized productivity score cache on (default) and
+#     pinned off via MSTREAM_SCORE_CACHE=off (DESIGN.md §16; the
+#     score_ns / priority_rebuild_ns reduction is the headline, output
+#     is identical by contract)
 #
 # Usage: scripts/bench_shard.sh [--scale S] [--zipf-only]
 #
@@ -30,7 +35,11 @@
 #     "shard_scaling_disorder": [ {"shards": 4, "disorder_k_ms": 0,
 #                                  "seconds": ..., "output": ...}, ... ],
 #     "shard_scaling_batch":    [ {"shards": 1, "batch": 0,
-#                                  "seconds": ..., "output": ...}, ... ]
+#                                  "seconds": ..., "output": ...}, ... ],
+#     "score_cache_zipf":       [ {"shards": 4, "zipf_theta": 1.5,
+#                                  "score_cache": "on"|"off",
+#                                  "score_ns": ..., "priority_rebuild_ns":
+#                                  ..., "output": ...}, ... ]
 #   }
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -65,6 +74,17 @@ echo "== shard_scaling zipf (theta 2.0) =="
 cargo run --release -p mstream-bench --bin shard_scaling -- \
   --zipf 2.0 --shards 1,2,4,8,16 --json target/shard_scaling_zipf.json
 
+echo "== score-cache A/B (zipf theta in {1.5, 2.0}, S=4) =="
+for THETA in 1.5 2.0; do
+  cargo run --release -p mstream-bench --bin shard_scaling -- \
+    --zipf "$THETA" --shards 4 --min-secs 0.3 \
+    --json "target/shard_scaling_sc_on_${THETA}.json"
+  MSTREAM_SCORE_CACHE=off \
+  cargo run --release -p mstream-bench --bin shard_scaling -- \
+    --zipf "$THETA" --shards 4 --min-secs 0.3 \
+    --json "target/shard_scaling_sc_off_${THETA}.json"
+done
+
 echo "== merging BENCH_shard.json =="
 ZIPF_ONLY="$ZIPF_ONLY" python3 - <<'EOF'
 import json
@@ -84,6 +104,19 @@ else:
 with open("target/shard_scaling_zipf.json") as f:
     doc["shard_scaling_zipf"] = json.load(f)
 
+# The score-cache A/B: four single-point sweeps (theta x on/off). The
+# section name deliberately does NOT start with "shard_scaling" so
+# bench_diff.sh never wall-time-gates these rows (on/off rows share a
+# shard count and measure an intentional cost difference).
+sc = []
+for theta in ("1.5", "2.0"):
+    for mode in ("on", "off"):
+        with open(f"target/shard_scaling_sc_{mode}_{theta}.json") as f:
+            for r in json.load(f):
+                r["score_cache"] = mode
+                sc.append(r)
+doc["score_cache_zipf"] = sc
+
 with open("BENCH_shard.json", "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
 uniform = len(doc.get("shard_scaling", []))
@@ -92,6 +125,22 @@ disorder = len(doc.get("shard_scaling_disorder", []))
 batch = len(doc.get("shard_scaling_batch", []))
 print(
     f"wrote BENCH_shard.json ({uniform} uniform + {zipf} zipf "
-    f"+ {disorder} disorder + {batch} batch rows)"
+    f"+ {disorder} disorder + {batch} batch + {len(sc)} score-cache rows)"
 )
+by = {(r["zipf_theta"], r["score_cache"]): r for r in sc}
+for theta in (1.5, 2.0):
+    on, off = by[(theta, "on")], by[(theta, "off")]
+    if on["output"] != off["output"]:
+        raise SystemExit(
+            f"FAIL: score cache changed zipf({theta}) output: "
+            f"{on['output']} vs {off['output']}"
+        )
+    s_on, s_off = on["score_ns"], off["score_ns"]
+    p_on, p_off = on["priority_rebuild_ns"], off["priority_rebuild_ns"]
+    t_on, t_off = s_on + p_on, s_off + p_off
+    print(
+        f"score-cache zipf({theta}): score_ns {s_off} -> {s_on} "
+        f"({s_on / s_off:.2f}x), score+rebuild {t_off} -> {t_on} "
+        f"({t_on / t_off:.2f}x), outputs identical"
+    )
 EOF

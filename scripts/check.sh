@@ -9,13 +9,16 @@ cargo test -q
 cargo clippy --workspace -- -D warnings
 # Differential audit smoke: every policy vs the exact oracle over 50
 # fuzzed cases, with per-arrival structural invariant checks (includes the
-# sharded-vs-oracle differential at the case's shard count).
+# sharded-vs-oracle differential at the case's shard count). Odd-seed
+# cases additionally run every engine twice — productivity score cache
+# forced on and off — and the runs must be bit-identical (DESIGN.md §16).
 cargo run --release -p mstream-audit -- sweep --cases 50 --seed 7
 # Event-time disorder smoke (DESIGN.md §13): for fuzzed cases across every
 # policy and both memory modes, a K=0 run is bit-identical to the trusting
 # engine, a shuffle bounded by K reproduces the in-order output exactly
 # (single-engine and sharded at S in {1, case shards}), and beyond-bound
-# lateness is dropped, counted, and never joined.
+# lateness is dropped, counted, and never joined. Odd-seed cases A/B the
+# score cache through the event-time path (prev-epoch memo keying).
 cargo run --release -p mstream-audit -- disorder --cases 25 --seed 7
 
 # Sharded-vs-single CLI differential smoke: the same key-partitionable
@@ -38,6 +41,51 @@ for S in 1 2 4; do
   [ "$TUPLES" = "$BASELINE" ] || { echo "FAIL: S=$S produced $TUPLES tuples, S=1 produced $BASELINE"; exit 1; }
   echo "shard smoke: S=$S -> $TUPLES output tuples (matches baseline)"
 done
+
+# Score-cache env-pin smoke (DESIGN.md §16): MSTREAM_SCORE_CACHE=off must
+# leave the run's semantics untouched (the memo is a pure evaluation
+# shortcut), and the default run must actually drive traffic through the
+# cache. The audits above A/B via the builder override; this covers the
+# process-wide env pin end to end.
+SC_ON=$(cargo run --release -p mstream-cli -- run \
+  --query "$KEYED_QUERY" --trace target/check_shard_trace.csv \
+  --capacity 64 --json --stage-json)
+SC_OFF=$(MSTREAM_SCORE_CACHE=off cargo run --release -p mstream-cli -- run \
+  --query "$KEYED_QUERY" --trace target/check_shard_trace.csv \
+  --capacity 64 --json --stage-json)
+SC_ON="$SC_ON" SC_OFF="$SC_OFF" python3 - <<'EOF'
+import json, os
+def parse(blob):
+    dec = json.JSONDecoder()
+    docs, i = [], 0
+    while i < len(blob):
+        doc, end = dec.raw_decode(blob, i)
+        docs.append(doc)
+        i = end
+        while i < len(blob) and blob[i].isspace():
+            i += 1
+    return docs
+on_report, on_stages = parse(os.environ["SC_ON"])
+off_report, off_stages = parse(os.environ["SC_OFF"])
+for key in ("output_tuples", "shed_window", "shed_queue", "expired", "epoch_rollovers"):
+    if on_report[key] != off_report[key]:
+        raise SystemExit(
+            f"FAIL: MSTREAM_SCORE_CACHE=off changed {key}: "
+            f"{off_report[key]} vs {on_report[key]}"
+        )
+on_traffic = on_stages["stages"]["score_cache_hits"] + on_stages["stages"]["score_cache_misses"]
+off_traffic = off_stages["stages"]["score_cache_hits"] + off_stages["stages"]["score_cache_misses"]
+if on_traffic == 0:
+    raise SystemExit("FAIL: default run drove no score-cache traffic")
+if off_traffic != 0:
+    raise SystemExit(f"FAIL: pinned-off run still counted {off_traffic} cache lookups")
+print(
+    f"score-cache smoke: on/off outputs identical "
+    f"({on_report['output_tuples']} rows), "
+    f"{on_stages['stages']['score_cache_hits']} hits / "
+    f"{on_stages['stages']['score_cache_misses']} misses when enabled"
+)
+EOF
 
 # Hot-path equivalence smoke: the open-addressed index vs the HashMap
 # model, and the iterative probe kernel vs the retained recursive one
